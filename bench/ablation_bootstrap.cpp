@@ -1,0 +1,56 @@
+// Ablation: how many bootstrap evaluation functions (Gamma) does BAO need?
+// The paper fixes Gamma = 2; this sweep checks 1 (no ensembling), 2, 4, 8
+// on two representative MobileNet-v1 tasks. More resamples stabilize the
+// acquisition but cost linearly more surrogate fits per iteration.
+#include <chrono>
+#include <cstdio>
+
+#include "core/advanced_tuner.hpp"
+#include "exp_common.hpp"
+#include "graph/fusion.hpp"
+#include "graph/models.hpp"
+#include "support/string_util.hpp"
+
+int main() {
+  using namespace aal;
+  using namespace aal::bench;
+  set_log_threshold(LogLevel::kWarn);
+  banner("Ablation: bootstrap Gamma", "BAO with 1/2/4/8 resampled sets");
+
+  const GpuSpec spec = GpuSpec::gtx1080ti();
+  const auto tasks = extract_tasks(fuse(make_mobilenet_v1()));
+  const Workload workloads[] = {tasks[0].workload, tasks[2].workload};
+
+  TuneOptions options;
+  options.budget = std::min<std::int64_t>(budget(), 512);
+  options.early_stopping = 0;
+
+  TextTable table;
+  table.set_header({"task", "Gamma", "true best GFLOPS", "wall s/trial"});
+  for (const Workload& w : workloads) {
+    for (int gamma : {1, 2, 4, 8}) {
+      const auto t0 = std::chrono::steady_clock::now();
+      BaoParams bao;
+      bao.gamma = gamma;
+      const TunerFactory factory = [&](TransferContext*) {
+        return std::make_unique<AdvancedActiveLearningTuner>(BtedParams{}, bao);
+      };
+      const TaskOutcome outcome = run_task(
+          w, spec, factory, options, trials(),
+          static_cast<std::uint64_t>(gamma) * 17);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count() /
+          trials();
+      table.add_row({w.brief(), std::to_string(gamma),
+                     format_double(outcome.mean_true_gflops, 1),
+                     format_double(wall, 2)});
+    }
+    table.add_separator();
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nExpected: Gamma=1 is noticeably less stable; returns flatten "
+              "by Gamma=2-4\nwhile cost grows linearly — supporting the "
+              "paper's Gamma=2 choice.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Fig. 4: GFLOPS convergence over measured configurations for
+// the first two (tunable) layers of MobileNet-v1.
+//   (a) layer 1 (the 3x3 stem conv): AutoTVM vs BTED
+//   (b) layer 2 (the first depthwise conv): AutoTVM vs BTED+BAO
+// The paper plots the running best up to 1024 configurations; we print the
+// same series at fixed checkpoints, averaged over AAL_TRIALS seeds.
+#include <algorithm>
+#include <cstdio>
+
+#include "exp_common.hpp"
+#include "graph/fusion.hpp"
+#include "graph/models.hpp"
+#include "support/string_util.hpp"
+
+namespace {
+
+using namespace aal;
+using namespace aal::bench;
+
+/// Average running-best curve over trials, padded with the final value when
+/// a trial early-stops before the budget.
+std::vector<double> mean_curve(const Workload& workload, const GpuSpec& spec,
+                               const TunerFactory& factory,
+                               std::int64_t budget_points, int num_trials,
+                               std::uint64_t salt) {
+  std::vector<double> acc(static_cast<std::size_t>(budget_points), 0.0);
+  for (int trial = 0; trial < num_trials; ++trial) {
+    TuningTask task(workload, spec);
+    SimulatedDevice device(spec, salt * 77 + static_cast<std::uint64_t>(trial));
+    Measurer measurer(task, device);
+    auto tuner = factory(nullptr);
+    TuneOptions options;
+    options.budget = budget_points;
+    options.early_stopping = 0;  // Fig. 4 plots the full budget
+    options.seed = salt * 13 + static_cast<std::uint64_t>(trial) + 1;
+    const auto curve = tuner->tune(measurer, options).best_curve();
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      acc[i] += i < curve.size() ? curve[i] : curve.back();
+    }
+  }
+  for (double& v : acc) v /= num_trials;
+  return acc;
+}
+
+void print_series(const char* label, const std::vector<double>& curve) {
+  std::printf("%-10s", label);
+  for (std::size_t i = 63; i < curve.size(); i += 64) {
+    std::printf(" %7.1f", curve[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  set_log_threshold(LogLevel::kWarn);
+  banner("Fig. 4", "convergence on MobileNet-v1 layers 1 and 2");
+
+  const GpuSpec spec = GpuSpec::gtx1080ti();
+  const auto tasks = extract_tasks(fuse(make_mobilenet_v1()));
+  const Workload layer1 = tasks[0].workload;  // conv2d 3x224x224 -> 32
+  const Workload layer2 = tasks[1].workload;  // depthwise 32x112x112
+
+  const std::int64_t points = std::min<std::int64_t>(budget(), 1024);
+  const int n = trials();
+
+  std::printf("\n(a) layer 1: %s\n", layer1.brief().c_str());
+  std::printf("%-10s", "configs");
+  for (std::int64_t i = 64; i <= points; i += 64) std::printf(" %7lld", static_cast<long long>(i));
+  std::printf("\n");
+  print_series("AutoTVM",
+               mean_curve(layer1, spec, autotvm_tuner_factory(), points, n, 1));
+  print_series("BTED",
+               mean_curve(layer1, spec, bted_tuner_factory(), points, n, 1));
+
+  std::printf("\n(b) layer 2: %s\n", layer2.brief().c_str());
+  std::printf("%-10s", "configs");
+  for (std::int64_t i = 64; i <= points; i += 64) std::printf(" %7lld", static_cast<long long>(i));
+  std::printf("\n");
+  print_series("AutoTVM",
+               mean_curve(layer2, spec, autotvm_tuner_factory(), points, n, 2));
+  print_series("BTED+BAO",
+               mean_curve(layer2, spec, bted_bao_tuner_factory(), points, n, 2));
+
+  std::printf("\nExpected shape (paper): both panels converge faster and "
+              "higher than AutoTVM;\nlayer 1 plateaus in the low thousands "
+              "of GFLOPS, layer 2 (bandwidth-bound\ndepthwise) around an "
+              "order of magnitude lower.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Plot Fig. 4 from the fig4_convergence harness output.
+
+Usage:
+    ./build/bench/fig4_convergence | python3 scripts/plot_fig4.py out.png
+
+Parses the printed checkpoint series (one row per tuner per panel) and
+renders the two convergence panels side by side, mirroring the paper's
+figure. Requires matplotlib.
+"""
+import re
+import sys
+
+
+def parse(stream):
+    panels = []  # list of (title, {tuner: [(configs, gflops), ...]})
+    title = None
+    configs = None
+    series = {}
+    for line in stream:
+        line = line.rstrip("\n")
+        m = re.match(r"\((a|b)\) (.*)", line)
+        if m:
+            if title is not None:
+                panels.append((title, series))
+            title = f"({m.group(1)}) {m.group(2)}"
+            configs, series = None, {}
+            continue
+        if title is None:
+            continue
+        fields = line.split()
+        if not fields:
+            continue
+        if fields[0] == "configs":
+            configs = [int(v) for v in fields[1:]]
+        elif configs is not None and len(fields) == len(configs) + 1:
+            try:
+                values = [float(v) for v in fields[1:]]
+            except ValueError:
+                continue
+            series[fields[0]] = list(zip(configs, values))
+    if title is not None:
+        panels.append((title, series))
+    return panels
+
+
+def main():
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "fig4.png"
+    panels = parse(sys.stdin)
+    if not panels:
+        sys.exit("no convergence series found on stdin "
+                 "(pipe fig4_convergence output into this script)")
+
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(1, len(panels), figsize=(6 * len(panels), 4))
+    if len(panels) == 1:
+        axes = [axes]
+    for ax, (title, series) in zip(axes, panels):
+        for tuner, points in series.items():
+            xs, ys = zip(*points)
+            ax.plot(xs, ys, marker="o", markersize=3, label=tuner)
+        ax.set_title(title)
+        ax.set_xlabel("measured configurations")
+        ax.set_ylabel("GFLOPS (running best)")
+        ax.legend()
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=150)
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

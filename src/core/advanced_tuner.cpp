@@ -1,0 +1,34 @@
+#include "core/advanced_tuner.hpp"
+
+#include "support/logging.hpp"
+
+namespace aal {
+
+AdvancedActiveLearningTuner::AdvancedActiveLearningTuner(
+    BtedParams bted, BaoParams bao,
+    std::shared_ptr<const SurrogateFactory> surrogate_factory)
+    : bted_(bted), bao_(bao), surrogate_factory_(std::move(surrogate_factory)) {}
+
+TuneResult AdvancedActiveLearningTuner::tune(Measurer& measurer,
+                                             const TuneOptions& options) {
+  TuneLoopState state(measurer, options);
+  Rng rng(options.seed);
+
+  // Stage 1: BTED initialization. options.num_initial (m) overrides the
+  // params' num_select, mirroring the paper's m = 64 setting.
+  BtedParams bted = bted_;
+  bted.num_select = options.num_initial;
+  const std::vector<Config> initial =
+      bted_sample(measurer.task(), bted, rng);
+  state.measure_all(initial);
+  AAL_LOG_DEBUG << "bted+bao: initialized with " << initial.size()
+                << " configs, best " << state.best_gflops() << " GFLOPS";
+
+  // Stage 2: BAO iterative optimization until budget / early stopping.
+  if (!state.should_stop()) {
+    run_bao(state, *surrogate_factory_, bao_, rng);
+  }
+  return state.finish(name());
+}
+
+}  // namespace aal

@@ -1,0 +1,48 @@
+// The paper's advanced active-learning framework as a Tuner:
+// BTED initialization (Algorithms 1-2) + BAO iterative optimization
+// (Algorithms 3-4). This is the "BTED + BAO" row of every experiment.
+#pragma once
+
+#include <memory>
+
+#include "core/bao.hpp"
+#include "core/bted.hpp"
+#include "ml/surrogate.hpp"
+#include "tuner/tuner.hpp"
+
+namespace aal {
+
+class AdvancedActiveLearningTuner final : public Tuner {
+ public:
+  /// The default bootstrap surrogate is a lighter GBDT than AutoTVM's cost
+  /// model (32 trees, depth 4, no extra row subsampling — the bootstrap
+  /// already resamples rows): BS refits Gamma models *every* iteration, so
+  /// the base learner must be cheap; ranking quality at tuning scale is
+  /// unaffected (see the surrogate ablation bench).
+  static GbdtParams default_bootstrap_gbdt_params() {
+    GbdtParams p;
+    p.num_trees = 32;
+    p.max_depth = 4;
+    p.row_subsample = 1.0;
+    return p;
+  }
+
+  explicit AdvancedActiveLearningTuner(
+      BtedParams bted = {}, BaoParams bao = {},
+      std::shared_ptr<const SurrogateFactory> surrogate_factory =
+          std::make_shared<GbdtSurrogateFactory>(
+              default_bootstrap_gbdt_params()));
+
+  std::string name() const override { return "bted+bao"; }
+  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+
+  const BtedParams& bted_params() const { return bted_; }
+  const BaoParams& bao_params() const { return bao_; }
+
+ private:
+  BtedParams bted_;
+  BaoParams bao_;
+  std::shared_ptr<const SurrogateFactory> surrogate_factory_;
+};
+
+}  // namespace aal

@@ -1,0 +1,62 @@
+// Bootstrap-guided Adaptive Optimization (BAO) — Algorithm 4 of the paper.
+//
+// Iterative stage of the advanced active-learning framework. Each step:
+//   1. the search scope C_t is the radius-R neighborhood (Euclidean in
+//      knob-choice space) of the previously selected configuration;
+//   2. if the relative improvement r_t (Equation (1)) of the last two steps
+//      fell below eta, the radius is enlarged to tau*R for this step;
+//   3. BS (Algorithm 3) fits Gamma bootstrap surrogates on everything
+//      measured so far and picks argmax of their summed predictions over
+//      C_t; the pick is deployed (measured) and appended to X, Y.
+//
+// Equation (1) is implemented literally, ceil((y[t-1]-y[t-2])/y[t-1]):
+// with eta in (0,1) the ceil makes the trigger binary — the radius grows
+// exactly when the latest step failed to improve on the one before
+// (see DESIGN.md). Set literal_ceil=false for the real-valued variant.
+#pragma once
+
+#include <memory>
+
+#include "core/bootstrap.hpp"
+#include "measure/measure.hpp"
+#include "tuner/tuner.hpp"
+
+namespace aal {
+
+/// Which metric R is measured in: the paper says "Euclidean distance
+/// between points" where a point x is defined as the configuration's
+/// feature vector, so kFeature (log2-factor space) is the faithful default;
+/// kChoice (entity-index space) is kept for the adaptive-neighborhood
+/// ablation.
+enum class BaoMetric { kFeature, kChoice };
+
+struct BaoParams {
+  double eta = 0.05;    // relative-improvement threshold
+  double tau = 1.5;     // radius growth factor (tau > 1)
+  double radius = 3.0;  // base neighborhood radius R
+  BaoMetric metric = BaoMetric::kFeature;
+  int gamma = 2;        // bootstrap resamples per step
+
+  /// Max candidates materialized from each neighborhood; the exact ball is
+  /// subsampled only above this (the ball at R=3 is usually smaller).
+  std::size_t neighborhood_cap = 512;
+  /// Apply Equation (1) with the printed ceil (default) or as a raw ratio.
+  bool literal_ceil = true;
+  /// Center the neighborhood on the best-so-far config instead of the last
+  /// selected one (ablation; the paper centers on the last selection).
+  bool recentre_on_best = false;
+  /// Compound the radius (R, tau R, tau^2 R, ...) across *consecutive*
+  /// non-improving steps instead of capping at tau R. Algorithm 4 as
+  /// printed re-bases to R each iteration; compounding lets the search
+  /// escape exhausted basins on very large spaces (ablation-measured).
+  bool compound_radius = false;
+  double max_radius = 24.0;  // compounding cap
+};
+
+/// Runs the BAO loop on top of an already-measured initial set until the
+/// loop state trips (budget / early stopping). `state` must already contain
+/// the initialization measurements. Returns the number of BAO iterations.
+int run_bao(TuneLoopState& state, const SurrogateFactory& surrogate_factory,
+            const BaoParams& params, Rng& rng);
+
+}  // namespace aal

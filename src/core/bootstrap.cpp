@@ -1,0 +1,47 @@
+#include "core/bootstrap.hpp"
+
+#include <limits>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+BootstrapEnsemble::BootstrapEnsemble(const Dataset& data,
+                                     const SurrogateFactory& factory,
+                                     int gamma, Rng& rng) {
+  AAL_CHECK(gamma >= 1, "bootstrap gamma must be >= 1");
+  AAL_CHECK(!data.empty(), "bootstrap ensemble needs measured data");
+  models_.reserve(static_cast<std::size_t>(gamma));
+  for (int g = 0; g < gamma; ++g) {
+    const auto rows =
+        rng.sample_with_replacement(data.num_rows(), data.num_rows());
+    const Dataset resample = data.subset(rows);
+    auto model = factory.create(rng());
+    model->fit(resample);
+    models_.push_back(std::move(model));
+  }
+}
+
+double BootstrapEnsemble::score(std::span<const double> features) const {
+  double acc = 0.0;
+  for (const auto& model : models_) acc += model->predict(features);
+  return acc;
+}
+
+std::size_t bootstrap_select(const BootstrapEnsemble& ensemble,
+                             const ConfigSpace& space,
+                             const std::vector<Config>& candidates) {
+  AAL_CHECK(!candidates.empty(), "bootstrap_select needs candidates");
+  std::size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double s = ensemble.score(space.features(candidates[i]));
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace aal

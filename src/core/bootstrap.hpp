@@ -1,0 +1,51 @@
+// Bootstrap-guided Sampling (BS) — Algorithm 3 of the paper.
+//
+// Draws Gamma bootstrap resamples (with replacement, |X_gamma| = |X|) from
+// the measured set, fits one evaluation function per resample, and returns
+// the candidate in the current search scope C maximizing the *sum* of the
+// ensemble's predictions. The surrogate family is pluggable (the paper:
+// "our sampling algorithm is general enough to handle various types of
+// evaluation function f").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/surrogate.hpp"
+#include "space/config_space.hpp"
+#include "support/rng.hpp"
+
+namespace aal {
+
+struct BootstrapParams {
+  int gamma = 2;  // number of resampled sets (paper's experiments use 2)
+};
+
+/// Ensemble of Gamma surrogates fitted on bootstrap resamples. Split out of
+/// the selection step so callers (BAO, tests, ablations) can reuse one
+/// ensemble across several scoring calls within an iteration.
+class BootstrapEnsemble {
+ public:
+  /// Fits Gamma models on resamples of `data`. Each model gets an
+  /// independent seed derived from `rng`.
+  BootstrapEnsemble(const Dataset& data, const SurrogateFactory& factory,
+                    int gamma, Rng& rng);
+
+  /// Sum of the Gamma models' predictions (the BS acquisition value).
+  double score(std::span<const double> features) const;
+
+  int gamma() const { return static_cast<int>(models_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Surrogate>> models_;
+};
+
+/// Algorithm 3: returns the index into `candidates` of the configuration
+/// maximizing the ensemble score (ties break toward the lower index; the
+/// candidate list must be non-empty).
+std::size_t bootstrap_select(const BootstrapEnsemble& ensemble,
+                             const ConfigSpace& space,
+                             const std::vector<Config>& candidates);
+
+}  // namespace aal

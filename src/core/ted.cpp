@@ -1,0 +1,133 @@
+#include "core/ted.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+#include <numeric>
+
+#include "support/common.hpp"
+#include "support/stats.hpp"
+
+namespace aal {
+
+void standardize_columns(std::vector<std::vector<double>>& features) {
+  if (features.empty()) return;
+  const std::size_t dim = features[0].size();
+  for (std::size_t c = 0; c < dim; ++c) {
+    double sum = 0.0;
+    for (const auto& row : features) sum += row[c];
+    const double m = sum / static_cast<double>(features.size());
+    double var = 0.0;
+    for (const auto& row : features) var += (row[c] - m) * (row[c] - m);
+    var /= static_cast<double>(features.size());
+    const double sd = std::sqrt(var);
+    if (sd < 1e-12) {
+      for (auto& row : features) row[c] = 0.0;
+    } else {
+      for (auto& row : features) row[c] = (row[c] - m) / sd;
+    }
+  }
+}
+
+std::vector<std::size_t> ted_select(
+    const std::vector<std::vector<double>>& features, std::size_t m,
+    const TedParams& params) {
+  const std::size_t n = features.size();
+  if (n == 0) return {};
+  for (const auto& row : features) {
+    AAL_CHECK(row.size() == features[0].size(),
+              "ted_select: ragged feature matrix");
+  }
+  if (m >= n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    return all;
+  }
+
+  // Normalize a copy so Euclidean distances weigh knobs equally.
+  std::vector<std::vector<double>> x = features;
+  standardize_columns(x);
+
+  // Pairwise distances.
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < x[i].size(); ++c) {
+        const double d = x[i][c] - x[j][c];
+        acc += d * d;
+      }
+      const double d = std::sqrt(acc);
+      dist[i * n + j] = d;
+      dist[j * n + i] = d;
+    }
+  }
+
+  // Kernel matrix K (row-major, symmetric).
+  std::vector<double> k(n * n, 0.0);
+  if (params.kernel == TedKernel::kEuclideanDistance) {
+    k = dist;
+  } else {
+    double sigma = params.rbf_sigma;
+    if (sigma <= 0.0) {
+      // Median-distance heuristic over off-diagonal entries.
+      std::vector<double> off;
+      off.reserve(n * (n - 1) / 2);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) off.push_back(dist[i * n + j]);
+      }
+      sigma = off.empty() ? 1.0 : std::max(1e-9, median(std::move(off)));
+    }
+    const double inv = 1.0 / (2.0 * sigma * sigma);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double d = dist[i * n + j];
+        k[i * n + j] = std::exp(-d * d * inv);
+      }
+    }
+  }
+
+  std::vector<std::size_t> selected;
+  selected.reserve(m);
+  std::vector<bool> taken(n, false);
+  std::vector<double> col(n);
+
+  for (std::size_t pick = 0; pick < m; ++pick) {
+    // Score every remaining candidate: ||K_v||^2 / (k(v,v) + mu). With the
+    // paper's distance "kernel" the deflated matrix is not PSD, so the
+    // diagonal can drift negative; clamping it at zero keeps the score (and
+    // the deflation divisor) well-defined without changing the PSD case.
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::size_t best_v = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (taken[v]) continue;
+      double norm_sq = 0.0;
+      for (std::size_t u = 0; u < n; ++u) {
+        const double e = k[v * n + u];
+        norm_sq += e * e;
+      }
+      const double score =
+          norm_sq / (std::max(k[v * n + v], 0.0) + params.mu);
+      if (score > best_score) {
+        best_score = score;
+        best_v = v;
+      }
+    }
+    AAL_ASSERT(best_v < n, "TED failed to select a candidate");
+    taken[best_v] = true;
+    selected.push_back(best_v);
+
+    // Rank-one deflation: K <- K - K_x K_x^T / (k(x,x) + mu).
+    const double denom = std::max(k[best_v * n + best_v], 0.0) + params.mu;
+    for (std::size_t u = 0; u < n; ++u) col[u] = k[best_v * n + u];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ci = col[i] / denom;
+      if (ci == 0.0) continue;
+      double* row = &k[i * n];
+      for (std::size_t j = 0; j < n; ++j) row[j] -= ci * col[j];
+    }
+  }
+  return selected;
+}
+
+}  // namespace aal

@@ -1,0 +1,47 @@
+// Transductive Experimental Design — Algorithm 1 of the paper.
+//
+// Given a candidate set V (rows of a feature matrix), greedily selects m
+// configurations maximizing the TED score ||K_v||^2 / (k(v,v) + mu) with
+// rank-one deflation K <- K - K_x K_x^T / (k(x,x) + mu) after each pick
+// (Yu, Bi & Tresp, ICML'06). The paper computes K from Euclidean distances
+// of the configuration vectors; an RBF kernel variant is provided for the
+// ablation bench (the classical TED formulation). Features are z-scored
+// over V first so no knob dominates the metric.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aal {
+
+enum class TedKernel {
+  kEuclideanDistance,  // K[i][j] = ||x_i - x_j||   (paper text)
+  kRbf,                // K[i][j] = exp(-||x_i-x_j||^2 / (2 sigma^2))
+};
+
+struct TedParams {
+  double mu = 0.1;
+  /// The paper's text says K "is computed as Euclidean distance", but a raw
+  /// distance matrix is not PSD: the rank-one deflation then amplifies the
+  /// matrix by ~max(d)^2/mu per pick and the selection degenerates into
+  /// near-duplicates after a handful of rounds (observable in the tests).
+  /// Algorithm 1 originates from Yu/Bi/Tresp's TED, which assumes a proper
+  /// kernel, so the default here is an RBF kernel *of* the Euclidean
+  /// distance (median-bandwidth heuristic); the literal distance matrix
+  /// stays available for the ablation bench.
+  TedKernel kernel = TedKernel::kRbf;
+  /// RBF bandwidth; <= 0 selects the median-distance heuristic.
+  double rbf_sigma = 0.0;
+};
+
+/// Returns indices (into `features`) of the m selected rows, in selection
+/// order. If m >= |V| all indices are returned. All rows must share width.
+std::vector<std::size_t> ted_select(
+    const std::vector<std::vector<double>>& features, std::size_t m,
+    const TedParams& params = {});
+
+/// Z-scores columns in place over the given rows (helper shared with BTED;
+/// exposed for tests). Constant columns become all-zero.
+void standardize_columns(std::vector<std::vector<double>>& features);
+
+}  // namespace aal

@@ -1,0 +1,116 @@
+#include "graph/fusion.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+std::size_t FusedGraph::num_tunable() const {
+  std::size_t n = 0;
+  for (const auto& g : groups) {
+    if (g.workload.has_value()) ++n;
+  }
+  return n;
+}
+
+std::string FusedGraph::to_string() const {
+  std::ostringstream os;
+  os << "fused graph: " << groups.size() << " groups, " << num_tunable()
+     << " tunable\n";
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const auto& g = groups[i];
+    os << "  group " << i << " [";
+    for (std::size_t j = 0; j < g.nodes.size(); ++j) {
+      if (j > 0) os << ' ';
+      os << '%' << g.nodes[j];
+    }
+    os << ']';
+    if (g.workload) os << " task=" << g.workload->brief();
+    os << '\n';
+  }
+  return os.str();
+}
+
+FusedGraph fuse(const Graph& graph) {
+  graph.validate();
+  const std::vector<NodeId> order = graph.topo_order();
+  const std::vector<int> consumers = graph.consumer_counts();
+
+  // successor[v] lists direct consumers of v.
+  std::vector<std::vector<NodeId>> succ(graph.size());
+  for (const Node& n : graph.nodes()) {
+    for (NodeId in : n.inputs) {
+      succ[static_cast<std::size_t>(in)].push_back(n.id);
+    }
+  }
+
+  std::vector<bool> assigned(graph.size(), false);
+  FusedGraph fused;
+  fused.graph = &graph;
+
+  // Pass 1: tunable anchors absorb their exclusive element-wise epilogues.
+  for (NodeId id : order) {
+    const Node& n = graph.node(id);
+    if (!is_tunable(n.op.type)) continue;
+
+    FusedGroup group;
+    group.anchor = id;
+    group.nodes.push_back(id);
+    group.workload = make_workload(n.op, graph.input_types(id));
+    assigned[static_cast<std::size_t>(id)] = true;
+
+    // Follow the single-consumer chain of fusable element-wise ops. An Add
+    // is fusable as the residual epilogue: its *other* operand comes from
+    // outside the group, which is fine — the kernel reads it as a second
+    // input.
+    NodeId tail = id;
+    for (;;) {
+      const auto& tail_succ = succ[static_cast<std::size_t>(tail)];
+      if (consumers[static_cast<std::size_t>(tail)] != 1) break;
+      const NodeId next = tail_succ.front();
+      const Node& next_node = graph.node(next);
+      if (!is_fusable_elemwise(next_node.op.type)) break;
+      if (assigned[static_cast<std::size_t>(next)]) break;
+      group.nodes.push_back(next);
+      group.epilogue_flops +=
+          op_flops(next_node.op, graph.input_types(next));
+      assigned[static_cast<std::size_t>(next)] = true;
+      tail = next;
+    }
+    fused.groups.push_back(std::move(group));
+  }
+
+  // Pass 2: every remaining node becomes its own group, in topo order.
+  for (NodeId id : order) {
+    if (assigned[static_cast<std::size_t>(id)]) continue;
+    FusedGroup group;
+    group.anchor = id;
+    group.nodes.push_back(id);
+    assigned[static_cast<std::size_t>(id)] = true;
+    fused.groups.push_back(std::move(group));
+  }
+
+  return fused;
+}
+
+std::vector<Task> extract_tasks(const FusedGraph& fused) {
+  std::vector<Task> tasks;
+  std::unordered_map<std::string, std::size_t> index_by_key;
+  for (std::size_t i = 0; i < fused.groups.size(); ++i) {
+    const auto& g = fused.groups[i];
+    if (!g.workload) continue;
+    const std::string key = g.workload->key();
+    auto it = index_by_key.find(key);
+    if (it == index_by_key.end()) {
+      index_by_key.emplace(key, tasks.size());
+      tasks.push_back(Task{*g.workload, {i}});
+    } else {
+      tasks[it->second].group_indices.push_back(i);
+    }
+  }
+  return tasks;
+}
+
+}  // namespace aal

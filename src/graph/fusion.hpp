@@ -1,0 +1,59 @@
+// Operator-fusion pass.
+//
+// Mirrors the graph-level optimization stage in the paper's Fig. 1: cheap
+// element-wise operators (relu, batch_norm, dropout, residual add) are fused
+// into the preceding heavy kernel, so a fused group maps to one launched
+// kernel. Tunable groups (anchored by conv2d / depthwise_conv2d / dense)
+// produce one tuning task each; the remaining groups are charged the
+// simulator's fixed-function cost.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "ir/workload.hpp"
+
+namespace aal {
+
+struct FusedGroup {
+  /// Node executing the group's dominant computation (the tunable node for
+  /// tunable groups; the sole node otherwise).
+  NodeId anchor = -1;
+  /// All member node ids in topological order (anchor first for tunable
+  /// groups, then fused epilogue ops).
+  std::vector<NodeId> nodes;
+  /// The tuning workload; nullopt for non-tunable groups.
+  std::optional<Workload> workload;
+  /// Extra element-wise FLOPs fused into the kernel epilogue.
+  std::int64_t epilogue_flops = 0;
+};
+
+struct FusedGraph {
+  const Graph* graph = nullptr;  // non-owning; must outlive this object
+  std::vector<FusedGroup> groups;
+
+  std::size_t num_tunable() const;
+  std::string to_string() const;
+};
+
+/// Greedy epilogue fusion: starting from each tunable node in topological
+/// order, absorbs successor chains of fusable element-wise ops whose
+/// producer is consumed exclusively inside the chain. Every node lands in
+/// exactly one group.
+FusedGraph fuse(const Graph& graph);
+
+/// One deduplicated tuning task: a workload plus the fused groups that will
+/// reuse its best configuration (AutoTVM deduplicates identical layer
+/// shapes the same way).
+struct Task {
+  Workload workload;
+  std::vector<std::size_t> group_indices;  // indices into FusedGraph::groups
+  int count() const { return static_cast<int>(group_indices.size()); }
+};
+
+/// Extracts unique tasks from a fused graph, ordered by first appearance.
+std::vector<Task> extract_tasks(const FusedGraph& fused);
+
+}  // namespace aal

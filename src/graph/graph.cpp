@@ -1,0 +1,242 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+NodeId Graph::add_input(std::string name, TensorType type) {
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.name = std::move(name);
+  n.op.type = OpType::kInput;
+  n.output = std::move(type);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+NodeId Graph::add(std::string name, Op op, std::vector<NodeId> inputs) {
+  AAL_CHECK(op.type != OpType::kInput,
+            "use add_input for input placeholders");
+  std::vector<TensorType> in_types;
+  in_types.reserve(inputs.size());
+  for (NodeId id : inputs) {
+    AAL_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+              "node '" << name << "' references unknown input id " << id);
+    in_types.push_back(nodes_[static_cast<std::size_t>(id)].output);
+  }
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.name = std::move(name);
+  n.op = op;
+  n.inputs = std::move(inputs);
+  n.output = infer_output_type(op, in_types);
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+NodeId Graph::conv2d(const std::string& name, NodeId data,
+                     std::int64_t out_channels, std::int64_t kernel,
+                     std::int64_t stride, std::int64_t pad,
+                     std::int64_t groups) {
+  Op op;
+  op.type = OpType::kConv2d;
+  op.conv = {out_channels, kernel, kernel, stride, stride, pad, pad, groups};
+  return add(name, op, {data});
+}
+
+NodeId Graph::depthwise_conv2d(const std::string& name, NodeId data,
+                               std::int64_t kernel, std::int64_t stride,
+                               std::int64_t pad) {
+  const std::int64_t channels = node(data).output.shape[1];
+  Op op;
+  op.type = OpType::kDepthwiseConv2d;
+  op.conv = {channels, kernel, kernel, stride, stride, pad, pad, channels};
+  return add(name, op, {data});
+}
+
+NodeId Graph::dense(const std::string& name, NodeId data,
+                    std::int64_t out_features) {
+  Op op;
+  op.type = OpType::kDense;
+  op.dense.out_features = out_features;
+  return add(name, op, {data});
+}
+
+NodeId Graph::max_pool2d(const std::string& name, NodeId data,
+                         std::int64_t kernel, std::int64_t stride,
+                         std::int64_t pad, bool ceil_mode) {
+  Op op;
+  op.type = OpType::kMaxPool2d;
+  op.pool = {kernel, kernel, stride, stride, pad, pad, ceil_mode};
+  return add(name, op, {data});
+}
+
+NodeId Graph::avg_pool2d(const std::string& name, NodeId data,
+                         std::int64_t kernel, std::int64_t stride,
+                         std::int64_t pad) {
+  Op op;
+  op.type = OpType::kAvgPool2d;
+  op.pool = {kernel, kernel, stride, stride, pad, pad, false};
+  return add(name, op, {data});
+}
+
+NodeId Graph::global_avg_pool2d(const std::string& name, NodeId data) {
+  Op op;
+  op.type = OpType::kGlobalAvgPool2d;
+  return add(name, op, {data});
+}
+
+NodeId Graph::relu(const std::string& name, NodeId data) {
+  Op op;
+  op.type = OpType::kRelu;
+  return add(name, op, {data});
+}
+
+NodeId Graph::batch_norm(const std::string& name, NodeId data) {
+  Op op;
+  op.type = OpType::kBatchNorm;
+  return add(name, op, {data});
+}
+
+NodeId Graph::add_op(const std::string& name, NodeId lhs, NodeId rhs) {
+  Op op;
+  op.type = OpType::kAdd;
+  return add(name, op, {lhs, rhs});
+}
+
+NodeId Graph::concat(const std::string& name, std::vector<NodeId> inputs,
+                     int axis) {
+  Op op;
+  op.type = OpType::kConcat;
+  op.concat.axis = axis;
+  return add(name, op, std::move(inputs));
+}
+
+NodeId Graph::softmax(const std::string& name, NodeId data) {
+  Op op;
+  op.type = OpType::kSoftmax;
+  return add(name, op, {data});
+}
+
+NodeId Graph::flatten(const std::string& name, NodeId data) {
+  Op op;
+  op.type = OpType::kFlatten;
+  return add(name, op, {data});
+}
+
+NodeId Graph::dropout(const std::string& name, NodeId data) {
+  Op op;
+  op.type = OpType::kDropout;
+  return add(name, op, {data});
+}
+
+NodeId Graph::lrn(const std::string& name, NodeId data) {
+  Op op;
+  op.type = OpType::kLRN;
+  return add(name, op, {data});
+}
+
+const Node& Graph::node(NodeId id) const {
+  AAL_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+            "unknown node id " << id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<TensorType> Graph::input_types(NodeId id) const {
+  const Node& n = node(id);
+  std::vector<TensorType> types;
+  types.reserve(n.inputs.size());
+  for (NodeId in : n.inputs) types.push_back(node(in).output);
+  return types;
+}
+
+std::vector<NodeId> Graph::topo_order() const {
+  std::vector<int> in_degree(nodes_.size(), 0);
+  for (const Node& n : nodes_) {
+    in_degree[static_cast<std::size_t>(n.id)] =
+        static_cast<int>(n.inputs.size());
+  }
+  // Consumers adjacency.
+  std::vector<std::vector<NodeId>> consumers(nodes_.size());
+  for (const Node& n : nodes_) {
+    for (NodeId in : n.inputs) {
+      consumers[static_cast<std::size_t>(in)].push_back(n.id);
+    }
+  }
+  std::queue<NodeId> ready;
+  for (const Node& n : nodes_) {
+    if (n.inputs.empty()) ready.push(n.id);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (NodeId c : consumers[static_cast<std::size_t>(id)]) {
+      if (--in_degree[static_cast<std::size_t>(c)] == 0) ready.push(c);
+    }
+  }
+  AAL_ASSERT(order.size() == nodes_.size(), "graph contains a cycle");
+  return order;
+}
+
+std::vector<int> Graph::consumer_counts() const {
+  std::vector<int> counts(nodes_.size(), 0);
+  for (const Node& n : nodes_) {
+    for (NodeId in : n.inputs) ++counts[static_cast<std::size_t>(in)];
+  }
+  return counts;
+}
+
+std::int64_t Graph::total_flops() const {
+  std::int64_t total = 0;
+  for (const Node& n : nodes_) {
+    if (n.op.type == OpType::kInput) continue;
+    total += op_flops(n.op, input_types(n.id));
+  }
+  return total;
+}
+
+std::vector<NodeId> Graph::tunable_nodes() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (is_tunable(n.op.type)) out.push_back(n.id);
+  }
+  return out;
+}
+
+void Graph::validate() const {
+  for (const Node& n : nodes_) {
+    AAL_ASSERT(n.id >= 0 && static_cast<std::size_t>(n.id) < nodes_.size(),
+               "node id out of range");
+    for (NodeId in : n.inputs) {
+      AAL_ASSERT(in >= 0 && in < n.id,
+                 "node '" << n.name << "' consumes a later node " << in
+                          << " (insertion order must be topological)");
+    }
+  }
+  // topo_order throws if a cycle exists.
+  (void)topo_order();
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "graph " << name_ << " (" << nodes_.size() << " nodes, "
+     << total_flops() << " flops)\n";
+  for (const Node& n : nodes_) {
+    os << "  %" << n.id << " = " << op_type_name(n.op.type) << "(";
+    for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << '%' << n.inputs[i];
+    }
+    os << ") -> " << n.output.to_string() << "  // " << n.name << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace aal

@@ -1,0 +1,99 @@
+// Computational-graph IR.
+//
+// A Graph is a DAG of operator nodes with statically inferred tensor types
+// on every edge (shape inference runs at insertion). This mirrors the
+// "high-level computation graph" of the paper's Fig. 1: models from the zoo
+// are lowered to this IR, the fusion pass groups nodes into kernels, and
+// node-wise optimization then tunes one task per fused tunable kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/op.hpp"
+#include "tensor/shape.hpp"
+
+namespace aal {
+
+using NodeId = std::int32_t;
+
+struct Node {
+  NodeId id = -1;
+  std::string name;
+  Op op;
+  std::vector<NodeId> inputs;
+  TensorType output;  // inferred at insertion
+};
+
+class Graph {
+ public:
+  explicit Graph(std::string name = "graph") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a graph input placeholder.
+  NodeId add_input(std::string name, TensorType type);
+
+  /// Adds an operator node consuming existing nodes; runs shape inference
+  /// and returns the new node's id.
+  NodeId add(std::string name, Op op, std::vector<NodeId> inputs);
+
+  // Convenience builders used by the model zoo. All return the new NodeId.
+  NodeId conv2d(const std::string& name, NodeId data, std::int64_t out_channels,
+                std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                std::int64_t groups = 1);
+  NodeId depthwise_conv2d(const std::string& name, NodeId data,
+                          std::int64_t kernel, std::int64_t stride,
+                          std::int64_t pad);
+  NodeId dense(const std::string& name, NodeId data, std::int64_t out_features);
+  NodeId max_pool2d(const std::string& name, NodeId data, std::int64_t kernel,
+                    std::int64_t stride, std::int64_t pad = 0,
+                    bool ceil_mode = false);
+  NodeId avg_pool2d(const std::string& name, NodeId data, std::int64_t kernel,
+                    std::int64_t stride, std::int64_t pad = 0);
+  NodeId global_avg_pool2d(const std::string& name, NodeId data);
+  NodeId relu(const std::string& name, NodeId data);
+  NodeId batch_norm(const std::string& name, NodeId data);
+  NodeId add_op(const std::string& name, NodeId lhs, NodeId rhs);
+  NodeId concat(const std::string& name, std::vector<NodeId> inputs,
+                int axis = 1);
+  NodeId softmax(const std::string& name, NodeId data);
+  NodeId flatten(const std::string& name, NodeId data);
+  NodeId dropout(const std::string& name, NodeId data);
+  NodeId lrn(const std::string& name, NodeId data);
+
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Input types of a node, in input order.
+  std::vector<TensorType> input_types(NodeId id) const;
+
+  /// Node ids in a valid topological order (Kahn's algorithm). Insertion
+  /// order is already topological by construction; this recomputes
+  /// independently and is used by validation and tests.
+  std::vector<NodeId> topo_order() const;
+
+  /// Number of consumers of each node.
+  std::vector<int> consumer_counts() const;
+
+  /// Total FLOPs of one inference.
+  std::int64_t total_flops() const;
+
+  /// Ids of nodes with tunable ops, in topological order.
+  std::vector<NodeId> tunable_nodes() const;
+
+  /// Checks DAG well-formedness (ids in range, acyclic, inputs precede
+  /// consumers); throws InternalError on violation.
+  void validate() const;
+
+  /// Multi-line structural dump for debugging and docs.
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace aal

@@ -1,0 +1,281 @@
+#include "graph/model_parser.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/common.hpp"
+#include "support/string_util.hpp"
+
+namespace aal {
+
+namespace {
+
+/// Minimal recursive-descent tokenizer for one statement line.
+class LineParser {
+ public:
+  LineParser(std::string_view text, int line_number)
+      : text_(text), line_(line_number) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw InvalidArgument("model parse error at line " +
+                          std::to_string(line_) + ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool eof() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool accept(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// [A-Za-z_][A-Za-z0-9_]* — op names, keys and (after %) node names.
+  std::string identifier() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected an identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::int64_t integer() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected an integer");
+    return std::stoll(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::vector<std::int64_t> integer_list() {
+    expect('[');
+    std::vector<std::int64_t> values;
+    if (!accept(']')) {
+      do {
+        values.push_back(integer());
+      } while (accept(','));
+      expect(']');
+    }
+    return values;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+struct Argument {
+  bool is_ref = false;
+  std::string ref;                    // %name operand
+  std::string key;                    // key= for attributes
+  std::vector<std::int64_t> values;   // value or list
+};
+
+struct Statement {
+  std::string result;
+  std::string op;
+  std::vector<std::string> operands;                      // %refs in order
+  std::unordered_map<std::string, std::vector<std::int64_t>> attrs;
+  int line = 0;
+};
+
+Statement parse_statement(std::string_view text, int line_number) {
+  LineParser p(text, line_number);
+  Statement s;
+  s.line = line_number;
+  p.expect('%');
+  s.result = p.identifier();
+  p.expect('=');
+  s.op = p.identifier();
+  p.expect('(');
+  if (!p.accept(')')) {
+    do {
+      if (p.accept('%')) {
+        s.operands.push_back(p.identifier());
+      } else {
+        const std::string key = p.identifier();
+        p.expect('=');
+        std::vector<std::int64_t> values;
+        if (p.peek() == '[') {
+          values = p.integer_list();
+        } else {
+          values.push_back(p.integer());
+        }
+        if (!s.attrs.emplace(key, std::move(values)).second) {
+          p.fail("duplicate attribute '" + key + "'");
+        }
+      }
+    } while (p.accept(','));
+    p.expect(')');
+  }
+  if (!p.eof()) p.fail("trailing characters after statement");
+  return s;
+}
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string name) : graph_(std::move(name)) {}
+
+  void add(const Statement& s) {
+    AAL_CHECK(!ids_.contains(s.result),
+              "model parse error at line " << s.line << ": node '%"
+                                           << s.result << "' redefined");
+    const NodeId id = build_node(s);
+    ids_.emplace(s.result, id);
+  }
+
+  Graph finish() {
+    graph_.validate();
+    return std::move(graph_);
+  }
+
+ private:
+  [[noreturn]] void fail(const Statement& s, const std::string& msg) const {
+    throw InvalidArgument("model parse error at line " +
+                          std::to_string(s.line) + ": " + msg);
+  }
+
+  NodeId ref(const Statement& s, std::size_t i) const {
+    if (i >= s.operands.size()) {
+      fail(s, "op '" + s.op + "' needs an input operand");
+    }
+    const auto it = ids_.find(s.operands[i]);
+    if (it == ids_.end()) fail(s, "unknown node '%" + s.operands[i] + "'");
+    return it->second;
+  }
+
+  std::int64_t attr(const Statement& s, const std::string& key,
+                    std::int64_t fallback, bool required = false) const {
+    const auto it = s.attrs.find(key);
+    if (it == s.attrs.end()) {
+      if (required) fail(s, "op '" + s.op + "' requires attribute '" + key + "'");
+      return fallback;
+    }
+    if (it->second.size() != 1) fail(s, "attribute '" + key + "' must be scalar");
+    return it->second[0];
+  }
+
+  NodeId build_node(const Statement& s) {
+    const std::string& name = s.result;
+    if (s.op == "input") {
+      const auto it = s.attrs.find("shape");
+      if (it == s.attrs.end()) fail(s, "input requires shape=[...]");
+      return graph_.add_input(name, {Shape(it->second), DType::kFloat32});
+    }
+    if (s.op == "conv2d") {
+      return graph_.conv2d(name, ref(s, 0), attr(s, "channels", 0, true),
+                           attr(s, "kernel", 0, true), attr(s, "stride", 1),
+                           attr(s, "pad", 0), attr(s, "groups", 1));
+    }
+    if (s.op == "depthwise_conv2d") {
+      return graph_.depthwise_conv2d(name, ref(s, 0),
+                                     attr(s, "kernel", 0, true),
+                                     attr(s, "stride", 1), attr(s, "pad", 0));
+    }
+    if (s.op == "dense") {
+      return graph_.dense(name, ref(s, 0), attr(s, "units", 0, true));
+    }
+    if (s.op == "max_pool2d" || s.op == "avg_pool2d") {
+      const std::int64_t kernel = attr(s, "kernel", 0, true);
+      const std::int64_t stride = attr(s, "stride", kernel);
+      const std::int64_t pad = attr(s, "pad", 0);
+      if (s.op == "max_pool2d") {
+        return graph_.max_pool2d(name, ref(s, 0), kernel, stride, pad,
+                                 attr(s, "ceil", 0) != 0);
+      }
+      return graph_.avg_pool2d(name, ref(s, 0), kernel, stride, pad);
+    }
+    if (s.op == "global_avg_pool2d") {
+      return graph_.global_avg_pool2d(name, ref(s, 0));
+    }
+    if (s.op == "relu") return graph_.relu(name, ref(s, 0));
+    if (s.op == "batch_norm") return graph_.batch_norm(name, ref(s, 0));
+    if (s.op == "softmax") return graph_.softmax(name, ref(s, 0));
+    if (s.op == "flatten") return graph_.flatten(name, ref(s, 0));
+    if (s.op == "dropout") return graph_.dropout(name, ref(s, 0));
+    if (s.op == "lrn") return graph_.lrn(name, ref(s, 0));
+    if (s.op == "add") return graph_.add_op(name, ref(s, 0), ref(s, 1));
+    if (s.op == "concat") {
+      if (s.operands.size() < 2) fail(s, "concat needs >= 2 operands");
+      std::vector<NodeId> inputs;
+      for (std::size_t i = 0; i < s.operands.size(); ++i) {
+        inputs.push_back(ref(s, i));
+      }
+      return graph_.concat(name, std::move(inputs),
+                           static_cast<int>(attr(s, "axis", 1)));
+    }
+    fail(s, "unknown op '" + s.op + "'");
+  }
+
+  Graph graph_;
+  std::unordered_map<std::string, NodeId> ids_;
+};
+
+}  // namespace
+
+Graph parse_model(std::istream& is, const std::string& graph_name) {
+  GraphBuilder builder(graph_name);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    // Strip comments and whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (trim(line).empty()) continue;
+    builder.add(parse_statement(line, line_number));
+  }
+  return builder.finish();
+}
+
+Graph parse_model_string(const std::string& text,
+                         const std::string& graph_name) {
+  std::istringstream is(text);
+  return parse_model(is, graph_name);
+}
+
+Graph parse_model_file(const std::string& path) {
+  std::ifstream is(path);
+  AAL_CHECK(is.good(), "cannot open model file: " << path);
+  return parse_model(is, std::filesystem::path(path).stem().string());
+}
+
+}  // namespace aal

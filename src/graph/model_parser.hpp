@@ -1,0 +1,39 @@
+// Text-format model importer.
+//
+// Lets users describe a network in a small line-oriented format and tune it
+// without writing C++ — the aaltune CLI consumes this. One op per line,
+// `%name = op(arg, key=value, ...)`; inputs are referenced by `%name`.
+//
+//   # LeNet-ish example
+//   %data  = input(shape=[1,1,28,28])
+//   %c1    = conv2d(%data, channels=6, kernel=5, stride=1, pad=2)
+//   %r1    = relu(%c1)
+//   %p1    = max_pool2d(%r1, kernel=2, stride=2)
+//   %f     = flatten(%p1)
+//   %fc1   = dense(%f, units=84)
+//   %out   = softmax(%fc1)
+//
+// Supported ops: input, conv2d, depthwise_conv2d, dense, max_pool2d,
+// avg_pool2d, global_avg_pool2d, relu, batch_norm, add, concat, softmax,
+// flatten, dropout, lrn. Comments start with '#'. Errors carry line numbers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace aal {
+
+/// Parses a model description; throws InvalidArgument with a line-numbered
+/// message on malformed input.
+Graph parse_model(std::istream& is, const std::string& graph_name = "model");
+
+/// Parses from a string.
+Graph parse_model_string(const std::string& text,
+                         const std::string& graph_name = "model");
+
+/// Parses from a file; the graph is named after the file's stem.
+Graph parse_model_file(const std::string& path);
+
+}  // namespace aal

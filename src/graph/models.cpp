@@ -1,0 +1,219 @@
+#include "graph/models.hpp"
+
+#include "support/common.hpp"
+
+namespace aal {
+
+namespace {
+
+NodeId image_input(Graph& g, std::int64_t batch) {
+  return g.add_input("data", {Shape{batch, 3, 224, 224}, DType::kFloat32});
+}
+
+/// conv -> batch_norm -> relu, the standard modern conv block.
+NodeId conv_bn_relu(Graph& g, const std::string& name, NodeId data,
+                    std::int64_t out_channels, std::int64_t kernel,
+                    std::int64_t stride, std::int64_t pad) {
+  NodeId x = g.conv2d(name, data, out_channels, kernel, stride, pad);
+  x = g.batch_norm(name + "_bn", x);
+  return g.relu(name + "_relu", x);
+}
+
+NodeId dw_bn_relu(Graph& g, const std::string& name, NodeId data,
+                  std::int64_t kernel, std::int64_t stride, std::int64_t pad) {
+  NodeId x = g.depthwise_conv2d(name, data, kernel, stride, pad);
+  x = g.batch_norm(name + "_bn", x);
+  return g.relu(name + "_relu", x);
+}
+
+}  // namespace
+
+Graph make_alexnet(std::int64_t batch) {
+  Graph g("alexnet");
+  NodeId x = image_input(g, batch);
+  x = g.conv2d("conv1", x, 64, 11, 4, 2);
+  x = g.relu("relu1", x);
+  x = g.lrn("lrn1", x);
+  x = g.max_pool2d("pool1", x, 3, 2);
+  x = g.conv2d("conv2", x, 192, 5, 1, 2);
+  x = g.relu("relu2", x);
+  x = g.lrn("lrn2", x);
+  x = g.max_pool2d("pool2", x, 3, 2);
+  x = g.conv2d("conv3", x, 384, 3, 1, 1);
+  x = g.relu("relu3", x);
+  x = g.conv2d("conv4", x, 256, 3, 1, 1);
+  x = g.relu("relu4", x);
+  x = g.conv2d("conv5", x, 256, 3, 1, 1);
+  x = g.relu("relu5", x);
+  x = g.max_pool2d("pool5", x, 3, 2);
+  x = g.flatten("flatten", x);
+  x = g.dropout("drop6", x);
+  x = g.dense("fc6", x, 4096);
+  x = g.relu("relu6", x);
+  x = g.dropout("drop7", x);
+  x = g.dense("fc7", x, 4096);
+  x = g.relu("relu7", x);
+  x = g.dense("fc8", x, 1000);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+Graph make_resnet18(std::int64_t batch) {
+  Graph g("resnet18");
+  NodeId x = image_input(g, batch);
+  x = conv_bn_relu(g, "conv1", x, 64, 7, 2, 3);
+  x = g.max_pool2d("pool1", x, 3, 2, 1);
+
+  struct StageSpec {
+    std::int64_t channels;
+    std::int64_t stride;  // stride of the first block
+  };
+  const StageSpec stages[] = {{64, 1}, {128, 2}, {256, 2}, {512, 2}};
+
+  int block_id = 0;
+  for (const auto& stage : stages) {
+    for (int block = 0; block < 2; ++block) {
+      const std::string base = "layer" + std::to_string(block_id++);
+      const std::int64_t stride = block == 0 ? stage.stride : 1;
+      NodeId identity = x;
+      NodeId y = conv_bn_relu(g, base + "_conv1", x, stage.channels, 3, stride, 1);
+      y = g.conv2d(base + "_conv2", y, stage.channels, 3, 1, 1);
+      y = g.batch_norm(base + "_conv2_bn", y);
+      const bool needs_projection =
+          stride != 1 || g.node(identity).output.shape[1] != stage.channels;
+      if (needs_projection) {
+        identity = g.conv2d(base + "_down", identity, stage.channels, 1, stride, 0);
+        identity = g.batch_norm(base + "_down_bn", identity);
+      }
+      y = g.add_op(base + "_add", y, identity);
+      x = g.relu(base + "_relu", y);
+    }
+  }
+
+  x = g.global_avg_pool2d("gap", x);
+  x = g.flatten("flatten", x);
+  x = g.dense("fc", x, 1000);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+Graph make_vgg16(std::int64_t batch) {
+  Graph g("vgg16");
+  NodeId x = image_input(g, batch);
+  const struct {
+    int convs;
+    std::int64_t channels;
+  } blocks[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
+  int conv_id = 0;
+  for (int b = 0; b < 5; ++b) {
+    for (int c = 0; c < blocks[b].convs; ++c) {
+      const std::string name = "conv" + std::to_string(++conv_id);
+      x = g.conv2d(name, x, blocks[b].channels, 3, 1, 1);
+      x = g.relu(name + "_relu", x);
+    }
+    x = g.max_pool2d("pool" + std::to_string(b + 1), x, 2, 2);
+  }
+  x = g.flatten("flatten", x);
+  x = g.dense("fc6", x, 4096);
+  x = g.relu("relu6", x);
+  x = g.dropout("drop6", x);
+  x = g.dense("fc7", x, 4096);
+  x = g.relu("relu7", x);
+  x = g.dropout("drop7", x);
+  x = g.dense("fc8", x, 1000);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+Graph make_mobilenet_v1(std::int64_t batch) {
+  Graph g("mobilenet_v1");
+  NodeId x = image_input(g, batch);
+  x = conv_bn_relu(g, "conv1", x, 32, 3, 2, 1);
+
+  // (pointwise output channels, depthwise stride) per separable block.
+  const struct {
+    std::int64_t channels;
+    std::int64_t stride;
+  } blocks[] = {
+      {64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},  {512, 2}, {512, 1},
+      {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+  };
+  int id = 0;
+  for (const auto& b : blocks) {
+    const std::string base = "block" + std::to_string(++id);
+    x = dw_bn_relu(g, base + "_dw", x, 3, b.stride, 1);
+    x = conv_bn_relu(g, base + "_pw", x, b.channels, 1, 1, 0);
+  }
+
+  x = g.global_avg_pool2d("gap", x);
+  x = g.flatten("flatten", x);
+  x = g.dense("fc", x, 1000);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+Graph make_squeezenet_v11(std::int64_t batch) {
+  Graph g("squeezenet_v11");
+
+  auto fire = [&g](const std::string& name, NodeId data, std::int64_t squeeze,
+                   std::int64_t expand) {
+    NodeId s = g.conv2d(name + "_squeeze", data, squeeze, 1, 1, 0);
+    s = g.relu(name + "_squeeze_relu", s);
+    NodeId e1 = g.conv2d(name + "_expand1x1", s, expand, 1, 1, 0);
+    e1 = g.relu(name + "_expand1x1_relu", e1);
+    NodeId e3 = g.conv2d(name + "_expand3x3", s, expand, 3, 1, 1);
+    e3 = g.relu(name + "_expand3x3_relu", e3);
+    return g.concat(name + "_concat", {e1, e3});
+  };
+
+  NodeId x = image_input(g, batch);
+  x = g.conv2d("conv1", x, 64, 3, 2, 0);
+  x = g.relu("conv1_relu", x);
+  x = g.max_pool2d("pool1", x, 3, 2, 0, /*ceil_mode=*/true);
+  x = fire("fire2", x, 16, 64);
+  x = fire("fire3", x, 16, 64);
+  x = g.max_pool2d("pool3", x, 3, 2, 0, /*ceil_mode=*/true);
+  x = fire("fire4", x, 32, 128);
+  x = fire("fire5", x, 32, 128);
+  x = g.max_pool2d("pool5", x, 3, 2, 0, /*ceil_mode=*/true);
+  x = fire("fire6", x, 48, 192);
+  x = fire("fire7", x, 48, 192);
+  x = fire("fire8", x, 64, 256);
+  x = fire("fire9", x, 64, 256);
+  x = g.dropout("drop9", x);
+  x = g.conv2d("conv10", x, 1000, 1, 1, 0);
+  x = g.relu("conv10_relu", x);
+  x = g.global_avg_pool2d("gap", x);
+  x = g.flatten("flatten", x);
+  g.softmax("prob", x);
+  g.validate();
+  return g;
+}
+
+Graph make_model(const std::string& name, std::int64_t batch) {
+  if (name == "alexnet") return make_alexnet(batch);
+  if (name == "resnet18") return make_resnet18(batch);
+  if (name == "vgg16") return make_vgg16(batch);
+  if (name == "mobilenet_v1") return make_mobilenet_v1(batch);
+  if (name == "squeezenet_v11") return make_squeezenet_v11(batch);
+  throw InvalidArgument("unknown model name: " + name);
+}
+
+std::vector<std::string> model_zoo_names() {
+  return {"alexnet", "resnet18", "vgg16", "mobilenet_v1", "squeezenet_v11"};
+}
+
+std::string model_display_name(const std::string& zoo_name) {
+  if (zoo_name == "alexnet") return "AlexNet";
+  if (zoo_name == "resnet18") return "ResNet-18";
+  if (zoo_name == "vgg16") return "VGG-16";
+  if (zoo_name == "mobilenet_v1") return "MobileNet-v1";
+  if (zoo_name == "squeezenet_v11") return "SqueezeNet-v1.1";
+  throw InvalidArgument("unknown model name: " + zoo_name);
+}
+
+}  // namespace aal

@@ -1,0 +1,41 @@
+// Model zoo: the five CNNs the paper evaluates, lowered to the Graph IR at
+// inference time (batch 1, 3x224x224 input, fp32), following the torchvision
+// reference topologies. These generate the tuning tasks; MobileNet-v1 yields
+// the 19 unique conv/depthwise tasks T1..T19 used in Fig. 4 and Fig. 5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace aal {
+
+/// AlexNet (Krizhevsky et al., 2012), torchvision layout: 5 convs + 3 FC.
+Graph make_alexnet(std::int64_t batch = 1);
+
+/// ResNet-18 (He et al., 2016): 7x7 stem + 4 stages x 2 basic blocks + FC.
+Graph make_resnet18(std::int64_t batch = 1);
+
+/// VGG-16 (Simonyan & Zisserman, 2015): 13 convs + 3 FC.
+Graph make_vgg16(std::int64_t batch = 1);
+
+/// MobileNet-v1 (Howard et al., 2017): 3x3 stem + 13 depthwise-separable
+/// blocks + FC.
+Graph make_mobilenet_v1(std::int64_t batch = 1);
+
+/// SqueezeNet-v1.1 (Iandola et al., 2016): stem + 8 fire modules + 1x1
+/// classifier conv.
+Graph make_squeezenet_v11(std::int64_t batch = 1);
+
+/// Builds a model by name ("alexnet", "resnet18", "vgg16", "mobilenet_v1",
+/// "squeezenet_v11"); throws InvalidArgument for unknown names.
+Graph make_model(const std::string& name, std::int64_t batch = 1);
+
+/// Names of all models in the zoo, in the order Table I reports them.
+std::vector<std::string> model_zoo_names();
+
+/// Display names as printed in the paper's Table I.
+std::string model_display_name(const std::string& zoo_name);
+
+}  // namespace aal

@@ -1,0 +1,46 @@
+#include "hwsim/device.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+SimulatedDevice::SimulatedDevice(GpuSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+double SimulatedDevice::sample_time_us(const KernelProfile& profile) {
+  AAL_CHECK(profile.valid, "cannot sample an invalid kernel profile");
+  // Multiplicative log-normal noise (centered so E[factor] ~= 1) plus a
+  // small absolute launch jitter that dominates for microsecond kernels.
+  const double sigma = profile.noise_sigma;
+  const double factor =
+      std::exp(rng_.next_gaussian(-0.5 * sigma * sigma, sigma));
+  const double jitter_us = std::abs(rng_.next_gaussian(0.0, 0.15));
+  ++total_runs_;
+  return profile.base_time_us * factor + jitter_us;
+}
+
+MeasureOutcome SimulatedDevice::run(const KernelProfile& profile,
+                                    std::int64_t flops, int repeats) {
+  AAL_CHECK(repeats >= 1, "repeats must be >= 1");
+  MeasureOutcome out;
+  if (!profile.valid) {
+    out.ok = false;
+    out.error = profile.error;
+    return out;
+  }
+  out.ok = true;
+  out.times_us.reserve(static_cast<std::size_t>(repeats));
+  double total = 0.0;
+  for (int i = 0; i < repeats; ++i) {
+    const double t = sample_time_us(profile);
+    out.times_us.push_back(t);
+    total += t;
+  }
+  out.mean_time_us = total / repeats;
+  out.gflops = static_cast<double>(flops) / (out.mean_time_us * 1e3);
+  return out;
+}
+
+}  // namespace aal

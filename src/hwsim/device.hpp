@@ -1,0 +1,51 @@
+// Simulated measurement device.
+//
+// Wraps the analytical KernelModel with a stochastic measurement layer: each
+// "on-chip run" draws log-normal multiplicative noise (scale from the
+// profile's noise_sigma) plus a small absolute launch jitter, mimicking the
+// run-to-run variation AutoTVM sees from a real GPU. The device also tracks
+// the total number of measurements, which is the budget currency of every
+// experiment in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hwsim/kernel_model.hpp"
+#include "support/rng.hpp"
+
+namespace aal {
+
+struct MeasureOutcome {
+  bool ok = false;
+  std::string error;           // for failed builds/launches
+  double mean_time_us = 0.0;   // average over the repeats
+  double gflops = 0.0;         // derived from mean_time_us
+  std::vector<double> times_us;  // individual repeats
+};
+
+class SimulatedDevice {
+ public:
+  explicit SimulatedDevice(GpuSpec spec, std::uint64_t seed = 1);
+
+  const GpuSpec& spec() const { return spec_; }
+
+  /// Simulates `repeats` timed runs of the profiled kernel. Invalid
+  /// profiles yield ok == false with gflops == 0 (AutoTVM error records).
+  MeasureOutcome run(const KernelProfile& profile, std::int64_t flops,
+                     int repeats);
+
+  /// One noisy timing sample for an already-validated profile.
+  double sample_time_us(const KernelProfile& profile);
+
+  /// Total successful timed runs so far (diagnostics only; tuners count
+  /// *measured configurations*, not repeats).
+  std::int64_t total_runs() const { return total_runs_; }
+
+ private:
+  GpuSpec spec_;
+  Rng rng_;
+  std::int64_t total_runs_ = 0;
+};
+
+}  // namespace aal

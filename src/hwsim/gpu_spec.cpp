@@ -1,0 +1,64 @@
+#include "hwsim/gpu_spec.hpp"
+
+namespace aal {
+
+GpuSpec GpuSpec::gtx1080ti() {
+  GpuSpec s;
+  s.name = "GeForce GTX 1080 Ti";
+  s.num_sms = 28;
+  s.cores_per_sm = 128;
+  s.clock_ghz = 1.582;
+  s.warp_size = 32;
+  s.max_threads_per_block = 1024;
+  s.max_threads_per_sm = 2048;
+  s.max_blocks_per_sm = 32;
+  s.registers_per_sm = 65536;
+  s.max_registers_per_thread = 255;
+  s.shared_mem_per_block = 48 * 1024;
+  s.shared_mem_per_sm = 96 * 1024;
+  s.dram_bw_gbps = 484.0;
+  s.l2_bytes = 2816 * 1024;
+  s.l2_bw_multiplier = 3.0;
+  s.smem_bytes_per_cycle = 128;
+  s.kernel_launch_overhead_us = 4.0;
+  return s;
+}
+
+GpuSpec GpuSpec::v100() {
+  GpuSpec s;
+  s.name = "Tesla V100";
+  s.num_sms = 80;
+  s.cores_per_sm = 64;
+  s.clock_ghz = 1.53;
+  s.max_threads_per_sm = 2048;
+  s.max_blocks_per_sm = 32;
+  s.registers_per_sm = 65536;
+  s.shared_mem_per_block = 48 * 1024;
+  s.shared_mem_per_sm = 96 * 1024;
+  s.dram_bw_gbps = 900.0;
+  s.l2_bytes = 6 * 1024 * 1024;
+  s.l2_bw_multiplier = 3.5;
+  s.fp16_rate = 2.0;
+  s.int8_rate = 4.0;
+  s.kernel_launch_overhead_us = 3.5;
+  return s;
+}
+
+GpuSpec GpuSpec::small_embedded() {
+  GpuSpec s;
+  s.name = "small-embedded";
+  s.num_sms = 2;
+  s.cores_per_sm = 128;
+  s.clock_ghz = 0.92;
+  s.max_threads_per_sm = 2048;
+  s.max_blocks_per_sm = 16;
+  s.registers_per_sm = 32768;
+  s.shared_mem_per_block = 48 * 1024;
+  s.shared_mem_per_sm = 64 * 1024;
+  s.dram_bw_gbps = 25.6;
+  s.l2_bytes = 512 * 1024;
+  s.kernel_launch_overhead_us = 8.0;
+  return s;
+}
+
+}  // namespace aal

@@ -1,0 +1,68 @@
+// GPU hardware description for the analytical performance model.
+//
+// The paper measures on an Nvidia GeForce GTX 1080 Ti; gtx1080ti() encodes
+// that card's published microarchitecture (Pascal GP102). The model only
+// needs coarse machine parameters — SM count, warp width, register/shared
+// memory capacities, clock, DRAM/L2 bandwidth — to reproduce the *shape* of
+// a CUDA schedule landscape: occupancy cliffs, memory-vs-compute crossovers,
+// tiling reuse, tail effects and launch overheads.
+#pragma once
+
+#include <cstdint>
+
+namespace aal {
+
+struct GpuSpec {
+  const char* name = "generic-gpu";
+
+  int num_sms = 28;
+  int cores_per_sm = 128;        // fp32 lanes
+  double clock_ghz = 1.582;      // boost clock
+  int warp_size = 32;
+
+  int max_threads_per_block = 1024;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 32;
+
+  std::int64_t registers_per_sm = 65536;     // 32-bit registers
+  int max_registers_per_thread = 255;
+
+  std::int64_t shared_mem_per_block = 48 * 1024;  // bytes
+  std::int64_t shared_mem_per_sm = 96 * 1024;
+
+  double dram_bw_gbps = 484.0;   // GB/s
+  std::int64_t l2_bytes = 2816 * 1024;
+  double l2_bw_multiplier = 3.0;  // L2 bandwidth relative to DRAM
+
+  /// Bytes/cycle of shared-memory bandwidth per SM (32 banks x 4 B).
+  int smem_bytes_per_cycle = 128;
+
+  /// Arithmetic-throughput multipliers relative to fp32. Pascal consumer
+  /// parts run fp16 through conversion (no speedup) but have 4x dp4a int8;
+  /// Volta doubles fp16.
+  double fp16_rate = 1.0;
+  double int8_rate = 4.0;
+
+  double kernel_launch_overhead_us = 4.0;
+
+  /// Peak fp32 throughput in GFLOPS (2 flops per core-cycle FMA).
+  double peak_gflops() const {
+    return 2.0 * static_cast<double>(num_sms) * cores_per_sm * clock_ghz;
+  }
+
+  /// Total fp32 lanes.
+  int total_cores() const { return num_sms * cores_per_sm; }
+
+  /// GeForce GTX 1080 Ti (the paper's platform).
+  static GpuSpec gtx1080ti();
+
+  /// A small embedded-class GPU (Jetson-like) used by tests and the
+  /// robustness benches to check the model scales sensibly.
+  static GpuSpec small_embedded();
+
+  /// Tesla V100-class server GPU (Volta): used by the hardware-portability
+  /// ablation — the tuners must transfer across machine balances.
+  static GpuSpec v100();
+};
+
+}  // namespace aal

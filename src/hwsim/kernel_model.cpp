@@ -1,0 +1,470 @@
+#include "hwsim/kernel_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/common.hpp"
+#include "support/math_util.hpp"
+
+namespace aal {
+
+namespace {
+
+/// Arithmetic-rate multiplier for the workload's element type.
+double dtype_rate(const GpuSpec& spec, DType t) {
+  switch (t) {
+    case DType::kFloat16: return spec.fp16_rate;
+    case DType::kInt8: return spec.int8_rate;
+    default: return 1.0;
+  }
+}
+
+/// Cycles per microsecond at the given clock.
+double cycles_per_us(const GpuSpec& spec) { return spec.clock_ghz * 1e3; }
+
+/// DRAM bytes per microsecond.
+double dram_bytes_per_us(const GpuSpec& spec) {
+  return spec.dram_bw_gbps * 1e3;
+}
+
+/// Fraction of issue slots doing useful work in a partially filled warp.
+double warp_efficiency(const GpuSpec& spec, std::int64_t tpb) {
+  const std::int64_t rounded = round_up(tpb, spec.warp_size);
+  return static_cast<double>(tpb) / static_cast<double>(rounded);
+}
+
+/// How well arithmetic latency is hidden: saturates with resident warps and
+/// per-thread ILP. Calibrated so ~16 resident warps with moderate ILP reach
+/// ~90% of peak issue rate, matching Pascal's rule of thumb.
+double latency_hiding(double warps_per_sm, double ilp) {
+  const double effective = warps_per_sm * (1.0 + ilp / 4.0);
+  return std::max(0.04, 1.0 - std::exp(-effective / 12.0));
+}
+
+/// Issue-slot fraction lost to loop bookkeeping. `body_macs` is the number
+/// of MACs in the innermost unrollable region; unrolling amortizes the
+/// branch/index overhead.
+double loop_efficiency(double body_macs, std::int64_t auto_unroll,
+                       bool unroll_explicit) {
+  // Roughly 2 instructions per MAC; overhead ~4 instructions per iteration
+  // without unrolling, ~0.5 when fully unrolled.
+  const bool unrolled = static_cast<double>(auto_unroll) >= 2.0 * body_macs &&
+                        auto_unroll > 0;
+  double overhead = unrolled ? 0.5 : 4.0;
+  if (unroll_explicit && unrolled) overhead = 0.35;
+  // Very large unrolled bodies thrash the instruction cache.
+  double icache_penalty = 1.0;
+  if (unrolled && body_macs > 512.0) icache_penalty = 1.08;
+  const double eff = body_macs / (body_macs + overhead);
+  return clamp(eff / icache_penalty, 0.25, 0.99);
+}
+
+/// Shared-memory bank-conflict penalty given the float stride between
+/// consecutive lanes of a warp.
+double bank_conflict_penalty(std::int64_t stride_floats) {
+  if (stride_floats <= 0) return 1.0;
+  const std::int64_t s = stride_floats % 32;
+  if (s == 0) return 2.2;   // all lanes hit the same bank
+  if (s % 16 == 0) return 1.6;
+  if (s % 8 == 0) return 1.25;
+  return 1.0;
+}
+
+/// Global-memory coalescing efficiency for segment loads of `contiguous`
+/// consecutive elements (DRAM transactions are 32-byte sectors, so a sector
+/// holds 8 fp32 / 16 fp16 / 32 int8 elements).
+double coalesce_efficiency(std::int64_t contiguous,
+                           std::int64_t elems_per_sector = 8) {
+  if (contiguous <= 0) {
+    return 1.0 / static_cast<double>(elems_per_sector);
+  }
+  const std::int64_t sectors = ceil_div(contiguous, elems_per_sector);
+  return static_cast<double>(contiguous) /
+         static_cast<double>(sectors * elems_per_sector);
+}
+
+/// L2/DRAM partition camping: power-of-two tile row pitches alias onto a
+/// subset of memory partitions. A modular-arithmetic cliff — locally
+/// explorable (one knob step moves the pitch) but near-random when viewed
+/// through global log-scale features, exactly like on real silicon.
+double partition_camping_penalty(std::int64_t row_bytes) {
+  if (row_bytes <= 0) return 1.0;
+  if (row_bytes % 256 == 0) return 1.35;
+  if (row_bytes % 128 == 0) return 1.15;
+  return 1.0;
+}
+
+/// Register-bank aliasing ripple: certain accumulator counts force the
+/// compiler into bank-conflicting operand assignments. Narrow valleys in
+/// the accumulator dimension (period 8).
+double register_bank_ripple(std::int64_t accumulators) {
+  const std::int64_t phase = accumulators % 8;
+  return (phase == 5 || phase == 7) ? 1.08 : 1.0;
+}
+
+/// Dual-issue friendliness: blocks that are a multiple of two warps keep
+/// both schedulers of an SM partition busy.
+double dual_issue_efficiency(std::int64_t tpb) {
+  return tpb % 64 == 0 ? 1.0 : 0.92;
+}
+
+struct BottleneckTimes {
+  double compute_us = 0.0;
+  double dram_us = 0.0;
+  double l2_us = 0.0;
+  double smem_us = 0.0;
+
+  /// Combines bottlenecks: the slowest resource dominates but the others
+  /// steal some overlap headroom (15% of the residual), a standard
+  /// roofline-with-imperfect-overlap approximation.
+  double combined() const {
+    const double mx = std::max({compute_us, dram_us, l2_us, smem_us});
+    const double sum = compute_us + dram_us + l2_us + smem_us;
+    return mx + 0.15 * (sum - mx);
+  }
+};
+
+}  // namespace
+
+int blocks_per_sm(const GpuSpec& spec, std::int64_t threads_per_block,
+                  std::int64_t smem_bytes_per_block,
+                  int registers_per_thread) {
+  if (threads_per_block < 1 ||
+      threads_per_block > spec.max_threads_per_block) {
+    return 0;
+  }
+  if (smem_bytes_per_block > spec.shared_mem_per_block) return 0;
+  const std::int64_t regs_per_block =
+      static_cast<std::int64_t>(registers_per_thread) * threads_per_block;
+  if (regs_per_block > spec.registers_per_sm) return 0;
+
+  std::int64_t limit = spec.max_blocks_per_sm;
+  limit = std::min<std::int64_t>(limit,
+                                 spec.max_threads_per_sm / threads_per_block);
+  if (smem_bytes_per_block > 0) {
+    limit = std::min<std::int64_t>(
+        limit, spec.shared_mem_per_sm / smem_bytes_per_block);
+  }
+  if (regs_per_block > 0) {
+    limit = std::min<std::int64_t>(limit,
+                                   spec.registers_per_sm / regs_per_block);
+  }
+  return static_cast<int>(std::max<std::int64_t>(0, limit));
+}
+
+KernelModel::KernelModel(Workload workload, GpuSpec spec)
+    : workload_(std::move(workload)), spec_(spec) {}
+
+KernelProfile KernelModel::profile(const ConfigSpace& space,
+                                   const Config& config) const {
+  if (workload_.is_conv()) return profile_conv(space, config);
+  return profile_dense(space, config);
+}
+
+KernelProfile KernelModel::profile_conv(const ConfigSpace& space,
+                                        const Config& config) const {
+  const Conv2dWorkload& w = workload_.as_conv2d();
+  const bool depthwise = workload_.kind() == WorkloadKind::kDepthwiseConv2d;
+  AAL_CHECK(depthwise || w.groups == 1,
+            "kernel model supports groups==1 or depthwise convolutions");
+  const ConvSchedule s = decode_conv_schedule(workload_, space, config);
+
+  const std::int64_t tpb = s.threads_per_block();
+  if (tpb > spec_.max_threads_per_block) {
+    return KernelProfile::invalid_config("threads per block exceeds limit");
+  }
+
+  // --- Per-block tiles and shared-memory footprint ---------------------
+  const std::int64_t tile_f = s.tile_f();
+  const std::int64_t tile_y = s.tile_y();
+  const std::int64_t tile_x = s.tile_x();
+  const std::int64_t in_rows = (tile_y - 1) * w.stride_h + s.ryi;
+  const std::int64_t in_cols = (tile_x - 1) * w.stride_w + s.rxi;
+  // Channels staged per reduction step: the reduction-channel slice for a
+  // regular conv; the block's own channel tile for depthwise.
+  const std::int64_t staged_channels = depthwise ? tile_f : s.rci;
+  const std::int64_t elem_bytes = dtype_bytes(w.dtype);
+  const std::int64_t smem_in =
+      staged_channels * in_rows * in_cols * elem_bytes;
+  const std::int64_t wt_elems = depthwise ? tile_f * s.ryi * s.rxi
+                                          : tile_f * s.rci * s.ryi * s.rxi;
+  const std::int64_t smem_wt = wt_elems * elem_bytes;
+  const std::int64_t smem_total = smem_in + smem_wt;
+  if (smem_total > spec_.shared_mem_per_block) {
+    return KernelProfile::invalid_config("shared memory exceeds 48KB");
+  }
+
+  // --- Registers ---------------------------------------------------------
+  // Accumulators are replicated per virtual thread; a handful of operand and
+  // index registers ride along.
+  const std::int64_t accumulators = s.per_thread_outputs();
+  std::int64_t regs = 22 + accumulators + s.fi + s.xi;
+  bool spilled = false;
+  if (regs > spec_.max_registers_per_thread) {
+    spilled = true;
+    regs = spec_.max_registers_per_thread;
+  }
+
+  const int bps = blocks_per_sm(spec_, tpb, smem_total, static_cast<int>(regs));
+  if (bps == 0) {
+    return KernelProfile::invalid_config("launch exceeds SM resources");
+  }
+
+  const std::int64_t total_blocks = w.batch * s.num_blocks();
+  const double occupancy =
+      static_cast<double>(bps) * static_cast<double>(tpb) /
+      static_cast<double>(spec_.max_threads_per_sm);
+
+  const double concurrent_blocks =
+      static_cast<double>(bps) * spec_.num_sms;
+  const double waves =
+      std::ceil(static_cast<double>(total_blocks) / concurrent_blocks);
+  // Fraction of the machine busy over all waves (tail effect).
+  const double utilization = static_cast<double>(total_blocks) /
+                             (waves * concurrent_blocks);
+
+  // --- Compute time -------------------------------------------------------
+  const std::int64_t total_macs = workload_.flops() / 2;
+  const double warps_per_sm =
+      static_cast<double>(bps) *
+      std::ceil(static_cast<double>(tpb) / spec_.warp_size);
+  const double ilp = std::min<double>(8.0, static_cast<double>(s.fi * s.yi * s.xi));
+  const double reduction_body =
+      static_cast<double>((depthwise ? 1 : s.rci) * s.ryi * s.rxi);
+  const double body_macs =
+      reduction_body * static_cast<double>(s.fi * s.yi * s.xi);
+
+  double compute_eff = warp_efficiency(spec_, tpb) *
+                       latency_hiding(warps_per_sm, ilp) *
+                       loop_efficiency(body_macs, s.auto_unroll_max_step,
+                                       s.unroll_explicit) *
+                       dual_issue_efficiency(tpb);
+  if (spilled) compute_eff *= 0.6;
+
+  const double ideal_cycles =
+      static_cast<double>(total_macs) /
+      (static_cast<double>(spec_.total_cores()) *
+       dtype_rate(spec_, w.dtype));
+  const double compute_us = ideal_cycles / cycles_per_us(spec_) /
+                            std::max(compute_eff, 1e-3) *
+                            register_bank_ripple(accumulators);
+
+  // --- Memory traffic ------------------------------------------------------
+  const std::int64_t steps =
+      (depthwise ? 1 : s.rco) * s.ryo * s.rxo;
+  // Every block stages its input/weight tiles from L2 (or DRAM) each step.
+  const double total_in_bytes = static_cast<double>(total_blocks) *
+                                static_cast<double>(steps) *
+                                static_cast<double>(smem_in);
+  const double total_wt_bytes = static_cast<double>(total_blocks) *
+                                static_cast<double>(steps) *
+                                static_cast<double>(smem_wt);
+  const double out_bytes =
+      static_cast<double>(w.output_type().num_bytes());
+  const double unique_in =
+      static_cast<double>(w.input_type().num_bytes());
+  const double unique_wt =
+      static_cast<double>(w.weight_type().num_bytes());
+
+  // DRAM sees each unique byte about once (L2 captures block-level reuse as
+  // long as the streamed tiles fit; when the per-wave working set blows past
+  // L2, a fraction of the re-reads spills to DRAM).
+  const double wave_working_set =
+      concurrent_blocks * static_cast<double>(smem_total);
+  const double l2_spill =
+      clamp(wave_working_set / static_cast<double>(spec_.l2_bytes) - 1.0, 0.0,
+            3.0) /
+      3.0;  // 0 (fits) .. 1 (3x oversubscribed)
+  const double dram_bytes = unique_in + unique_wt + out_bytes +
+                            l2_spill * 0.25 * (total_in_bytes + total_wt_bytes);
+
+  // 128-bit vectorized global loads (ld.global.v4) require the staged row
+  // to be float4-aligned — a compound condition over (tx, vx, xi, rxi,
+  // stride) that creates the sharp ridges real schedules live on. Unaligned
+  // rows waste partially-consumed 32-byte sectors all the way out to DRAM.
+  const std::int64_t vec_elems = 16 / elem_bytes;  // 128-bit vector width
+  const double vector_bonus =
+      in_cols % vec_elems == 0
+          ? 1.4
+          : (in_cols % (vec_elems / 2) == 0 ? 1.15 : 1.0);
+  const double eff_in =
+      coalesce_efficiency(in_cols, 32 / elem_bytes) * vector_bonus;
+  const double eff_wt = 0.9;  // weight tiles are contiguous
+  const double l2_traffic =
+      total_in_bytes / eff_in + total_wt_bytes / eff_wt + out_bytes;
+
+  const double camping = partition_camping_penalty(in_cols * elem_bytes);
+  const double dram_in_eff = in_cols % vec_elems == 0
+                                 ? 1.0
+                                 : (in_cols % 2 == 0 ? 0.8 : 0.65);
+  const double dram_us =
+      (dram_bytes + unique_in * (1.0 / dram_in_eff - 1.0)) * camping /
+      dram_bytes_per_us(spec_);
+  const double l2_us = l2_traffic * camping /
+                       (dram_bytes_per_us(spec_) * spec_.l2_bw_multiplier);
+
+  // --- Shared-memory time ---------------------------------------------------
+  // Register blocking reuses each staged input across fi outputs and each
+  // staged weight across yi*xi outputs.
+  const double smem_read_bytes =
+      static_cast<double>(total_macs) * static_cast<double>(elem_bytes) *
+      (1.0 / static_cast<double>(s.fi) +
+       1.0 / static_cast<double>(s.yi * s.xi));
+  const double smem_write_bytes = total_in_bytes + total_wt_bytes;
+  const double smem_bw =
+      static_cast<double>(spec_.num_sms) * spec_.smem_bytes_per_cycle *
+      cycles_per_us(spec_);
+  // Bank conflicts from both the per-lane access stride and the staged
+  // tile's row pitch: power-of-two pitches alias banks (an odd pitch is the
+  // classic conflict-free "swizzle"); again a compound modular condition.
+  const double pitch_conflict =
+      in_cols % 32 == 0 ? 1.8 : (in_cols % 16 == 0 ? 1.35 : 1.0);
+  const double conflict =
+      bank_conflict_penalty(s.xi * w.stride_w) * pitch_conflict;
+  const double smem_us =
+      (smem_read_bytes + smem_write_bytes) * conflict / smem_bw;
+
+  // --- Assemble --------------------------------------------------------------
+  BottleneckTimes t;
+  t.compute_us = compute_us;
+  t.dram_us = dram_us;
+  t.l2_us = l2_us;
+  t.smem_us = smem_us;
+
+  KernelProfile p;
+  p.valid = true;
+  p.base_time_us =
+      spec_.kernel_launch_overhead_us + t.combined() / std::max(utilization, 0.05);
+  p.occupancy = occupancy;
+  p.registers_per_thread = static_cast<int>(regs);
+  p.smem_bytes_per_block = smem_total;
+  p.threads_per_block = tpb;
+  p.num_blocks = total_blocks;
+  p.compute_time_us = compute_us;
+  p.dram_time_us = dram_us;
+  p.l2_time_us = l2_us;
+  p.smem_time_us = smem_us;
+  p.wave_count = waves;
+
+  // Run-to-run noise grows when the schedule is fragile: low occupancy
+  // (sensitive to scheduling jitter) or bandwidth saturation (sensitive to
+  // contention). Well-tuned kernels sit near 0.5-1% like real hardware.
+  const double mem_frac =
+      (dram_us + l2_us) / std::max(1e-9, compute_us + dram_us + l2_us + smem_us);
+  p.noise_sigma = clamp(0.012 + 0.10 * std::max(0.0, 0.45 - occupancy) +
+                            0.05 * mem_frac * mem_frac +
+                            (spilled ? 0.03 : 0.0),
+                        0.01, 0.18);
+  return p;
+}
+
+KernelProfile KernelModel::profile_dense(const ConfigSpace& space,
+                                         const Config& config) const {
+  const DenseWorkload& w = workload_.as_dense();
+  const DenseSchedule s = decode_dense_schedule(workload_, space, config);
+
+  const std::int64_t tpb = s.threads_per_block();
+  if (tpb > spec_.max_threads_per_block) {
+    return KernelProfile::invalid_config("threads per block exceeds limit");
+  }
+
+  // Input chunk staged in shared memory per reduction step, shared by the
+  // whole block.
+  const std::int64_t elem_bytes = dtype_bytes(w.dtype);
+  const std::int64_t smem_total = s.ki * elem_bytes;
+  if (smem_total > spec_.shared_mem_per_block) {
+    return KernelProfile::invalid_config("shared memory exceeds 48KB");
+  }
+
+  std::int64_t regs = 20 + s.per_thread_outputs() + 4;
+  bool spilled = false;
+  if (regs > spec_.max_registers_per_thread) {
+    spilled = true;
+    regs = spec_.max_registers_per_thread;
+  }
+
+  const int bps = blocks_per_sm(spec_, tpb, smem_total, static_cast<int>(regs));
+  if (bps == 0) {
+    return KernelProfile::invalid_config("launch exceeds SM resources");
+  }
+
+  const std::int64_t total_blocks = w.batch * s.num_blocks();
+  const double occupancy = static_cast<double>(bps) *
+                           static_cast<double>(tpb) /
+                           static_cast<double>(spec_.max_threads_per_sm);
+  const double concurrent_blocks =
+      static_cast<double>(bps) * spec_.num_sms;
+  const double waves =
+      std::ceil(static_cast<double>(total_blocks) / concurrent_blocks);
+  const double utilization =
+      static_cast<double>(total_blocks) / (waves * concurrent_blocks);
+
+  const std::int64_t total_macs = workload_.flops() / 2;
+  const double warps_per_sm =
+      static_cast<double>(bps) *
+      std::ceil(static_cast<double>(tpb) / spec_.warp_size);
+  const double ilp = std::min<double>(8.0, static_cast<double>(s.oi));
+  const double body_macs = static_cast<double>(s.ki * s.oi);
+  double compute_eff = warp_efficiency(spec_, tpb) *
+                       latency_hiding(warps_per_sm, ilp) *
+                       loop_efficiency(body_macs, s.auto_unroll_max_step,
+                                       s.unroll_explicit) *
+                       dual_issue_efficiency(tpb);
+  if (spilled) compute_eff *= 0.6;
+  const double compute_us =
+      static_cast<double>(total_macs) /
+      (static_cast<double>(spec_.total_cores()) * dtype_rate(spec_, w.dtype)) /
+      cycles_per_us(spec_) / std::max(compute_eff, 1e-3) *
+      register_bank_ripple(s.per_thread_outputs());
+
+  // Weights stream once from DRAM; coalescing improves with longer
+  // contiguous per-step runs (ki) and suffers when each thread owns many
+  // scattered rows (oi).
+  const double wt_bytes = static_cast<double>(w.weight_type().num_bytes());
+  const double in_bytes = static_cast<double>(w.input_type().num_bytes()) *
+                          static_cast<double>(s.bo);  // re-read per block
+  const double out_bytes = static_cast<double>(w.output_type().num_bytes());
+  const double eff_wt = clamp(
+      coalesce_efficiency(s.ki, 32 / elem_bytes) *
+          (1.0 / (1.0 + 0.15 * static_cast<double>(s.oi - 1))),
+      0.1, 1.0);
+  const double dram_us =
+      (wt_bytes / eff_wt + in_bytes + out_bytes) / dram_bytes_per_us(spec_);
+
+  const double smem_read_bytes =
+      static_cast<double>(total_macs) * static_cast<double>(elem_bytes) /
+      std::max<double>(1.0, static_cast<double>(s.oi));
+  const double smem_bw = static_cast<double>(spec_.num_sms) *
+                         spec_.smem_bytes_per_cycle * cycles_per_us(spec_);
+  const double smem_us = smem_read_bytes / smem_bw;
+
+  BottleneckTimes t;
+  t.compute_us = compute_us;
+  t.dram_us = dram_us;
+  t.l2_us = dram_us / spec_.l2_bw_multiplier;
+  t.smem_us = smem_us;
+
+  KernelProfile p;
+  p.valid = true;
+  p.base_time_us = spec_.kernel_launch_overhead_us +
+                   t.combined() / std::max(utilization, 0.05);
+  p.occupancy = occupancy;
+  p.registers_per_thread = static_cast<int>(regs);
+  p.smem_bytes_per_block = smem_total;
+  p.threads_per_block = tpb;
+  p.num_blocks = total_blocks;
+  p.compute_time_us = compute_us;
+  p.dram_time_us = dram_us;
+  p.l2_time_us = t.l2_us;
+  p.smem_time_us = smem_us;
+  p.wave_count = waves;
+
+  const double mem_frac = dram_us / std::max(1e-9, compute_us + dram_us);
+  p.noise_sigma = clamp(0.012 + 0.10 * std::max(0.0, 0.45 - occupancy) +
+                            0.05 * mem_frac * mem_frac +
+                            (spilled ? 0.03 : 0.0),
+                        0.01, 0.18);
+  return p;
+}
+
+}  // namespace aal

@@ -1,0 +1,52 @@
+// Analytical CUDA kernel performance model.
+//
+// Given a workload and one schedule configuration, produces a KernelProfile:
+// either an invalid-config verdict (the simulator's equivalent of a TVM
+// build/launch failure) or a deterministic kernel time assembled from four
+// candidate bottlenecks — ALU throughput, DRAM bandwidth, L2 bandwidth and
+// shared-memory bandwidth — modulated by occupancy, warp efficiency, loop
+// overhead, register spilling, coalescing, bank conflicts and wave tails.
+//
+// The goal is NOT cycle accuracy: it is a rugged, multi-modal, realistic
+// landscape over the configuration space, with the correct *relative*
+// preferences (tile reuse vs. parallelism vs. resource cliffs) so that
+// search-strategy comparisons transfer. Magnitudes land in the right range
+// for a GTX 1080 Ti (multi-TFLOPS for large fp32 convs, bandwidth-bound
+// depthwise layers around 1 TFLOPS, ~0.85 ms for a streaming VGG-16 fc6).
+#pragma once
+
+#include "hwsim/gpu_spec.hpp"
+#include "hwsim/kernel_profile.hpp"
+#include "ir/workload.hpp"
+#include "space/config_space.hpp"
+#include "space/schedule_template.hpp"
+
+namespace aal {
+
+class KernelModel {
+ public:
+  KernelModel(Workload workload, GpuSpec spec);
+
+  const Workload& workload() const { return workload_; }
+  const GpuSpec& spec() const { return spec_; }
+
+  /// Profiles one configuration from the workload's own space.
+  KernelProfile profile(const ConfigSpace& space, const Config& config) const;
+
+ private:
+  KernelProfile profile_conv(const ConfigSpace& space,
+                             const Config& config) const;
+  KernelProfile profile_dense(const ConfigSpace& space,
+                              const Config& config) const;
+
+  Workload workload_;
+  GpuSpec spec_;
+};
+
+/// Occupancy calculation shared by both kernel models; exposed for tests.
+/// Returns concurrent blocks per SM (0 means the launch is impossible).
+int blocks_per_sm(const GpuSpec& spec, std::int64_t threads_per_block,
+                  std::int64_t smem_bytes_per_block,
+                  int registers_per_thread);
+
+}  // namespace aal

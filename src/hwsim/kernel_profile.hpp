@@ -1,0 +1,52 @@
+// Result of analytically profiling one (workload, configuration) pair.
+//
+// `valid == false` corresponds to a TVM build/launch failure (block too
+// large, shared-memory overflow, ...): AutoTVM sees these as error records
+// with zero GFLOPS, and so do our tuners. For valid configs the profile
+// carries the deterministic kernel time plus the run-to-run noise scale the
+// device applies when "measuring".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aal {
+
+struct KernelProfile {
+  bool valid = false;
+  std::string error;  // set when !valid
+
+  /// Deterministic (noise-free) kernel time in microseconds.
+  double base_time_us = 0.0;
+  /// Log-normal sigma of run-to-run measurement noise. Fragile schedules
+  /// (low occupancy, bandwidth-saturated) get larger sigma — this is the
+  /// mechanism behind the paper's latency-variance column.
+  double noise_sigma = 0.0;
+
+  // Diagnostics (exposed for tests, benches and docs).
+  double occupancy = 0.0;          // active warps / max warps per SM
+  int registers_per_thread = 0;
+  std::int64_t smem_bytes_per_block = 0;
+  std::int64_t threads_per_block = 0;
+  std::int64_t num_blocks = 0;
+  double compute_time_us = 0.0;    // ALU-bound component
+  double dram_time_us = 0.0;       // DRAM-bound component
+  double l2_time_us = 0.0;         // L2-bound component
+  double smem_time_us = 0.0;       // shared-memory-bound component
+  double wave_count = 0.0;         // ceil(blocks / concurrent blocks)
+
+  /// GFLOPS of this kernel at its deterministic time.
+  double gflops(std::int64_t flops) const {
+    if (!valid || base_time_us <= 0.0) return 0.0;
+    return static_cast<double>(flops) / (base_time_us * 1e3);
+  }
+
+  static KernelProfile invalid_config(std::string reason) {
+    KernelProfile p;
+    p.valid = false;
+    p.error = std::move(reason);
+    return p;
+  }
+};
+
+}  // namespace aal

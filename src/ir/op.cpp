@@ -1,0 +1,195 @@
+#include "ir/op.hpp"
+
+#include "support/common.hpp"
+
+namespace aal {
+
+namespace {
+
+// Pooling output extent along one axis.
+std::int64_t pool_out(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                      std::int64_t pad, bool ceil_mode) {
+  const std::int64_t numer = in + 2 * pad - kernel;
+  AAL_CHECK(numer >= 0, "pool kernel larger than padded input");
+  if (ceil_mode) return (numer + stride - 1) / stride + 1;
+  return numer / stride + 1;
+}
+
+const TensorType& sole_input(const Op& op,
+                             const std::vector<TensorType>& inputs) {
+  AAL_CHECK(inputs.size() == 1, op_type_name(op.type)
+                                    << " expects exactly 1 input, got "
+                                    << inputs.size());
+  return inputs[0];
+}
+
+}  // namespace
+
+std::string op_type_name(OpType t) {
+  switch (t) {
+    case OpType::kInput: return "input";
+    case OpType::kConv2d: return "conv2d";
+    case OpType::kDepthwiseConv2d: return "depthwise_conv2d";
+    case OpType::kDense: return "dense";
+    case OpType::kMaxPool2d: return "max_pool2d";
+    case OpType::kAvgPool2d: return "avg_pool2d";
+    case OpType::kGlobalAvgPool2d: return "global_avg_pool2d";
+    case OpType::kRelu: return "relu";
+    case OpType::kBatchNorm: return "batch_norm";
+    case OpType::kAdd: return "add";
+    case OpType::kConcat: return "concat";
+    case OpType::kSoftmax: return "softmax";
+    case OpType::kFlatten: return "flatten";
+    case OpType::kDropout: return "dropout";
+    case OpType::kLRN: return "lrn";
+  }
+  return "unknown";
+}
+
+Workload make_workload(const Op& op, const std::vector<TensorType>& inputs) {
+  AAL_CHECK(is_tunable(op.type),
+            "make_workload on non-tunable op " << op_type_name(op.type));
+  const TensorType& in = inputs.at(0);
+  if (op.type == OpType::kDense) {
+    AAL_CHECK(in.shape.rank() == 2, "dense expects rank-2 input, got "
+                                        << in.shape.to_string());
+    DenseWorkload w;
+    w.batch = in.shape[0];
+    w.in_features = in.shape[1];
+    w.out_features = op.dense.out_features;
+    w.dtype = in.dtype;
+    return Workload::dense(w);
+  }
+  AAL_CHECK(in.shape.rank() == 4, "conv2d expects NCHW input, got "
+                                      << in.shape.to_string());
+  Conv2dWorkload w;
+  w.batch = in.shape[0];
+  w.in_channels = in.shape[1];
+  w.height = in.shape[2];
+  w.width = in.shape[3];
+  w.out_channels = op.conv.out_channels;
+  w.kernel_h = op.conv.kernel_h;
+  w.kernel_w = op.conv.kernel_w;
+  w.stride_h = op.conv.stride_h;
+  w.stride_w = op.conv.stride_w;
+  w.pad_h = op.conv.pad_h;
+  w.pad_w = op.conv.pad_w;
+  w.groups = op.type == OpType::kDepthwiseConv2d ? in.shape[1] : op.conv.groups;
+  w.dtype = in.dtype;
+  return Workload::conv2d(w);
+}
+
+TensorType infer_output_type(const Op& op,
+                             const std::vector<TensorType>& inputs) {
+  switch (op.type) {
+    case OpType::kInput:
+      return sole_input(op, inputs);
+
+    case OpType::kConv2d:
+    case OpType::kDepthwiseConv2d:
+    case OpType::kDense:
+      return make_workload(op, inputs).is_conv()
+                 ? make_workload(op, inputs).as_conv2d().output_type()
+                 : make_workload(op, inputs).as_dense().output_type();
+
+    case OpType::kMaxPool2d:
+    case OpType::kAvgPool2d: {
+      const TensorType& in = sole_input(op, inputs);
+      AAL_CHECK(in.shape.rank() == 4,
+                "pool expects NCHW input, got " << in.shape.to_string());
+      const auto& p = op.pool;
+      return {Shape{in.shape[0], in.shape[1],
+                    pool_out(in.shape[2], p.kernel_h, p.stride_h, p.pad_h,
+                             p.ceil_mode),
+                    pool_out(in.shape[3], p.kernel_w, p.stride_w, p.pad_w,
+                             p.ceil_mode)},
+              in.dtype};
+    }
+
+    case OpType::kGlobalAvgPool2d: {
+      const TensorType& in = sole_input(op, inputs);
+      AAL_CHECK(in.shape.rank() == 4, "global pool expects NCHW input");
+      return {Shape{in.shape[0], in.shape[1], 1, 1}, in.dtype};
+    }
+
+    case OpType::kRelu:
+    case OpType::kBatchNorm:
+    case OpType::kSoftmax:
+    case OpType::kDropout:
+    case OpType::kLRN:
+      return sole_input(op, inputs);
+
+    case OpType::kAdd: {
+      AAL_CHECK(inputs.size() == 2, "add expects 2 inputs");
+      AAL_CHECK(inputs[0] == inputs[1],
+                "add input type mismatch: " << inputs[0].to_string() << " vs "
+                                            << inputs[1].to_string());
+      return inputs[0];
+    }
+
+    case OpType::kConcat: {
+      AAL_CHECK(inputs.size() >= 2, "concat expects >= 2 inputs");
+      const auto axis = static_cast<std::size_t>(op.concat.axis);
+      const Shape& first = inputs[0].shape;
+      AAL_CHECK(axis < first.rank(), "concat axis out of rank");
+      std::vector<std::int64_t> dims = first.dims();
+      for (std::size_t i = 1; i < inputs.size(); ++i) {
+        const Shape& s = inputs[i].shape;
+        AAL_CHECK(s.rank() == first.rank(), "concat rank mismatch");
+        AAL_CHECK(inputs[i].dtype == inputs[0].dtype, "concat dtype mismatch");
+        for (std::size_t d = 0; d < s.rank(); ++d) {
+          if (d == axis) continue;
+          AAL_CHECK(s[d] == first[d], "concat non-axis dim mismatch");
+        }
+        dims[axis] += s[axis];
+      }
+      return {Shape{std::move(dims)}, inputs[0].dtype};
+    }
+
+    case OpType::kFlatten: {
+      const TensorType& in = sole_input(op, inputs);
+      AAL_CHECK(in.shape.rank() >= 1, "flatten expects rank >= 1");
+      std::int64_t rest = 1;
+      for (std::size_t d = 1; d < in.shape.rank(); ++d) rest *= in.shape[d];
+      return {Shape{in.shape[0], rest}, in.dtype};
+    }
+  }
+  throw InternalError("unhandled op type in infer_output_type");
+}
+
+std::int64_t op_flops(const Op& op, const std::vector<TensorType>& inputs) {
+  switch (op.type) {
+    case OpType::kConv2d:
+    case OpType::kDepthwiseConv2d:
+    case OpType::kDense:
+      return make_workload(op, inputs).flops();
+
+    case OpType::kMaxPool2d:
+    case OpType::kAvgPool2d: {
+      const TensorType out = infer_output_type(op, inputs);
+      return out.shape.num_elements() * op.pool.kernel_h * op.pool.kernel_w;
+    }
+    case OpType::kGlobalAvgPool2d:
+      return inputs.at(0).shape.num_elements();
+
+    case OpType::kRelu:
+    case OpType::kAdd:
+      return inputs.at(0).shape.num_elements();
+
+    case OpType::kBatchNorm:
+    case OpType::kSoftmax:
+    case OpType::kLRN:
+      // Scale+shift / exp+normalize: a handful of ops per element; 4 is the
+      // conventional accounting.
+      return 4 * inputs.at(0).shape.num_elements();
+
+    case OpType::kInput:
+    case OpType::kConcat:
+    case OpType::kFlatten:
+    case OpType::kDropout:
+      return 0;
+  }
+  throw InternalError("unhandled op type in op_flops");
+}
+
+}  // namespace aal

@@ -1,0 +1,97 @@
+// Graph-level operator vocabulary.
+//
+// The model zoo needs more than the three tunable workloads: pooling,
+// element-wise, normalization and shape ops appear between the tuned kernels
+// and are handled by the fusion pass / fixed-cost model. Attributes are kept
+// in one flat struct per category (pooling carries kernel/stride/pad, concat
+// carries an axis, ...), which keeps shape inference a plain switch instead
+// of a class hierarchy — there is no per-op behaviour beyond shapes & FLOPs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/workload.hpp"
+#include "tensor/shape.hpp"
+
+namespace aal {
+
+enum class OpType : std::uint8_t {
+  kInput,            // graph input placeholder
+  kConv2d,           // tunable
+  kDepthwiseConv2d,  // tunable
+  kDense,            // tunable
+  kMaxPool2d,
+  kAvgPool2d,
+  kGlobalAvgPool2d,
+  kRelu,
+  kBatchNorm,
+  kAdd,       // element-wise (residual) addition, 2 inputs
+  kConcat,    // channel concat, >= 2 inputs
+  kSoftmax,
+  kFlatten,
+  kDropout,   // identity at inference time
+  kLRN,       // local response normalization (AlexNet)
+};
+
+std::string op_type_name(OpType t);
+
+/// True for ops that get their own tuning task.
+constexpr bool is_tunable(OpType t) {
+  return t == OpType::kConv2d || t == OpType::kDepthwiseConv2d ||
+         t == OpType::kDense;
+}
+
+/// True for cheap ops a fusion pass may merge into a preceding tunable op.
+constexpr bool is_fusable_elemwise(OpType t) {
+  return t == OpType::kRelu || t == OpType::kBatchNorm ||
+         t == OpType::kDropout || t == OpType::kAdd;
+}
+
+struct Conv2dAttrs {
+  std::int64_t out_channels = 0;
+  std::int64_t kernel_h = 0, kernel_w = 0;
+  std::int64_t stride_h = 1, stride_w = 1;
+  std::int64_t pad_h = 0, pad_w = 0;
+  std::int64_t groups = 1;
+};
+
+struct DenseAttrs {
+  std::int64_t out_features = 0;
+};
+
+struct PoolAttrs {
+  std::int64_t kernel_h = 0, kernel_w = 0;
+  std::int64_t stride_h = 1, stride_w = 1;
+  std::int64_t pad_h = 0, pad_w = 0;
+  bool ceil_mode = false;
+};
+
+struct ConcatAttrs {
+  int axis = 1;  // channel axis in NCHW
+};
+
+/// One operator instance: type + (sparse) attributes. Only the fields
+/// relevant to `type` are meaningful.
+struct Op {
+  OpType type = OpType::kInput;
+  Conv2dAttrs conv;
+  DenseAttrs dense;
+  PoolAttrs pool;
+  ConcatAttrs concat;
+};
+
+/// Infers the output type from input types; throws InvalidArgument on
+/// arity/shape mismatches.
+TensorType infer_output_type(const Op& op,
+                             const std::vector<TensorType>& inputs);
+
+/// FLOPs of one execution (0 for shape/identity ops; pooling and
+/// normalization count one op per produced element).
+std::int64_t op_flops(const Op& op, const std::vector<TensorType>& inputs);
+
+/// For a tunable op, builds the corresponding Workload from its input types.
+Workload make_workload(const Op& op, const std::vector<TensorType>& inputs);
+
+}  // namespace aal

@@ -1,0 +1,80 @@
+#include "measure/measure.hpp"
+
+#include "support/common.hpp"
+
+namespace aal {
+
+Measurer::Measurer(const TuningTask& task, SimulatedDevice& device,
+                   int repeats)
+    : task_(task), device_(device), repeats_(repeats) {
+  AAL_CHECK(repeats >= 1, "repeats must be >= 1");
+}
+
+const MeasureResult& Measurer::measure(const Config& config) {
+  auto it = cache_.find(config.flat);
+  if (it != cache_.end()) return it->second;
+
+  const KernelProfile profile = task_.profile(config);
+  const MeasureOutcome outcome =
+      device_.run(profile, task_.workload().flops(), repeats_);
+
+  MeasureResult result;
+  result.config = config;
+  result.ok = outcome.ok;
+  result.error = outcome.error;
+  result.gflops = outcome.gflops;
+  result.mean_time_us = outcome.mean_time_us;
+
+  auto [pos, inserted] = cache_.emplace(config.flat, std::move(result));
+  AAL_ASSERT(inserted, "measure cache collision");
+  if (pos->second.ok && pos->second.gflops > best_gflops_) {
+    best_gflops_ = pos->second.gflops;
+    best_flat_ = config.flat;
+  }
+  return pos->second;
+}
+
+std::size_t Measurer::preload(const std::vector<TuningRecord>& records) {
+  const std::string key = task_.key();
+  std::size_t adopted = 0;
+  for (const TuningRecord& r : records) {
+    if (r.task_key != key) continue;
+    if (r.config_flat < 0 || r.config_flat >= task_.space().size()) continue;
+    if (cache_.contains(r.config_flat)) continue;
+    MeasureResult result;
+    result.config = task_.space().at(r.config_flat);
+    result.ok = r.ok;
+    result.gflops = r.gflops;
+    result.mean_time_us = r.mean_time_us;
+    if (!r.ok) result.error = "failed in a previous session";
+    cache_.emplace(r.config_flat, std::move(result));
+    if (r.ok && r.gflops > best_gflops_) {
+      best_gflops_ = r.gflops;
+      best_flat_ = r.config_flat;
+    }
+    ++adopted;
+  }
+  return adopted;
+}
+
+std::vector<MeasureResult> Measurer::measure_batch(
+    std::span<const Config> configs) {
+  std::vector<MeasureResult> out;
+  out.reserve(configs.size());
+  for (const Config& c : configs) out.push_back(measure(c));
+  return out;
+}
+
+std::optional<MeasureResult> Measurer::best() const {
+  if (best_flat_ < 0) return std::nullopt;
+  return cache_.at(best_flat_);
+}
+
+std::vector<MeasureResult> Measurer::all_results() const {
+  std::vector<MeasureResult> out;
+  out.reserve(cache_.size());
+  for (const auto& [flat, result] : cache_) out.push_back(result);
+  return out;
+}
+
+}  // namespace aal

@@ -1,0 +1,71 @@
+// Measurement layer: deploys configurations on the (simulated) device and
+// returns GFLOPS, the optimization objective of Problem 1 in the paper.
+//
+// Counting semantics match AutoTVM: each *configuration* measured counts one
+// unit of tuning budget regardless of timing repeats; failed builds count
+// too (the time was spent). The measurer memoizes by flat index so a tuner
+// re-visiting a config does not consume extra budget — and per the paper's
+// Fig. 5(a) we report the number of distinct measured configurations.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hwsim/device.hpp"
+#include "measure/record.hpp"
+#include "measure/tuning_task.hpp"
+
+namespace aal {
+
+struct MeasureResult {
+  Config config;
+  bool ok = false;
+  std::string error;
+  double gflops = 0.0;        // 0 for failed configs
+  double mean_time_us = 0.0;  // 0 for failed configs
+};
+
+class Measurer {
+ public:
+  /// `repeats` timing runs are averaged per measurement (AutoTVM default-ish).
+  Measurer(const TuningTask& task, SimulatedDevice& device, int repeats = 3);
+
+  const TuningTask& task() const { return task_; }
+
+  /// Measures one configuration (memoized by flat index).
+  const MeasureResult& measure(const Config& config);
+
+  /// Seeds the memo cache from previously persisted records of *this* task
+  /// (records for other task keys are ignored). Resuming an interrupted
+  /// tuning session this way makes historical measurements free: revisits
+  /// hit the cache and consume no budget. Returns the number of records
+  /// adopted.
+  std::size_t preload(const std::vector<TuningRecord>& records);
+
+  /// Measures a batch; results align with the input order.
+  std::vector<MeasureResult> measure_batch(std::span<const Config> configs);
+
+  /// Number of distinct configurations measured so far.
+  std::int64_t num_measured() const {
+    return static_cast<std::int64_t>(cache_.size());
+  }
+
+  /// Best successful result so far, if any.
+  std::optional<MeasureResult> best() const;
+
+  /// All measured results (unspecified order).
+  std::vector<MeasureResult> all_results() const;
+
+ private:
+  const TuningTask& task_;
+  SimulatedDevice& device_;
+  int repeats_;
+  std::unordered_map<std::int64_t, MeasureResult> cache_;
+  std::int64_t best_flat_ = -1;
+  double best_gflops_ = 0.0;
+};
+
+}  // namespace aal

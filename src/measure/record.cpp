@@ -1,0 +1,84 @@
+#include "measure/record.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/common.hpp"
+#include "support/string_util.hpp"
+
+namespace aal {
+
+std::string TuningRecord::to_line() const {
+  std::ostringstream os;
+  os << task_key << '\t' << config_flat << '\t' << (ok ? 1 : 0) << '\t'
+     << format_double(gflops, 6) << '\t' << format_double(mean_time_us, 6);
+  return os.str();
+}
+
+TuningRecord TuningRecord::from_line(const std::string& line) {
+  const auto fields = split(line, '\t');
+  AAL_CHECK(fields.size() == 5, "malformed record line: " << line);
+  TuningRecord r;
+  r.task_key = fields[0];
+  r.config_flat = std::stoll(fields[1]);
+  r.ok = fields[2] == "1";
+  r.gflops = std::stod(fields[3]);
+  r.mean_time_us = std::stod(fields[4]);
+  return r;
+}
+
+void RecordDatabase::add(TuningRecord record) {
+  auto it = by_task_.find(record.task_key);
+  if (it == by_task_.end()) {
+    keys_.push_back(record.task_key);
+    it = by_task_.emplace(record.task_key, std::vector<TuningRecord>{}).first;
+  }
+  it->second.push_back(std::move(record));
+  ++total_;
+}
+
+const std::vector<TuningRecord>& RecordDatabase::records_for(
+    const std::string& task_key) const {
+  static const std::vector<TuningRecord> kEmpty;
+  auto it = by_task_.find(task_key);
+  return it == by_task_.end() ? kEmpty : it->second;
+}
+
+std::optional<TuningRecord> RecordDatabase::best_for(
+    const std::string& task_key) const {
+  const auto& records = records_for(task_key);
+  std::optional<TuningRecord> best;
+  for (const auto& r : records) {
+    if (!r.ok) continue;
+    if (!best || r.gflops > best->gflops) best = r;
+  }
+  return best;
+}
+
+void RecordDatabase::save(std::ostream& os) const {
+  for (const auto& key : keys_) {
+    for (const auto& r : by_task_.at(key)) os << r.to_line() << '\n';
+  }
+}
+
+void RecordDatabase::load(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (trim(line).empty()) continue;
+    add(TuningRecord::from_line(line));
+  }
+}
+
+void RecordDatabase::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  AAL_CHECK(os.good(), "cannot open record file for writing: " << path);
+  save(os);
+}
+
+void RecordDatabase::load_file(const std::string& path) {
+  std::ifstream is(path);
+  AAL_CHECK(is.good(), "cannot open record file for reading: " << path);
+  load(is);
+}
+
+}  // namespace aal

@@ -1,0 +1,60 @@
+// Tuning records: the persistent history of measured configurations.
+//
+// AutoTVM appends one log line per measurement and reuses logs both to apply
+// the best schedule at build time and as the transfer-learning corpus. The
+// RecordDatabase plays the same role here: it stores results per task key,
+// serves best-config queries for the deployment pipeline, and feeds the
+// transfer-learning warm start. A simple line-oriented text format keeps it
+// diff-able and dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace aal {
+
+struct TuningRecord {
+  std::string task_key;
+  std::int64_t config_flat = -1;
+  bool ok = false;
+  double gflops = 0.0;
+  double mean_time_us = 0.0;
+
+  /// Serialized single-line form:
+  /// "task_key<TAB>flat<TAB>ok<TAB>gflops<TAB>time_us"
+  std::string to_line() const;
+  static TuningRecord from_line(const std::string& line);
+};
+
+class RecordDatabase {
+ public:
+  void add(TuningRecord record);
+
+  std::size_t size() const { return total_; }
+
+  /// Records for one task (empty vector if none).
+  const std::vector<TuningRecord>& records_for(const std::string& task_key) const;
+
+  /// Best successful record for a task, if any.
+  std::optional<TuningRecord> best_for(const std::string& task_key) const;
+
+  /// Task keys present, in insertion order of first record.
+  const std::vector<std::string>& task_keys() const { return keys_; }
+
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+  void save_file(const std::string& path) const;
+  void load_file(const std::string& path);
+
+ private:
+  std::unordered_map<std::string, std::vector<TuningRecord>> by_task_;
+  std::vector<std::string> keys_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace aal

@@ -1,0 +1,41 @@
+// A tuning task: one workload bound to its configuration space and the
+// hardware model that evaluates it. This is the object every tuner consumes
+// (AutoTVM's `Task`), and it is deliberately measurement-free: the Measurer
+// owns the (stateful, noisy) device.
+#pragma once
+
+#include <memory>
+
+#include "hwsim/kernel_model.hpp"
+#include "ir/workload.hpp"
+#include "space/config_space.hpp"
+#include "space/schedule_template.hpp"
+
+namespace aal {
+
+class TuningTask {
+ public:
+  TuningTask(Workload workload, GpuSpec spec)
+      : workload_(std::move(workload)),
+        space_(build_config_space(workload_)),
+        model_(workload_, spec) {}
+
+  const Workload& workload() const { return workload_; }
+  const ConfigSpace& space() const { return space_; }
+  const KernelModel& model() const { return model_; }
+
+  /// Deterministic profile of one configuration (no measurement noise).
+  KernelProfile profile(const Config& config) const {
+    return model_.profile(space_, config);
+  }
+
+  /// Task identity key (the workload key).
+  std::string key() const { return workload_.key(); }
+
+ private:
+  Workload workload_;
+  ConfigSpace space_;
+  KernelModel model_;
+};
+
+}  // namespace aal

@@ -1,0 +1,52 @@
+#include "ml/binned.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aal {
+
+BinnedMatrix BinnedMatrix::build(const Dataset& data, int max_bins) {
+  AAL_CHECK(max_bins >= 2 && max_bins <= 256, "max_bins out of range");
+  BinnedMatrix m;
+  m.num_rows_ = data.num_rows();
+  m.num_features_ = data.num_features();
+  m.bins_.assign(m.num_rows_ * m.num_features_, 0);
+  m.edges_.resize(m.num_features_);
+
+  std::vector<double> column(m.num_rows_);
+  for (std::size_t f = 0; f < m.num_features_; ++f) {
+    for (std::size_t r = 0; r < m.num_rows_; ++r) column[r] = data.row(r)[f];
+    std::vector<double> sorted = column;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+    std::vector<double>& edges = m.edges_[f];
+    if (sorted.size() <= static_cast<std::size_t>(max_bins)) {
+      // One bin per distinct value; edges at midpoints.
+      for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        edges.push_back(0.5 * (sorted[i] + sorted[i + 1]));
+      }
+    } else {
+      // Quantile edges over distinct values.
+      for (int b = 1; b < max_bins; ++b) {
+        const double pos = static_cast<double>(b) *
+                           static_cast<double>(sorted.size() - 1) /
+                           static_cast<double>(max_bins);
+        const auto lo = static_cast<std::size_t>(pos);
+        const double edge = 0.5 * (sorted[lo] +
+                                   sorted[std::min(lo + 1, sorted.size() - 1)]);
+        if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+      }
+    }
+
+    for (std::size_t r = 0; r < m.num_rows_; ++r) {
+      const auto it =
+          std::upper_bound(edges.begin(), edges.end(), column[r]);
+      m.bins_[r * m.num_features_ + f] =
+          static_cast<std::uint8_t>(it - edges.begin());
+    }
+  }
+  return m;
+}
+
+}  // namespace aal

@@ -1,0 +1,56 @@
+// Flat row-major dataset for the surrogate models. Sized for tuning-scale
+// data (tens to low thousands of rows, ~20 features), so simplicity beats
+// cleverness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t num_features) : num_features_(num_features) {}
+
+  std::size_t num_rows() const { return targets_.size(); }
+  std::size_t num_features() const { return num_features_; }
+  bool empty() const { return targets_.empty(); }
+
+  void add_row(std::span<const double> features, double target) {
+    AAL_CHECK(features.size() == num_features_,
+              "feature width mismatch: " << features.size() << " vs "
+                                         << num_features_);
+    data_.insert(data_.end(), features.begin(), features.end());
+    targets_.push_back(target);
+  }
+
+  std::span<const double> row(std::size_t i) const {
+    AAL_CHECK(i < num_rows(), "row index out of range");
+    return {data_.data() + i * num_features_, num_features_};
+  }
+
+  double target(std::size_t i) const {
+    AAL_CHECK(i < num_rows(), "row index out of range");
+    return targets_[i];
+  }
+
+  std::span<const double> targets() const { return targets_; }
+
+  /// Row subset (with repetition allowed — used by bootstrap resampling).
+  Dataset subset(std::span<const std::size_t> indices) const {
+    Dataset out(num_features_);
+    for (std::size_t idx : indices) out.add_row(row(idx), target(idx));
+    return out;
+  }
+
+ private:
+  std::size_t num_features_ = 0;
+  std::vector<double> data_;
+  std::vector<double> targets_;
+};
+
+}  // namespace aal

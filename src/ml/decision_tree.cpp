@@ -1,0 +1,202 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace aal {
+
+namespace {
+
+struct SplitResult {
+  int feature = -1;
+  std::uint8_t bin = 0;   // go left if bin(x) <= bin
+  double gain = 0.0;
+  bool found() const { return feature >= 0; }
+};
+
+/// Histogram split search over rows[begin,end). Histograms for every
+/// candidate feature are accumulated in one row-major pass (the bin matrix
+/// is row-major, so this streams memory instead of striding per feature).
+SplitResult find_best_split(const BinnedMatrix& binned,
+                            std::span<const double> targets,
+                            std::span<const std::size_t> rows,
+                            const std::vector<int>& features,
+                            int min_samples_leaf,
+                            std::vector<double>& hist_sum,
+                            std::vector<std::int32_t>& hist_count) {
+  const std::size_t n = rows.size();
+  SplitResult best;
+
+  double total_sum = 0.0;
+  for (std::size_t r : rows) total_sum += targets[r];
+  const double parent_term =
+      total_sum * total_sum / static_cast<double>(n);
+
+  constexpr int kBins = BinnedMatrix::kMaxBins;
+  hist_sum.assign(features.size() * kBins, 0.0);
+  hist_count.assign(features.size() * kBins, 0);
+
+  for (std::size_t r : rows) {
+    const double y = targets[r];
+    for (std::size_t fi = 0; fi < features.size(); ++fi) {
+      const auto f = static_cast<std::size_t>(features[fi]);
+      const std::uint8_t b = binned.bin(r, f);
+      hist_sum[fi * kBins + b] += y;
+      ++hist_count[fi * kBins + b];
+    }
+  }
+
+  for (std::size_t fi = 0; fi < features.size(); ++fi) {
+    const int f = features[fi];
+    const int num_bins = binned.bin_count(static_cast<std::size_t>(f));
+    if (num_bins < 2) continue;
+    double left_sum = 0.0;
+    std::int64_t left_n = 0;
+    for (int b = 0; b + 1 < num_bins; ++b) {
+      left_sum += hist_sum[fi * kBins + b];
+      left_n += hist_count[fi * kBins + b];
+      if (left_n < min_samples_leaf) continue;
+      const std::int64_t right_n = static_cast<std::int64_t>(n) - left_n;
+      if (right_n < min_samples_leaf) break;
+      const double right_sum = total_sum - left_sum;
+      // Variance-reduction gain (up to constants).
+      const double gain = left_sum * left_sum / static_cast<double>(left_n) +
+                          right_sum * right_sum / static_cast<double>(right_n) -
+                          parent_term;
+      if (gain > best.gain) {
+        best.feature = f;
+        best.bin = static_cast<std::uint8_t>(b);
+        best.gain = gain;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data, const DecisionTreeParams& params,
+                       Rng& rng) {
+  AAL_CHECK(!data.empty(), "cannot fit a tree on an empty dataset");
+  const BinnedMatrix binned = BinnedMatrix::build(data);
+  std::vector<std::size_t> rows(data.num_rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  std::vector<double> targets(data.num_rows());
+  for (std::size_t i = 0; i < data.num_rows(); ++i) targets[i] = data.target(i);
+  fit_binned(binned, targets, std::move(rows), params, rng);
+}
+
+void DecisionTree::fit_binned(const BinnedMatrix& binned,
+                              std::span<const double> targets,
+                              std::vector<std::size_t> rows,
+                              const DecisionTreeParams& params, Rng& rng) {
+  AAL_CHECK(!rows.empty(), "cannot fit a tree on zero rows");
+  AAL_CHECK(targets.size() == binned.num_rows(),
+            "target vector size mismatch");
+  nodes_.clear();
+  BuildScratch scratch;
+  build(binned, targets, rows, 0, rows.size(), 0, params, rng, scratch);
+}
+
+std::int32_t DecisionTree::build(const BinnedMatrix& binned,
+                                 std::span<const double> targets,
+                                 std::vector<std::size_t>& rows,
+                                 std::size_t begin, std::size_t end, int depth,
+                                 const DecisionTreeParams& params, Rng& rng,
+                                 BuildScratch& scratch) {
+  const std::size_t n = end - begin;
+  AAL_ASSERT(n > 0, "empty node in tree build");
+
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += targets[rows[i]];
+  const double mean = sum / static_cast<double>(n);
+
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(TreeNode{-1, 0.0, 0, mean, -1, -1});
+
+  if (depth >= params.max_depth ||
+      n < static_cast<std::size_t>(params.min_samples_split)) {
+    return node_id;
+  }
+
+  std::vector<int> features(binned.num_features());
+  std::iota(features.begin(), features.end(), 0);
+  if (params.feature_fraction < 1.0) {
+    const auto keep = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(params.feature_fraction *
+                       static_cast<double>(features.size()))));
+    rng.shuffle(features);
+    features.resize(keep);
+    std::sort(features.begin(), features.end());
+  }
+
+  const SplitResult split = find_best_split(
+      binned, targets, std::span<const std::size_t>(rows).subspan(begin, n),
+      features, params.min_samples_leaf, scratch.hist_sum, scratch.hist_count);
+  if (!split.found() || split.gain < params.min_gain) return node_id;
+
+  const auto mid_it = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t r) {
+        return binned.bin(r, static_cast<std::size_t>(split.feature)) <=
+               split.bin;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - rows.begin());
+  AAL_ASSERT(mid > begin && mid < end, "degenerate partition in tree build");
+
+  nodes_[static_cast<std::size_t>(node_id)].feature = split.feature;
+  nodes_[static_cast<std::size_t>(node_id)].bin_threshold = split.bin;
+  nodes_[static_cast<std::size_t>(node_id)].threshold =
+      binned.threshold_after_bin(static_cast<std::size_t>(split.feature),
+                                 split.bin);
+  const std::int32_t left =
+      build(binned, targets, rows, begin, mid, depth + 1, params, rng, scratch);
+  const std::int32_t right =
+      build(binned, targets, rows, mid, end, depth + 1, params, rng, scratch);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+double DecisionTree::predict(std::span<const double> features) const {
+  AAL_CHECK(fitted(), "predict on an unfitted tree");
+  std::int32_t node = 0;
+  for (;;) {
+    const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.feature < 0) return n.value;
+    AAL_CHECK(static_cast<std::size_t>(n.feature) < features.size(),
+              "feature vector narrower than training data");
+    node = features[static_cast<std::size_t>(n.feature)] <= n.threshold
+               ? n.left
+               : n.right;
+  }
+}
+
+void DecisionTree::accumulate_split_counts(std::span<double> counts) const {
+  for (const TreeNode& n : nodes_) {
+    if (n.feature < 0) continue;
+    AAL_CHECK(static_cast<std::size_t>(n.feature) < counts.size(),
+              "split-count buffer narrower than the tree's feature space");
+    counts[static_cast<std::size_t>(n.feature)] += 1.0;
+  }
+}
+
+int DecisionTree::depth() const {
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<std::int32_t, int>> stack{{0, 1}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    const auto [id, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const TreeNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.feature >= 0) {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace aal

@@ -1,0 +1,78 @@
+// CART regression tree with histogram-based greedy splits.
+//
+// Base learner for the gradient-boosted ensemble (the XGBoost stand-in).
+// Splits are searched over quantile-binned features (BinnedMatrix), making
+// each node an O(rows + bins) scan — the same 'hist' strategy XGBoost and
+// LightGBM use — which keeps BAO's per-iteration bootstrap refits cheap.
+// Learned thresholds are real feature values, so prediction runs directly
+// on raw feature vectors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/binned.hpp"
+#include "ml/dataset.hpp"
+#include "support/rng.hpp"
+
+namespace aal {
+
+struct DecisionTreeParams {
+  int max_depth = 6;
+  int min_samples_leaf = 2;
+  int min_samples_split = 4;
+  /// Fraction of features considered per split; 1.0 = all (deterministic).
+  double feature_fraction = 1.0;
+  /// Minimum variance-gain to accept a split (guards against noise chasing).
+  double min_gain = 1e-12;
+};
+
+class DecisionTree {
+ public:
+  /// Convenience fit: bins `data` internally.
+  void fit(const Dataset& data, const DecisionTreeParams& params, Rng& rng);
+
+  /// Fits on pre-binned features (shared across an ensemble) with explicit
+  /// per-row targets and a row subset. `rows` is consumed as working
+  /// storage (reordered in place).
+  void fit_binned(const BinnedMatrix& binned, std::span<const double> targets,
+                  std::vector<std::size_t> rows,
+                  const DecisionTreeParams& params, Rng& rng);
+
+  double predict(std::span<const double> features) const;
+
+  /// Adds 1 per split node to counts[feature]. counts must be wide enough
+  /// for every feature the tree was trained on.
+  void accumulate_split_counts(std::span<double> counts) const;
+
+  bool fitted() const { return !nodes_.empty(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  int depth() const;
+
+ private:
+  struct TreeNode {
+    int feature = -1;          // -1 for leaves
+    double threshold = 0.0;    // go left if x[feature] <= threshold
+    std::uint8_t bin_threshold = 0;  // split bin during construction
+    double value = 0.0;        // leaf prediction
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+
+  struct BuildScratch {
+    std::vector<double> hist_sum;
+    std::vector<std::int32_t> hist_count;
+  };
+
+  std::int32_t build(const BinnedMatrix& binned,
+                     std::span<const double> targets,
+                     std::vector<std::size_t>& rows, std::size_t begin,
+                     std::size_t end, int depth,
+                     const DecisionTreeParams& params, Rng& rng,
+                     BuildScratch& scratch);
+
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace aal

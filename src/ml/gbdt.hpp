@@ -1,0 +1,52 @@
+// Gradient-boosted regression trees — the from-scratch XGBoost stand-in used
+// as AutoTVM's cost model and as the paper's bootstrap evaluation functions.
+//
+// Squared-error boosting with shrinkage, optional row subsampling and
+// feature subsampling. Targets are internally normalized (mean/std) so the
+// learning rate behaves uniformly across tasks whose GFLOPS scales differ
+// by orders of magnitude.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace aal {
+
+struct GbdtParams {
+  int num_trees = 60;
+  double learning_rate = 0.15;
+  int max_depth = 5;
+  int min_samples_leaf = 2;
+  double row_subsample = 0.85;     // stochastic gradient boosting
+  double feature_fraction = 0.9;
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+class Gbdt {
+ public:
+  void fit(const Dataset& data, const GbdtParams& params);
+
+  double predict(std::span<const double> features) const;
+
+  /// Batch prediction convenience.
+  std::vector<double> predict_many(const Dataset& data) const;
+
+  /// Split-count feature importance: how often each feature was chosen as a
+  /// split across the ensemble, normalized to sum to 1. Useful for
+  /// inspecting which schedule knobs the cost model considers decisive.
+  std::vector<double> feature_importance(std::size_t num_features) const;
+
+  bool fitted() const { return fitted_; }
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  double base_ = 0.0;      // target mean
+  double scale_ = 1.0;     // target std (>= epsilon)
+  double learning_rate_ = 0.1;
+  bool fitted_ = false;
+};
+
+}  // namespace aal

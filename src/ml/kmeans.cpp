@@ -1,0 +1,133 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+namespace {
+
+double distance_sq(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// k-means++ seeding: first center uniform, then proportional to D^2.
+std::vector<std::vector<double>> seed_centers(
+    const std::vector<std::vector<double>>& points, std::size_t k, Rng& rng) {
+  std::vector<std::vector<double>> centers;
+  centers.reserve(k);
+  centers.push_back(points[rng.next_index(points.size())]);
+  std::vector<double> dist(points.size(),
+                           std::numeric_limits<double>::infinity());
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      dist[i] = std::min(dist[i], distance_sq(points[i], centers.back()));
+      total += dist[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a center; duplicate one.
+      centers.push_back(points[rng.next_index(points.size())]);
+      continue;
+    }
+    double target = rng.next_double() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= dist[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(points[chosen]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, Rng& rng, const KMeansParams& params) {
+  AAL_CHECK(!points.empty(), "kmeans on an empty point set");
+  const std::size_t dim = points[0].size();
+  for (const auto& p : points) {
+    AAL_CHECK(p.size() == dim, "kmeans: ragged point matrix");
+  }
+  k = std::min(k, points.size());
+  AAL_CHECK(k >= 1, "kmeans needs k >= 1");
+
+  KMeansResult result;
+  result.centers = seed_centers(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    ++result.iterations;
+    // Assignment step.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = distance_sq(points[i], result.centers[c]);
+        if (d < best) {
+          best = d;
+          result.assignment[i] = static_cast<int>(c);
+        }
+      }
+    }
+    // Update step.
+    std::vector<std::vector<double>> next(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      for (std::size_t d = 0; d < dim; ++d) next[c][d] += points[i][d];
+      ++counts[c];
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster on the point farthest from its center.
+        std::size_t farthest = 0;
+        double worst = -1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d = distance_sq(
+              points[i],
+              result.centers[static_cast<std::size_t>(result.assignment[i])]);
+          if (d > worst) {
+            worst = d;
+            farthest = i;
+          }
+        }
+        next[c] = points[farthest];
+      } else {
+        for (std::size_t d = 0; d < dim; ++d) {
+          next[c][d] /= static_cast<double>(counts[c]);
+        }
+      }
+      movement += distance_sq(next[c], result.centers[c]);
+      result.centers[c] = std::move(next[c]);
+    }
+    if (movement < params.tolerance) break;
+  }
+
+  // Medoids: nearest input point per center.
+  result.medoids.assign(k, 0);
+  std::vector<double> best(k, std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto c = static_cast<std::size_t>(result.assignment[i]);
+    const double d = distance_sq(points[i], result.centers[c]);
+    if (d < best[c]) {
+      best[c] = d;
+      result.medoids[c] = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace aal

@@ -1,0 +1,38 @@
+// Lloyd's k-means with k-means++ seeding.
+//
+// Substrate for the CHAMELEON-style adaptive-sampling baseline: that work
+// reduces each batch of proposed candidates to k cluster representatives so
+// expensive on-chip measurements are spent on *diverse* configurations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace aal {
+
+struct KMeansResult {
+  /// Cluster centers, centers[c] is a feature vector.
+  std::vector<std::vector<double>> centers;
+  /// Per-point cluster assignment, aligned with the input rows.
+  std::vector<int> assignment;
+  /// Index of the input point closest to each center (a "medoid"),
+  /// usable when representatives must be actual candidates.
+  std::vector<std::size_t> medoids;
+  int iterations = 0;
+};
+
+struct KMeansParams {
+  int max_iterations = 50;
+  /// Convergence threshold on total center movement (squared L2).
+  double tolerance = 1e-8;
+};
+
+/// Clusters `points` into k groups (k is clamped to the number of points).
+/// Deterministic given `rng`. Empty clusters are re-seeded from the point
+/// farthest from its center.
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, Rng& rng, const KMeansParams& params = {});
+
+}  // namespace aal

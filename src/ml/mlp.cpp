@@ -1,0 +1,217 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace aal {
+
+namespace {
+
+/// Per-layer Adam state.
+struct AdamState {
+  std::vector<double> m_w, v_w, m_b, v_b;
+};
+
+}  // namespace
+
+void Mlp::fit(const Dataset& data, const MlpParams& params) {
+  AAL_CHECK(!data.empty(), "cannot fit MLP on an empty dataset");
+  AAL_CHECK(!params.hidden.empty(), "MLP needs at least one hidden layer");
+  const std::size_t n = data.num_rows();
+  const int d = static_cast<int>(data.num_features());
+
+  // Standardize inputs and targets.
+  feat_mean_.assign(static_cast<std::size_t>(d), 0.0);
+  feat_std_.assign(static_cast<std::size_t>(d), 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = data.row(r);
+    for (int c = 0; c < d; ++c) feat_mean_[static_cast<std::size_t>(c)] += row[static_cast<std::size_t>(c)];
+  }
+  for (double& m : feat_mean_) m /= static_cast<double>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = data.row(r);
+    for (int c = 0; c < d; ++c) {
+      const double delta = row[static_cast<std::size_t>(c)] - feat_mean_[static_cast<std::size_t>(c)];
+      feat_std_[static_cast<std::size_t>(c)] += delta * delta;
+    }
+  }
+  for (double& s : feat_std_) {
+    s = std::max(std::sqrt(s / static_cast<double>(n)), 1e-9);
+  }
+  target_mean_ = 0.0;
+  for (std::size_t r = 0; r < n; ++r) target_mean_ += data.target(r);
+  target_mean_ /= static_cast<double>(n);
+  target_std_ = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double delta = data.target(r) - target_mean_;
+    target_std_ += delta * delta;
+  }
+  target_std_ = std::max(std::sqrt(target_std_ / static_cast<double>(n)), 1e-9);
+
+  // Build layers: d -> hidden... -> 1, He initialization.
+  Rng rng(params.seed);
+  layers_.clear();
+  std::vector<int> widths{d};
+  widths.insert(widths.end(), params.hidden.begin(), params.hidden.end());
+  widths.push_back(1);
+  for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+    Layer layer;
+    layer.in = widths[l];
+    layer.out = widths[l + 1];
+    const double scale = std::sqrt(2.0 / layer.in);
+    layer.weights.resize(static_cast<std::size_t>(layer.in) * layer.out);
+    for (double& w : layer.weights) w = rng.next_gaussian(0.0, scale);
+    layer.bias.assign(static_cast<std::size_t>(layer.out), 0.0);
+    layers_.push_back(std::move(layer));
+  }
+
+  std::vector<AdamState> adam(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    adam[l].m_w.assign(layers_[l].weights.size(), 0.0);
+    adam[l].v_w.assign(layers_[l].weights.size(), 0.0);
+    adam[l].m_b.assign(layers_[l].bias.size(), 0.0);
+    adam[l].v_b.assign(layers_[l].bias.size(), 0.0);
+  }
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+  std::int64_t step = 0;
+
+  // Pre-standardized inputs/targets.
+  std::vector<std::vector<double>> x(n);
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = data.row(r);
+    x[r].resize(static_cast<std::size_t>(d));
+    for (int c = 0; c < d; ++c) {
+      x[r][static_cast<std::size_t>(c)] =
+          (row[static_cast<std::size_t>(c)] - feat_mean_[static_cast<std::size_t>(c)]) /
+          feat_std_[static_cast<std::size_t>(c)];
+    }
+    y[r] = (data.target(r) - target_mean_) / target_std_;
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  // Per-layer activation and delta buffers (reused across samples).
+  std::vector<std::vector<double>> act(layers_.size() + 1);
+  std::vector<std::vector<double>> delta(layers_.size());
+  // Per-batch gradient accumulators.
+  std::vector<std::vector<double>> grad_w(layers_.size()), grad_b(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    grad_w[l].resize(layers_[l].weights.size());
+    grad_b[l].resize(layers_[l].bias.size());
+  }
+
+  for (int epoch = 0; epoch < params.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(params.batch_size)) {
+      const std::size_t end =
+          std::min(n, start + static_cast<std::size_t>(params.batch_size));
+      const double batch_n = static_cast<double>(end - start);
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        std::fill(grad_w[l].begin(), grad_w[l].end(), 0.0);
+        std::fill(grad_b[l].begin(), grad_b[l].end(), 0.0);
+      }
+
+      for (std::size_t i = start; i < end; ++i) {
+        const std::size_t r = order[i];
+        // Forward.
+        act[0] = x[r];
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+          const Layer& layer = layers_[l];
+          act[l + 1].assign(static_cast<std::size_t>(layer.out), 0.0);
+          for (int o = 0; o < layer.out; ++o) {
+            double acc = layer.bias[static_cast<std::size_t>(o)];
+            const double* w =
+                &layer.weights[static_cast<std::size_t>(o) * layer.in];
+            for (int c = 0; c < layer.in; ++c) acc += w[c] * act[l][static_cast<std::size_t>(c)];
+            const bool is_output = l + 1 == layers_.size();
+            act[l + 1][static_cast<std::size_t>(o)] =
+                is_output ? acc : std::max(0.0, acc);
+          }
+        }
+        // Backward (squared error).
+        const double err = act.back()[0] - y[r];
+        delta.back().assign(1, err);
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+          const Layer& layer = layers_[l];
+          // Accumulate gradients for this layer.
+          for (int o = 0; o < layer.out; ++o) {
+            const double dv = delta[l][static_cast<std::size_t>(o)];
+            if (dv == 0.0) continue;
+            double* gw = &grad_w[l][static_cast<std::size_t>(o) * layer.in];
+            for (int c = 0; c < layer.in; ++c) gw[c] += dv * act[l][static_cast<std::size_t>(c)];
+            grad_b[l][static_cast<std::size_t>(o)] += dv;
+          }
+          if (l == 0) break;
+          // Propagate through the layer and the previous ReLU.
+          delta[l - 1].assign(static_cast<std::size_t>(layer.in), 0.0);
+          for (int o = 0; o < layer.out; ++o) {
+            const double dv = delta[l][static_cast<std::size_t>(o)];
+            if (dv == 0.0) continue;
+            const double* w =
+                &layer.weights[static_cast<std::size_t>(o) * layer.in];
+            for (int c = 0; c < layer.in; ++c) {
+              if (act[l][static_cast<std::size_t>(c)] > 0.0) {
+                delta[l - 1][static_cast<std::size_t>(c)] += dv * w[c];
+              }
+            }
+          }
+        }
+      }
+
+      // Adam update.
+      ++step;
+      const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(step));
+      const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(step));
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        AdamState& state = adam[l];
+        for (std::size_t i = 0; i < layer.weights.size(); ++i) {
+          const double g = grad_w[l][i] / batch_n +
+                           params.weight_decay * layer.weights[i];
+          state.m_w[i] = kBeta1 * state.m_w[i] + (1.0 - kBeta1) * g;
+          state.v_w[i] = kBeta2 * state.v_w[i] + (1.0 - kBeta2) * g * g;
+          layer.weights[i] -= params.learning_rate * (state.m_w[i] / bc1) /
+                              (std::sqrt(state.v_w[i] / bc2) + kEps);
+        }
+        for (std::size_t i = 0; i < layer.bias.size(); ++i) {
+          const double g = grad_b[l][i] / batch_n;
+          state.m_b[i] = kBeta1 * state.m_b[i] + (1.0 - kBeta1) * g;
+          state.v_b[i] = kBeta2 * state.v_b[i] + (1.0 - kBeta2) * g * g;
+          layer.bias[i] -= params.learning_rate * (state.m_b[i] / bc1) /
+                           (std::sqrt(state.v_b[i] / bc2) + kEps);
+        }
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+double Mlp::predict(std::span<const double> features) const {
+  AAL_CHECK(fitted_, "predict on an unfitted MLP");
+  AAL_CHECK(features.size() == feat_mean_.size(),
+            "feature width mismatch in MLP predict");
+  std::vector<double> current(features.size());
+  for (std::size_t c = 0; c < features.size(); ++c) {
+    current[c] = (features[c] - feat_mean_[c]) / feat_std_[c];
+  }
+  std::vector<double> next;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    next.assign(static_cast<std::size_t>(layer.out), 0.0);
+    for (int o = 0; o < layer.out; ++o) {
+      double acc = layer.bias[static_cast<std::size_t>(o)];
+      const double* w = &layer.weights[static_cast<std::size_t>(o) * layer.in];
+      for (int c = 0; c < layer.in; ++c) acc += w[c] * current[static_cast<std::size_t>(c)];
+      const bool is_output = l + 1 == layers_.size();
+      next[static_cast<std::size_t>(o)] = is_output ? acc : std::max(0.0, acc);
+    }
+    current.swap(next);
+  }
+  return target_mean_ + target_std_ * current[0];
+}
+
+}  // namespace aal

@@ -1,0 +1,79 @@
+// Small fully-connected neural network regressor.
+//
+// The paper's discussion notes the framework "can be integrated with more
+// optimization methods, e.g., deep learning algorithms"; this is that
+// integration path: a from-scratch MLP (Adam, ReLU hidden layers, mini-batch
+// SGD, input/target standardization) exposed through the Surrogate
+// interface so it drops into AutoTVM's cost-model slot or BAO's bootstrap
+// ensemble unchanged. Sized for tuning-scale data — hundreds of rows, ~20
+// features — where a [64, 32] network trains in milliseconds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/surrogate.hpp"
+#include "support/rng.hpp"
+
+namespace aal {
+
+struct MlpParams {
+  std::vector<int> hidden = {64, 32};
+  int epochs = 120;
+  int batch_size = 32;
+  double learning_rate = 3e-3;
+  double weight_decay = 1e-5;
+  std::uint64_t seed = 0x51C0FFEEULL;
+};
+
+class Mlp {
+ public:
+  void fit(const Dataset& data, const MlpParams& params);
+  double predict(std::span<const double> features) const;
+  bool fitted() const { return fitted_; }
+
+ private:
+  struct Layer {
+    int in = 0, out = 0;
+    std::vector<double> weights;  // out x in, row-major
+    std::vector<double> bias;     // out
+  };
+
+  std::vector<Layer> layers_;
+  // Input standardization (column mean/std) and target scaling.
+  std::vector<double> feat_mean_, feat_std_;
+  double target_mean_ = 0.0, target_std_ = 1.0;
+  bool fitted_ = false;
+};
+
+class MlpSurrogate final : public Surrogate {
+ public:
+  explicit MlpSurrogate(MlpParams params) : params_(params) {}
+  void fit(const Dataset& data) override { model_.fit(data, params_); }
+  double predict(std::span<const double> features) const override {
+    return model_.predict(features);
+  }
+  bool fitted() const override { return model_.fitted(); }
+  std::string name() const override { return "mlp"; }
+
+ private:
+  MlpParams params_;
+  Mlp model_;
+};
+
+class MlpSurrogateFactory final : public SurrogateFactory {
+ public:
+  explicit MlpSurrogateFactory(MlpParams params = {}) : params_(params) {}
+  std::unique_ptr<Surrogate> create(std::uint64_t seed) const override {
+    MlpParams p = params_;
+    p.seed = seed;
+    return std::make_unique<MlpSurrogate>(p);
+  }
+  std::string name() const override { return "mlp"; }
+
+ private:
+  MlpParams params_;
+};
+
+}  // namespace aal

@@ -1,0 +1,46 @@
+// Parallel simulated annealing over a configuration space.
+//
+// AutoTVM's model-based tuner does not argmax its cost model over the whole
+// space (impossible at 10^8 points); it runs batched simulated-annealing
+// chains whose energy is the surrogate score and harvests the best distinct
+// states. This is that component. Chains mutate one knob at a time and
+// accept via Metropolis with a linearly decaying temperature.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "space/config_space.hpp"
+#include "support/rng.hpp"
+
+namespace aal {
+
+struct SaParams {
+  int num_chains = 64;
+  int iterations = 120;
+  double temp_start = 1.0;
+  double temp_end = 0.02;
+};
+
+class SaOptimizer {
+ public:
+  SaOptimizer(const ConfigSpace& space, SaParams params)
+      : space_(space), params_(params) {}
+
+  /// Returns up to k distinct configurations with the highest score found,
+  /// best first, skipping flats in `exclude` (already-measured configs).
+  /// `score` must be cheap — it is called O(chains * iterations) times.
+  std::vector<Config> maximize(
+      const std::function<double(const Config&)>& score, int k, Rng& rng,
+      const std::unordered_set<std::int64_t>& exclude = {}) const;
+
+ private:
+  Config mutate(const Config& config, Rng& rng) const;
+
+  const ConfigSpace& space_;
+  SaParams params_;
+};
+
+}  // namespace aal

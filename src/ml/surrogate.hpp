@@ -1,0 +1,125 @@
+// Surrogate (evaluation-function) abstraction.
+//
+// The paper stresses that BAO "is general enough to handle various types of
+// evaluation function f"; this interface is that extension point. The GBDT
+// surrogate is the default (AutoTVM's XGBoost role); ridge regression and
+// k-nearest-neighbours are provided both as cheap alternatives and for the
+// surrogate ablation bench.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ml/dataset.hpp"
+#include "ml/gbdt.hpp"
+
+namespace aal {
+
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  virtual void fit(const Dataset& data) = 0;
+  virtual double predict(std::span<const double> features) const = 0;
+  virtual bool fitted() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Factory so tuners can spawn fresh per-bootstrap models; seed gives each
+/// model an independent stochastic stream.
+class SurrogateFactory {
+ public:
+  virtual ~SurrogateFactory() = default;
+  virtual std::unique_ptr<Surrogate> create(std::uint64_t seed) const = 0;
+  virtual std::string name() const = 0;
+};
+
+// --- GBDT -------------------------------------------------------------------
+
+class GbdtSurrogate final : public Surrogate {
+ public:
+  explicit GbdtSurrogate(GbdtParams params) : params_(params) {}
+  void fit(const Dataset& data) override { model_.fit(data, params_); }
+  double predict(std::span<const double> features) const override {
+    return model_.predict(features);
+  }
+  bool fitted() const override { return model_.fitted(); }
+  std::string name() const override { return "gbdt"; }
+
+ private:
+  GbdtParams params_;
+  Gbdt model_;
+};
+
+class GbdtSurrogateFactory final : public SurrogateFactory {
+ public:
+  explicit GbdtSurrogateFactory(GbdtParams params = {}) : params_(params) {}
+  std::unique_ptr<Surrogate> create(std::uint64_t seed) const override {
+    GbdtParams p = params_;
+    p.seed = seed;
+    return std::make_unique<GbdtSurrogate>(p);
+  }
+  std::string name() const override { return "gbdt"; }
+
+ private:
+  GbdtParams params_;
+};
+
+// --- Ridge linear regression -------------------------------------------------
+
+class RidgeSurrogate final : public Surrogate {
+ public:
+  explicit RidgeSurrogate(double lambda = 1e-2) : lambda_(lambda) {}
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  bool fitted() const override { return fitted_; }
+  std::string name() const override { return "ridge"; }
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;  // includes bias as last entry
+  bool fitted_ = false;
+};
+
+class RidgeSurrogateFactory final : public SurrogateFactory {
+ public:
+  explicit RidgeSurrogateFactory(double lambda = 1e-2) : lambda_(lambda) {}
+  std::unique_ptr<Surrogate> create(std::uint64_t) const override {
+    return std::make_unique<RidgeSurrogate>(lambda_);
+  }
+  std::string name() const override { return "ridge"; }
+
+ private:
+  double lambda_;
+};
+
+// --- k-nearest-neighbours -----------------------------------------------------
+
+class KnnSurrogate final : public Surrogate {
+ public:
+  explicit KnnSurrogate(int k = 5) : k_(k) {}
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> features) const override;
+  bool fitted() const override { return fitted_; }
+  std::string name() const override { return "knn"; }
+
+ private:
+  int k_;
+  Dataset data_;
+  bool fitted_ = false;
+};
+
+class KnnSurrogateFactory final : public SurrogateFactory {
+ public:
+  explicit KnnSurrogateFactory(int k = 5) : k_(k) {}
+  std::unique_ptr<Surrogate> create(std::uint64_t) const override {
+    return std::make_unique<KnnSurrogate>(k_);
+  }
+  std::string name() const override { return "knn"; }
+
+ private:
+  int k_;
+};
+
+}  // namespace aal

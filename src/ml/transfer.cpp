@@ -1,0 +1,48 @@
+#include "ml/transfer.hpp"
+
+#include <algorithm>
+
+namespace aal {
+
+void TransferContext::absorb(const TuningTask& task,
+                             const std::vector<MeasureResult>& results) {
+  double best = 0.0;
+  for (const auto& r : results) best = std::max(best, r.gflops);
+  if (best <= 0.0) return;  // nothing informative to transfer
+
+  auto& pool = pools_[static_cast<int>(task.workload().kind())];
+  for (const auto& r : results) {
+    PooledRow row;
+    row.source_key = task.key();
+    row.features = task.space().features(r.config);
+    row.normalized_score = r.ok ? r.gflops / best : 0.0;
+    pool.push_back(std::move(row));
+  }
+}
+
+Dataset TransferContext::seed_for(const TuningTask& task,
+                                  std::size_t max_rows) const {
+  const auto it = pools_.find(static_cast<int>(task.workload().kind()));
+  const int width = task.space().feature_dim();
+  Dataset out(static_cast<std::size_t>(width));
+  if (it == pools_.end()) return out;
+
+  const std::string self_key = task.key();
+  // Take the most recent compatible rows (later tasks first).
+  std::size_t taken = 0;
+  for (auto row = it->second.rbegin();
+       row != it->second.rend() && taken < max_rows; ++row) {
+    if (row->source_key == self_key) continue;
+    if (row->features.size() != static_cast<std::size_t>(width)) continue;
+    out.add_row(row->features, row->normalized_score);
+    ++taken;
+  }
+  return out;
+}
+
+std::size_t TransferContext::pool_size(WorkloadKind kind) const {
+  const auto it = pools_.find(static_cast<int>(kind));
+  return it == pools_.end() ? 0 : it->second.size();
+}
+
+}  // namespace aal

@@ -1,0 +1,44 @@
+// Transfer learning across tuning tasks.
+//
+// AutoTVM warm-starts a task's cost model with measurements from previously
+// tuned tasks. Our feature encoding is width-compatible within a workload
+// kind (all conv2d spaces emit the same 20 columns, etc.), so transfer pools
+// (features, normalized-score) rows per kind; scores are normalized by each
+// source task's best GFLOPS so targets are comparable across layers whose
+// absolute throughputs differ by an order of magnitude.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/workload.hpp"
+#include "measure/measure.hpp"
+#include "measure/tuning_task.hpp"
+#include "ml/dataset.hpp"
+
+namespace aal {
+
+class TransferContext {
+ public:
+  /// Ingests a finished task's measurements.
+  void absorb(const TuningTask& task, const std::vector<MeasureResult>& results);
+
+  /// Rows transferable to `task` (from *other* tasks of the same kind and
+  /// feature width), capped at `max_rows` most recent. Targets are in
+  /// normalized [0, 1]-ish score space.
+  Dataset seed_for(const TuningTask& task, std::size_t max_rows = 512) const;
+
+  /// Number of pooled rows for a kind.
+  std::size_t pool_size(WorkloadKind kind) const;
+
+ private:
+  struct PooledRow {
+    std::string source_key;
+    std::vector<double> features;
+    double normalized_score;
+  };
+  std::unordered_map<int, std::vector<PooledRow>> pools_;  // by kind
+};
+
+}  // namespace aal

@@ -1,0 +1,123 @@
+#include "pipeline/model_tuner.hpp"
+
+#include "core/advanced_tuner.hpp"
+#include "core/bted.hpp"
+#include "support/logging.hpp"
+#include "tuner/ga_tuner.hpp"
+#include "tuner/random_tuner.hpp"
+#include "tuner/xgb_tuner.hpp"
+
+namespace aal {
+
+TunerFactory autotvm_tuner_factory() {
+  return [](TransferContext* transfer) -> std::unique_ptr<Tuner> {
+    XgbTunerOptions opts;
+    opts.transfer = transfer;
+    auto tuner = std::make_unique<XgbTuner>(
+        std::make_shared<GbdtSurrogateFactory>(), random_init_sampler(), opts);
+    tuner->set_name("autotvm");
+    return tuner;
+  };
+}
+
+TunerFactory bted_tuner_factory() {
+  return [](TransferContext* transfer) -> std::unique_ptr<Tuner> {
+    XgbTunerOptions opts;
+    opts.transfer = transfer;
+    auto tuner = std::make_unique<XgbTuner>(
+        std::make_shared<GbdtSurrogateFactory>(), bted_init_sampler(), opts);
+    tuner->set_name("bted");
+    return tuner;
+  };
+}
+
+TunerFactory bted_bao_tuner_factory() {
+  return [](TransferContext*) -> std::unique_ptr<Tuner> {
+    // BAO replaces the XGB+SA machinery wholesale; the transfer context is
+    // not part of the paper's advanced framework.
+    return std::make_unique<AdvancedActiveLearningTuner>();
+  };
+}
+
+TunerFactory random_tuner_factory() {
+  return [](TransferContext*) -> std::unique_ptr<Tuner> {
+    return std::make_unique<RandomTuner>();
+  };
+}
+
+TunerFactory ga_tuner_factory() {
+  return [](TransferContext*) -> std::unique_ptr<Tuner> {
+    return std::make_unique<GaTuner>();
+  };
+}
+
+std::int64_t ModelTuneReport::total_measured() const {
+  std::int64_t total = 0;
+  for (const auto& t : tasks) total += t.result.num_measured;
+  return total;
+}
+
+std::unordered_map<std::string, std::int64_t>
+ModelTuneReport::best_flat_by_task() const {
+  std::unordered_map<std::string, std::int64_t> out;
+  for (const auto& t : tasks) {
+    if (t.result.best) out.emplace(t.task_key, t.result.best->config.flat);
+  }
+  return out;
+}
+
+ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
+                           const TunerFactory& factory,
+                           const ModelTuneOptions& options) {
+  const FusedGraph fused = fuse(graph);
+  const std::vector<Task> tasks = extract_tasks(fused);
+
+  ModelTuneReport report;
+  report.model_name = graph.name();
+
+  TransferContext transfer;
+  TransferContext* transfer_ptr = options.use_transfer ? &transfer : nullptr;
+
+  std::uint64_t task_index = 0;
+  for (const Task& task : tasks) {
+    ++task_index;
+    TuningTask tuning_task(task.workload, spec);
+    SimulatedDevice device(spec, options.device_seed * 1000003 + task_index);
+    Measurer measurer(tuning_task, device);
+    if (options.resume_from != nullptr) {
+      const std::size_t adopted =
+          measurer.preload(options.resume_from->records_for(tuning_task.key()));
+      if (adopted > 0) {
+        AAL_LOG_INFO << graph.name() << ": resumed " << adopted
+                     << " records for " << task.workload.brief();
+      }
+    }
+
+    auto tuner = factory(transfer_ptr);
+    TuneOptions tune_options = options.tune;
+    tune_options.seed = options.tune.seed * 7907 + task_index;
+    TuneResult result = tuner->tune(measurer, tune_options);
+    if (report.tuner_name.empty()) report.tuner_name = result.tuner_name;
+
+    AAL_LOG_INFO << graph.name() << " [" << task_index << '/' << tasks.size()
+                 << "] " << task.workload.brief() << ": best "
+                 << result.best_gflops() << " GFLOPS in "
+                 << result.num_measured << " configs ("
+                 << result.tuner_name << ')';
+
+    report.tasks.push_back(TaskTuneReport{task.workload.key(), task.workload,
+                                          task.count(), std::move(result)});
+  }
+  return report;
+}
+
+TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,
+                         Tuner& tuner, const TuneOptions& options,
+                         std::uint64_t device_seed) {
+  TuningTask task(workload, spec);
+  SimulatedDevice device(spec, device_seed);
+  Measurer measurer(task, device);
+  return tuner.tune(measurer, options);
+}
+
+}  // namespace aal

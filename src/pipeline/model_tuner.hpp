@@ -1,0 +1,77 @@
+// Node-wise model tuning — the outer loop of the paper's Fig. 1.
+//
+// Lowers a model graph through fusion, extracts the deduplicated tuning
+// tasks, runs the chosen tuner on every task against a shared simulated
+// device, and collects per-task results plus the best configuration per
+// task for the deployment/latency stage. AutoTVM-style transfer learning is
+// threaded through tasks of the same model in tuning order.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/fusion.hpp"
+#include "graph/graph.hpp"
+#include "hwsim/device.hpp"
+#include "measure/record.hpp"
+#include "measure/tuning_task.hpp"
+#include "ml/transfer.hpp"
+#include "tuner/tuner.hpp"
+
+namespace aal {
+
+/// Creates a fresh Tuner per task. The TransferContext pointer is shared
+/// across the model's tasks (null when the tuner kind doesn't use it).
+using TunerFactory =
+    std::function<std::unique_ptr<Tuner>(TransferContext* transfer)>;
+
+/// Factories for the three experiment arms plus baselines.
+TunerFactory autotvm_tuner_factory();          // AutoTVM (XGB+SA+transfer)
+TunerFactory bted_tuner_factory();             // AutoTVM with BTED init
+TunerFactory bted_bao_tuner_factory();         // full advanced framework
+TunerFactory random_tuner_factory();
+TunerFactory ga_tuner_factory();
+
+struct TaskTuneReport {
+  std::string task_key;
+  Workload workload;
+  int group_count = 0;  // fused groups sharing this task in the model
+  TuneResult result;
+};
+
+struct ModelTuneReport {
+  std::string model_name;
+  std::string tuner_name;
+  std::vector<TaskTuneReport> tasks;
+
+  std::int64_t total_measured() const;
+  /// Best config flat index per task key (only tasks with a valid best).
+  std::unordered_map<std::string, std::int64_t> best_flat_by_task() const;
+};
+
+struct ModelTuneOptions {
+  TuneOptions tune;                  // per-task budget / early stopping
+  bool use_transfer = true;          // share records across the model's tasks
+  std::uint64_t device_seed = 1234;  // measurement-noise stream
+  /// Optional tuning log from a previous session: each task's measurer is
+  /// preloaded with its matching records, so historical configurations are
+  /// revisited for free (resume semantics). Non-owning; may be null.
+  const RecordDatabase* resume_from = nullptr;
+};
+
+/// Tunes every task of `graph` with tuners from `factory`.
+ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
+                           const TunerFactory& factory,
+                           const ModelTuneOptions& options);
+
+/// Tunes a single workload (used by the per-layer figures). Returns the
+/// tuner's result; `device_seed` controls the measurement noise stream and
+/// `options.seed` the tuner's own randomness.
+TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,
+                         Tuner& tuner, const TuneOptions& options,
+                         std::uint64_t device_seed);
+
+}  // namespace aal

@@ -1,0 +1,289 @@
+#include "space/config_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+namespace aal {
+
+ConfigSpace::ConfigSpace(std::vector<Knob> knobs) : knobs_(std::move(knobs)) {
+  AAL_CHECK(!knobs_.empty(), "config space needs at least one knob");
+  size_ = 1;
+  feature_dim_ = 0;
+  for (const Knob& k : knobs_) {
+    AAL_CHECK(k.size() >= 1, "knob '" << k.name() << "' is empty");
+    AAL_ASSERT(size_ <= (std::int64_t{1} << 62) / k.size(),
+               "config space size overflow");
+    size_ *= k.size();
+    feature_dim_ += k.feature_width();
+  }
+}
+
+const Knob& ConfigSpace::knob(std::size_t i) const {
+  AAL_CHECK(i < knobs_.size(), "knob index out of range");
+  return knobs_[i];
+}
+
+Config ConfigSpace::at(std::int64_t flat) const {
+  AAL_CHECK(flat >= 0 && flat < size_,
+            "flat index " << flat << " out of space size " << size_);
+  Config c;
+  c.flat = flat;
+  c.choices.resize(knobs_.size());
+  // Mixed-radix decode, least-significant knob last (so that knob 0 varies
+  // slowest; purely a convention, kept stable for record files).
+  std::int64_t rest = flat;
+  for (std::size_t i = knobs_.size(); i-- > 0;) {
+    const std::int64_t base = knobs_[i].size();
+    c.choices[i] = static_cast<std::int32_t>(rest % base);
+    rest /= base;
+  }
+  return c;
+}
+
+std::int64_t ConfigSpace::flat_of(
+    const std::vector<std::int32_t>& choices) const {
+  AAL_CHECK(choices.size() == knobs_.size(),
+            "choice vector size mismatch: " << choices.size() << " vs "
+                                            << knobs_.size());
+  std::int64_t flat = 0;
+  for (std::size_t i = 0; i < knobs_.size(); ++i) {
+    const std::int64_t base = knobs_[i].size();
+    AAL_CHECK(choices[i] >= 0 && choices[i] < base,
+              "choice " << choices[i] << " out of range for knob '"
+                        << knobs_[i].name() << "'");
+    flat = flat * base + choices[i];
+  }
+  return flat;
+}
+
+Config ConfigSpace::make(std::vector<std::int32_t> choices) const {
+  Config c;
+  c.flat = flat_of(choices);
+  c.choices = std::move(choices);
+  return c;
+}
+
+Config ConfigSpace::sample(Rng& rng) const {
+  return at(static_cast<std::int64_t>(
+      rng.next_index(static_cast<std::uint64_t>(size_))));
+}
+
+std::vector<Config> ConfigSpace::sample_distinct(std::int64_t n,
+                                                 Rng& rng) const {
+  std::vector<Config> out;
+  if (n >= size_) {
+    out.reserve(static_cast<std::size_t>(size_));
+    for (std::int64_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+  std::unordered_set<std::int64_t> seen;
+  seen.reserve(static_cast<std::size_t>(n) * 2);
+  out.reserve(static_cast<std::size_t>(n));
+  while (static_cast<std::int64_t>(out.size()) < n) {
+    Config c = sample(rng);
+    if (seen.insert(c.flat).second) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<double> ConfigSpace::features(const Config& config) const {
+  AAL_CHECK(config.choices.size() == knobs_.size(),
+            "config does not belong to this space");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(feature_dim_));
+  for (std::size_t i = 0; i < knobs_.size(); ++i) {
+    knobs_[i].append_features(config.choices[i], out);
+  }
+  return out;
+}
+
+double ConfigSpace::choice_distance_sq(const Config& a,
+                                       const Config& b) const {
+  AAL_CHECK(a.choices.size() == knobs_.size() &&
+                b.choices.size() == knobs_.size(),
+            "configs do not belong to this space");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < knobs_.size(); ++i) {
+    const double d = static_cast<double>(a.choices[i]) - b.choices[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void ConfigSpace::enumerate_ball(const Config& center, double radius,
+                                 std::size_t max_points,
+                                 std::vector<Config>& out) const {
+  const double r2 = radius * radius;
+  std::vector<std::int32_t> current(knobs_.size(), 0);
+  // Depth-first product of per-knob windows with a running distance budget.
+  auto rec = [&](auto&& self, std::size_t knob_idx, double used) -> void {
+    if (knob_idx == knobs_.size()) {
+      Config c = make(current);
+      if (c.flat != center.flat) out.push_back(std::move(c));
+      return;
+    }
+    const double remaining = r2 - used;
+    const auto span = static_cast<std::int32_t>(std::floor(std::sqrt(remaining)));
+    const std::int32_t c0 = center.choices[knob_idx];
+    const std::int32_t lo = std::max<std::int32_t>(0, c0 - span);
+    const std::int32_t hi = std::min<std::int32_t>(
+        static_cast<std::int32_t>(knobs_[knob_idx].size()) - 1, c0 + span);
+    for (std::int32_t v = lo; v <= hi; ++v) {
+      const double d = static_cast<double>(v - c0);
+      if (used + d * d > r2) continue;
+      current[knob_idx] = v;
+      self(self, knob_idx + 1, used + d * d);
+    }
+  };
+  rec(rec, 0, 0.0);
+  (void)max_points;  // subsampling is handled by the caller
+}
+
+void ConfigSpace::sample_ball(const Config& center, double radius,
+                              std::size_t max_points, Rng& rng,
+                              std::vector<Config>& out) const {
+  const double r2 = radius * radius;
+  const auto span = static_cast<std::int32_t>(std::floor(radius));
+  std::unordered_set<std::int64_t> seen{center.flat};
+  const std::size_t max_attempts = max_points * 40 + 200;
+  std::vector<std::int32_t> choices(knobs_.size());
+  for (std::size_t attempt = 0;
+       attempt < max_attempts && out.size() < max_points; ++attempt) {
+    double used = 0.0;
+    bool valid = true;
+    for (std::size_t i = 0; i < knobs_.size(); ++i) {
+      const auto offset =
+          static_cast<std::int32_t>(rng.next_int(-span, span));
+      const std::int32_t v = center.choices[i] + offset;
+      if (v < 0 || v >= static_cast<std::int32_t>(knobs_[i].size())) {
+        valid = false;
+        break;
+      }
+      used += static_cast<double>(offset) * offset;
+      if (used > r2) {
+        valid = false;
+        break;
+      }
+      choices[i] = v;
+    }
+    if (!valid) continue;
+    Config c = make(choices);
+    if (seen.insert(c.flat).second) out.push_back(std::move(c));
+  }
+}
+
+std::vector<Config> ConfigSpace::neighborhood(const Config& center,
+                                              double radius,
+                                              std::size_t max_points,
+                                              Rng& rng) const {
+  AAL_CHECK(radius >= 0.0, "neighborhood radius must be >= 0");
+  std::vector<Config> out;
+  if (max_points == 0) return out;
+
+  // Estimate the bounding box of the ball to pick a strategy.
+  const auto span = static_cast<std::int64_t>(std::floor(radius));
+  double box = 1.0;
+  for (const Knob& k : knobs_) {
+    box *= static_cast<double>(std::min<std::int64_t>(2 * span + 1, k.size()));
+    if (box > 4.0 * static_cast<double>(max_points) * 16.0) break;
+  }
+
+  if (box <= 4.0 * static_cast<double>(max_points) * 16.0) {
+    enumerate_ball(center, radius, max_points, out);
+    if (out.size() > max_points) {
+      // Unbiased subsample of the exact ball.
+      rng.shuffle(out);
+      out.resize(max_points);
+    }
+  } else {
+    sample_ball(center, radius, max_points, rng, out);
+  }
+
+  // Degenerate center (e.g. radius too small near a corner of a tiny
+  // space): fall back to one random distinct point so BAO always has a
+  // candidate to evaluate.
+  if (out.empty() && size_ >= 2) {
+    for (int i = 0; i < 64 && out.empty(); ++i) {
+      Config c = sample(rng);
+      if (c.flat != center.flat) out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+double ConfigSpace::feature_distance_sq(const Config& a,
+                                        const Config& b) const {
+  const std::vector<double> fa = features(a);
+  const std::vector<double> fb = features(b);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const double d = fa[i] - fb[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::vector<Config> ConfigSpace::feature_neighborhood(const Config& center,
+                                                      double radius,
+                                                      std::size_t max_points,
+                                                      Rng& rng) const {
+  AAL_CHECK(radius >= 0.0, "neighborhood radius must be >= 0");
+  std::vector<Config> out;
+  if (max_points == 0) return out;
+
+  const std::vector<double> center_feats = features(center);
+  const double r2 = radius * radius;
+  std::unordered_set<std::int64_t> seen{center.flat};
+  const std::size_t max_attempts = max_points * 60 + 400;
+  std::vector<double> feats;
+  feats.reserve(static_cast<std::size_t>(feature_dim_));
+
+  for (std::size_t attempt = 0;
+       attempt < max_attempts && out.size() < max_points; ++attempt) {
+    // Mutate 1-3 random knobs of the center.
+    std::vector<std::int32_t> choices = center.choices;
+    const auto mutations = 1 + rng.next_index(3);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      const auto k = static_cast<std::size_t>(rng.next_index(knobs_.size()));
+      choices[k] = static_cast<std::int32_t>(
+          rng.next_index(static_cast<std::uint64_t>(knobs_[k].size())));
+    }
+    Config candidate = make(std::move(choices));
+    if (seen.contains(candidate.flat)) continue;
+
+    feats.clear();
+    for (std::size_t i = 0; i < knobs_.size(); ++i) {
+      knobs_[i].append_features(candidate.choices[i], feats);
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < feats.size() && acc <= r2; ++i) {
+      const double d = feats[i] - center_feats[i];
+      acc += d * d;
+    }
+    if (acc > r2) continue;
+    seen.insert(candidate.flat);
+    out.push_back(std::move(candidate));
+  }
+
+  if (out.empty() && size_ >= 2) {
+    for (int i = 0; i < 64 && out.empty(); ++i) {
+      Config c = sample(rng);
+      if (c.flat != center.flat) out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+std::string ConfigSpace::to_string(const Config& config) const {
+  std::ostringstream os;
+  os << '#' << config.flat;
+  for (std::size_t i = 0; i < knobs_.size(); ++i) {
+    os << ' ' << knobs_[i].name() << '='
+       << knobs_[i].entity_to_string(config.choices[i]);
+  }
+  return os.str();
+}
+
+}  // namespace aal

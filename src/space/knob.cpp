@@ -1,0 +1,95 @@
+#include "space/knob.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/math_util.hpp"
+
+namespace aal {
+
+Knob Knob::split(std::string name, std::int64_t extent, int parts) {
+  AAL_CHECK(extent >= 1, "split extent must be >= 1");
+  AAL_CHECK(parts >= 1, "split parts must be >= 1");
+  SplitKnob k;
+  k.name = std::move(name);
+  k.extent = extent;
+  k.parts = parts;
+  k.entities = ordered_factorizations(extent, parts);
+  Knob out;
+  out.data_ = std::move(k);
+  return out;
+}
+
+Knob Knob::option(std::string name, std::vector<std::int64_t> values) {
+  AAL_CHECK(!values.empty(), "option knob needs at least one value");
+  OptionKnob k;
+  k.name = std::move(name);
+  k.values = std::move(values);
+  Knob out;
+  out.data_ = std::move(k);
+  return out;
+}
+
+const std::string& Knob::name() const {
+  return is_split() ? std::get<SplitKnob>(data_).name
+                    : std::get<OptionKnob>(data_).name;
+}
+
+std::int64_t Knob::size() const {
+  return is_split()
+             ? static_cast<std::int64_t>(std::get<SplitKnob>(data_).entities.size())
+             : static_cast<std::int64_t>(std::get<OptionKnob>(data_).values.size());
+}
+
+const SplitKnob& Knob::as_split() const {
+  AAL_CHECK(is_split(), "knob '" << name() << "' is not a split knob");
+  return std::get<SplitKnob>(data_);
+}
+
+const OptionKnob& Knob::as_option() const {
+  AAL_CHECK(!is_split(), "knob '" << name() << "' is not an option knob");
+  return std::get<OptionKnob>(data_);
+}
+
+int Knob::feature_width() const {
+  return is_split() ? std::get<SplitKnob>(data_).parts : 1;
+}
+
+void Knob::append_features(std::int64_t choice,
+                           std::vector<double>& out) const {
+  AAL_CHECK(choice >= 0 && choice < size(),
+            "knob '" << name() << "' choice " << choice << " out of range "
+                     << size());
+  if (is_split()) {
+    const auto& entity =
+        std::get<SplitKnob>(data_).entities[static_cast<std::size_t>(choice)];
+    for (std::int64_t f : entity) {
+      out.push_back(std::log2(static_cast<double>(f)));
+    }
+  } else {
+    const std::int64_t v =
+        std::get<OptionKnob>(data_).values[static_cast<std::size_t>(choice)];
+    out.push_back(std::log2(static_cast<double>(v) + 1.0));
+  }
+}
+
+std::string Knob::entity_to_string(std::int64_t choice) const {
+  AAL_CHECK(choice >= 0 && choice < size(),
+            "knob '" << name() << "' choice out of range");
+  std::ostringstream os;
+  if (is_split()) {
+    const auto& entity =
+        std::get<SplitKnob>(data_).entities[static_cast<std::size_t>(choice)];
+    os << '[';
+    for (std::size_t i = 0; i < entity.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << entity[i];
+    }
+    os << ']';
+  } else {
+    os << std::get<OptionKnob>(data_).values[static_cast<std::size_t>(choice)];
+  }
+  return os.str();
+}
+
+}  // namespace aal

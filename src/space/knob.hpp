@@ -1,0 +1,68 @@
+// Tuning knobs.
+//
+// A ConfigSpace is a product of discrete knobs, exactly like AutoTVM's
+// schedule-template spaces:
+//   * SplitKnob — an ordered k-way tile split of a loop axis; each entity is
+//     a factor tuple whose product equals the axis extent.
+//   * OptionKnob — a categorical/ordinal choice from an explicit value list
+//     (e.g. auto_unroll_max_step in {0, 512, 1500}).
+// Entities are materialized eagerly: per-knob entity counts stay small (the
+// axis extents are layer dimensions), while the *product* over knobs reaches
+// 10^8 — the space itself is never materialized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+struct SplitKnob {
+  std::string name;
+  std::int64_t extent = 1;  // axis length being split
+  int parts = 1;            // number of factors
+  /// entities[i] is the i-th factor tuple (size == parts, product == extent).
+  std::vector<std::vector<std::int64_t>> entities;
+};
+
+struct OptionKnob {
+  std::string name;
+  std::vector<std::int64_t> values;
+};
+
+class Knob {
+ public:
+  /// Builds a split knob by enumerating all ordered factorizations.
+  static Knob split(std::string name, std::int64_t extent, int parts);
+
+  /// Builds an option knob from an explicit value list.
+  static Knob option(std::string name, std::vector<std::int64_t> values);
+
+  const std::string& name() const;
+  std::int64_t size() const;
+
+  bool is_split() const { return std::holds_alternative<SplitKnob>(data_); }
+  const SplitKnob& as_split() const;
+  const OptionKnob& as_option() const;
+
+  /// Number of feature columns this knob contributes (parts for a split,
+  /// 1 for an option).
+  int feature_width() const;
+
+  /// Appends this knob's features for entity `choice` to `out`.
+  /// Split factors are encoded as log2(factor); option values as log2(v+1)
+  /// so that 0 maps to 0. Log encoding makes tile ratios linear, which both
+  /// the TED distance and the GBDT splits benefit from.
+  void append_features(std::int64_t choice, std::vector<double>& out) const;
+
+  /// Human-readable rendering of one entity, e.g. "[2, 4, 8, 1]" or "512".
+  std::string entity_to_string(std::int64_t choice) const;
+
+ private:
+  std::variant<SplitKnob, OptionKnob> data_;
+};
+
+}  // namespace aal

@@ -1,0 +1,115 @@
+#include "space/schedule_template.hpp"
+
+#include "support/common.hpp"
+
+namespace aal {
+
+namespace {
+
+ConfigSpace build_conv2d_space(const Conv2dWorkload& w) {
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::split("tile_f", w.out_channels, 4));
+  knobs.push_back(Knob::split("tile_y", w.out_height(), 4));
+  knobs.push_back(Knob::split("tile_x", w.out_width(), 4));
+  knobs.push_back(Knob::split("tile_rc", w.in_channels / w.groups, 2));
+  knobs.push_back(Knob::split("tile_ry", w.kernel_h, 2));
+  knobs.push_back(Knob::split("tile_rx", w.kernel_w, 2));
+  knobs.push_back(Knob::option("auto_unroll_max_step", {0, 512, 1500}));
+  knobs.push_back(Knob::option("unroll_explicit", {0, 1}));
+  return ConfigSpace(std::move(knobs));
+}
+
+ConfigSpace build_depthwise_space(const Conv2dWorkload& w) {
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::split("tile_c", w.out_channels, 4));
+  knobs.push_back(Knob::split("tile_y", w.out_height(), 4));
+  knobs.push_back(Knob::split("tile_x", w.out_width(), 4));
+  knobs.push_back(Knob::split("tile_ry", w.kernel_h, 2));
+  knobs.push_back(Knob::split("tile_rx", w.kernel_w, 2));
+  knobs.push_back(Knob::option("auto_unroll_max_step", {0, 256, 1500}));
+  knobs.push_back(Knob::option("unroll_explicit", {0, 1}));
+  return ConfigSpace(std::move(knobs));
+}
+
+ConfigSpace build_dense_space(const DenseWorkload& w) {
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::split("tile_y", w.out_features, 4));
+  knobs.push_back(Knob::split("tile_k", w.in_features, 2));
+  knobs.push_back(Knob::option("auto_unroll_max_step", {0, 512, 1500}));
+  knobs.push_back(Knob::option("unroll_explicit", {0, 1}));
+  return ConfigSpace(std::move(knobs));
+}
+
+const std::vector<std::int64_t>& split_entity(const ConfigSpace& space,
+                                              const Config& config,
+                                              std::size_t knob_idx) {
+  const SplitKnob& k = space.knob(knob_idx).as_split();
+  return k.entities[static_cast<std::size_t>(config.choices[knob_idx])];
+}
+
+std::int64_t option_value(const ConfigSpace& space, const Config& config,
+                          std::size_t knob_idx) {
+  const OptionKnob& k = space.knob(knob_idx).as_option();
+  return k.values[static_cast<std::size_t>(config.choices[knob_idx])];
+}
+
+}  // namespace
+
+ConfigSpace build_config_space(const Workload& workload) {
+  switch (workload.kind()) {
+    case WorkloadKind::kConv2d:
+      return build_conv2d_space(workload.as_conv2d());
+    case WorkloadKind::kDepthwiseConv2d:
+      return build_depthwise_space(workload.as_conv2d());
+    case WorkloadKind::kDense:
+      return build_dense_space(workload.as_dense());
+  }
+  throw InternalError("unhandled workload kind");
+}
+
+ConvSchedule decode_conv_schedule(const Workload& workload,
+                                  const ConfigSpace& space,
+                                  const Config& config) {
+  AAL_CHECK(workload.is_conv(), "decode_conv_schedule on non-conv workload");
+  ConvSchedule s;
+  const bool depthwise = workload.kind() == WorkloadKind::kDepthwiseConv2d;
+
+  const auto& f = split_entity(space, config, 0);
+  s.bf = f[0]; s.vf = f[1]; s.tf = f[2]; s.fi = f[3];
+  const auto& y = split_entity(space, config, 1);
+  s.by = y[0]; s.vy = y[1]; s.ty = y[2]; s.yi = y[3];
+  const auto& x = split_entity(space, config, 2);
+  s.bx = x[0]; s.vx = x[1]; s.tx = x[2]; s.xi = x[3];
+
+  std::size_t idx = 3;
+  if (!depthwise) {
+    const auto& rc = split_entity(space, config, idx++);
+    s.rco = rc[0];
+    s.rci = rc[1];
+  }
+  const auto& ry = split_entity(space, config, idx++);
+  s.ryo = ry[0]; s.ryi = ry[1];
+  const auto& rx = split_entity(space, config, idx++);
+  s.rxo = rx[0]; s.rxi = rx[1];
+  s.auto_unroll_max_step = option_value(space, config, idx++);
+  s.unroll_explicit = option_value(space, config, idx++) != 0;
+  AAL_ASSERT(idx == space.num_knobs(), "conv template knob count mismatch");
+  return s;
+}
+
+DenseSchedule decode_dense_schedule(const Workload& workload,
+                                    const ConfigSpace& space,
+                                    const Config& config) {
+  AAL_CHECK(workload.kind() == WorkloadKind::kDense,
+            "decode_dense_schedule on non-dense workload");
+  DenseSchedule s;
+  const auto& y = split_entity(space, config, 0);
+  s.bo = y[0]; s.vo = y[1]; s.to = y[2]; s.oi = y[3];
+  const auto& k = split_entity(space, config, 1);
+  s.ko = k[0]; s.ki = k[1];
+  s.auto_unroll_max_step = option_value(space, config, 2);
+  s.unroll_explicit = option_value(space, config, 3) != 0;
+  return s;
+}
+
+}  // namespace aal

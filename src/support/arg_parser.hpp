@@ -1,0 +1,67 @@
+// Minimal command-line flag parser for the CLI tool and the experiment
+// harnesses. Supports `--key value`, `--key=value`, boolean switches and
+// positional arguments, with generated usage text.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aal {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  /// Registers flags. `fallback` doubles as documentation of the default.
+  void add_flag(const std::string& name, const std::string& help,
+                std::string fallback);
+  void add_int_flag(const std::string& name, const std::string& help,
+                    std::int64_t fallback);
+  void add_switch(const std::string& name, const std::string& help);
+  /// Declares a named positional argument (consumed in declaration order).
+  void add_positional(const std::string& name, const std::string& help,
+                      bool required = true);
+
+  /// Parses argv (excluding argv[0]); throws InvalidArgument on unknown
+  /// flags, missing values or missing required positionals. `--help`
+  /// short-circuits: help_requested() becomes true and parsing stops.
+  void parse(int argc, const char* const* argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_switch(const std::string& name) const;
+  std::optional<std::string> get_positional(const std::string& name) const;
+
+  /// Generated usage text.
+  std::string usage(const std::string& program_name) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string value;
+    bool is_switch = false;
+    bool is_int = false;
+    bool set = false;
+  };
+  struct Positional {
+    std::string name;
+    std::string help;
+    bool required = true;
+    std::optional<std::string> value;
+  };
+
+  Flag* find(const std::string& name);
+  const Flag* find(const std::string& name) const;
+
+  std::string description_;
+  std::vector<Flag> flags_;
+  std::vector<Positional> positionals_;
+  bool help_requested_ = false;
+};
+
+}  // namespace aal

@@ -1,0 +1,68 @@
+// Common error-handling and assertion utilities used across aaltune.
+//
+// The library uses exceptions (aal::Error) for recoverable API misuse and
+// AAL_CHECK for precondition validation. Internal invariants that indicate a
+// bug in the library itself use AAL_ASSERT, which is compiled in all build
+// types: the tuning workloads are cheap relative to surrogate training, so
+// keeping the checks in Release costs nothing measurable.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aal {
+
+/// Base exception type for all aaltune errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant is violated (library bug).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+/// Accumulates a message via operator<< and throws E on destruction-free
+/// finalization. Used by the AAL_CHECK / AAL_ASSERT macros.
+template <typename E>
+[[noreturn]] inline void throw_with_message(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: (" << expr << ')';
+  if (!msg.empty()) os << " — " << msg;
+  throw E(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace aal
+
+/// Validates a documented precondition; throws aal::InvalidArgument.
+#define AAL_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::aal::detail::throw_with_message<::aal::InvalidArgument>(          \
+          #cond, __FILE__, __LINE__, (std::ostringstream{} << msg).str());\
+    }                                                                     \
+  } while (false)
+
+/// Validates an internal invariant; throws aal::InternalError.
+#define AAL_ASSERT(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::aal::detail::throw_with_message<::aal::InternalError>(            \
+          #cond, __FILE__, __LINE__, (std::ostringstream{} << msg).str());\
+    }                                                                     \
+  } while (false)

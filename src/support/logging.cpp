@@ -1,0 +1,62 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace aal {
+
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_sink_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+ScopedLogLevel::ScopedLogLevel(LogLevel level) : previous_(log_threshold()) {
+  set_log_threshold(level);
+}
+
+ScopedLogLevel::~ScopedLogLevel() { set_log_threshold(previous_); }
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Strip directories: the repo-relative basename is enough to locate a line.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << '[' << level_name(level) << "] " << base << ':' << line << ": ";
+}
+
+LogMessage::~LogMessage() {
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fputs(line.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace aal

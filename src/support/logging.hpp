@@ -1,0 +1,69 @@
+// Minimal leveled logger.
+//
+// The tuning loops emit progress at Info level; the experiment harnesses can
+// raise the threshold to Warn to keep benchmark output clean. A global
+// threshold plus stderr sink is all the project needs — pulling in a logging
+// framework would be heavier than the rest of the support layer combined.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace aal {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the current global threshold (default Info).
+LogLevel log_threshold();
+
+/// Sets the global threshold. Thread-safe.
+void set_log_threshold(LogLevel level);
+
+/// RAII guard that restores the previous threshold on scope exit; used by
+/// tests and benches to silence the library locally.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level);
+  ~ScopedLogLevel();
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+namespace detail {
+
+/// Builds one log line and writes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace aal
+
+#define AAL_LOG(level)                                               \
+  if (static_cast<int>(::aal::LogLevel::level) <                     \
+      static_cast<int>(::aal::log_threshold())) {                    \
+  } else                                                             \
+    ::aal::detail::LogMessage(::aal::LogLevel::level, __FILE__, __LINE__)
+
+#define AAL_LOG_DEBUG AAL_LOG(kDebug)
+#define AAL_LOG_INFO AAL_LOG(kInfo)
+#define AAL_LOG_WARN AAL_LOG(kWarn)
+#define AAL_LOG_ERROR AAL_LOG(kError)

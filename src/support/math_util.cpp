@@ -1,0 +1,73 @@
+#include "support/math_util.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+std::vector<std::int64_t> divisors(std::int64_t n) {
+  AAL_CHECK(n >= 1, "divisors requires n >= 1, got " << n);
+  std::vector<std::int64_t> small, large;
+  for (std::int64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      small.push_back(d);
+      if (d != n / d) large.push_back(n / d);
+    }
+  }
+  small.insert(small.end(), large.rbegin(), large.rend());
+  return small;
+}
+
+namespace {
+
+void factorize_rec(std::int64_t n, int k,
+                   std::vector<std::int64_t>& current,
+                   std::vector<std::vector<std::int64_t>>& out) {
+  if (k == 1) {
+    current.push_back(n);
+    out.push_back(current);
+    current.pop_back();
+    return;
+  }
+  for (std::int64_t d : divisors(n)) {
+    current.push_back(d);
+    factorize_rec(n / d, k - 1, current, out);
+    current.pop_back();
+  }
+}
+
+std::int64_t count_rec(std::int64_t n, int k) {
+  if (k == 1) return 1;
+  std::int64_t total = 0;
+  for (std::int64_t d : divisors(n)) total += count_rec(n / d, k - 1);
+  return total;
+}
+
+}  // namespace
+
+std::int64_t count_ordered_factorizations(std::int64_t n, int k) {
+  AAL_CHECK(n >= 1, "n must be >= 1");
+  AAL_CHECK(k >= 1, "k must be >= 1");
+  return count_rec(n, k);
+}
+
+std::vector<std::vector<std::int64_t>> ordered_factorizations(std::int64_t n,
+                                                              int k) {
+  AAL_CHECK(n >= 1, "n must be >= 1");
+  AAL_CHECK(k >= 1, "k must be >= 1");
+  std::vector<std::vector<std::int64_t>> out;
+  std::vector<std::int64_t> current;
+  current.reserve(static_cast<std::size_t>(k));
+  factorize_rec(n, k, current, out);
+  return out;
+}
+
+std::int64_t next_power_of_two(std::int64_t n) {
+  AAL_CHECK(n >= 1, "next_power_of_two requires n >= 1");
+  std::int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace aal

@@ -1,0 +1,50 @@
+// Integer math helpers shared by the schedule-space generator and the
+// hardware model: divisor enumeration, multi-way factorization counting,
+// ceil-div / round-up, and power-of-two utilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aal {
+
+/// All positive divisors of n, ascending. n must be >= 1.
+std::vector<std::int64_t> divisors(std::int64_t n);
+
+/// Number of ordered k-tuples (f1,...,fk) with product n (all fi >= 1).
+/// This is the size of a k-way tile-split knob over an axis of length n.
+std::int64_t count_ordered_factorizations(std::int64_t n, int k);
+
+/// All ordered k-way factorizations of n. Each entry has exactly k factors
+/// whose product is n. Order of tuples is deterministic (lexicographic in
+/// the divisor chain). Intended for knob materialization; the caller is
+/// responsible for keeping n and k small enough that the result fits in
+/// memory (the schedule generator always does).
+std::vector<std::vector<std::int64_t>> ordered_factorizations(std::int64_t n,
+                                                              int k);
+
+/// ceil(a / b) for positive b.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Smallest multiple of b that is >= a (b > 0).
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+/// True iff n is a power of two (n >= 1).
+constexpr bool is_power_of_two(std::int64_t n) {
+  return n > 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n (n >= 1).
+std::int64_t next_power_of_two(std::int64_t n);
+
+/// Clamps x into [lo, hi].
+template <typename T>
+constexpr T clamp(T x, T lo, T hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace aal

@@ -1,0 +1,45 @@
+#include "support/rng.hpp"
+
+#include <unordered_set>
+
+namespace aal {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  AAL_CHECK(k <= n, "cannot sample " << k << " distinct items from " << n);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+
+  // When k is a sizeable fraction of n, a partial Fisher–Yates over an
+  // explicit index pool is cheapest. Otherwise rejection sampling with a
+  // hash set avoids materializing n indices.
+  if (k * 4 >= n) {
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + next_index(n - i);
+      std::swap(pool[i], pool[j]);
+      out.push_back(pool[i]);
+    }
+  } else {
+    std::unordered_set<std::size_t> seen;
+    seen.reserve(k * 2);
+    while (out.size() < k) {
+      const std::size_t idx = next_index(n);
+      if (seen.insert(idx).second) out.push_back(idx);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> Rng::sample_with_replacement(std::size_t n,
+                                                      std::size_t k) {
+  AAL_CHECK(n > 0, "cannot resample from an empty set");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(next_index(n));
+  return out;
+}
+
+}  // namespace aal

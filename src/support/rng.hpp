@@ -1,0 +1,145 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of aaltune (samplers, the hardware noise model,
+// simulated annealing, bootstrap resampling) draw from aal::Rng so that a
+// single 64-bit seed reproduces an entire experiment. The generator is
+// xoshiro256++ (Blackman & Vigna), which is fast, has a 256-bit state and
+// passes BigCrush; std::mt19937_64 would also work but is slower and its
+// seeding from a single word is notoriously weak.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+/// xoshiro256++ generator satisfying std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state via splitmix64 so that nearby seeds give unrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64: recommended seeding procedure for the xoshiro family.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : state_) w = next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Uses Lemire's multiply-shift rejection
+  /// method to avoid modulo bias.
+  std::uint64_t next_index(std::uint64_t n) {
+    AAL_CHECK(n > 0, "next_index requires n > 0");
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    AAL_CHECK(lo <= hi, "next_int requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_index(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Standard normal via Marsaglia polar method (no caching to keep the
+  /// stream position deterministic and easy to reason about).
+  double next_gaussian() {
+    for (;;) {
+      const double u = next_double(-1.0, 1.0);
+      const double v = next_double(-1.0, 1.0);
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        return u * std::sqrt(-2.0 * std::log(s) / s);
+      }
+    }
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double next_gaussian(double mean, double stddev) {
+    return mean + stddev * next_gaussian();
+  }
+
+  /// true with probability p.
+  bool next_bernoulli(double p) { return next_double() < p; }
+
+  /// Samples k distinct indices from [0, n) without replacement
+  /// (Fisher–Yates over a candidate pool when k is a large fraction of n,
+  /// rejection sampling otherwise). Result order is random.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Samples k indices from [0, n) *with* replacement (bootstrap resample).
+  std::vector<std::size_t> sample_with_replacement(std::size_t n,
+                                                   std::size_t k);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[next_index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each parallel
+  /// worker its own stream.
+  Rng split() { return Rng((*this)() ^ 0xA3EC647659359ACDULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace aal

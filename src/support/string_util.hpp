@@ -1,0 +1,52 @@
+// String formatting helpers for log lines, experiment reports and record
+// serialization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aal {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Fixed-precision double formatting ("%.4f" style) without locale issues.
+std::string format_double(double value, int precision = 4);
+
+/// Formats a fraction as a signed percentage string, e.g. -0.1384 -> "-13.84%".
+std::string format_percent(double fraction, int precision = 2);
+
+/// Human-readable large count, e.g. 209715200 -> "209.7M".
+std::string format_count(std::int64_t n);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Simple fixed-width text-table builder used by the bench harnesses to
+/// print paper-style tables.
+class TextTable {
+ public:
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+  void add_separator();
+  /// Renders with column widths fitted to content.
+  std::string to_string() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace aal

@@ -1,0 +1,25 @@
+#include "tensor/dtype.hpp"
+
+#include "support/common.hpp"
+
+namespace aal {
+
+std::string dtype_name(DType t) {
+  switch (t) {
+    case DType::kFloat32: return "float32";
+    case DType::kFloat16: return "float16";
+    case DType::kInt8: return "int8";
+    case DType::kInt32: return "int32";
+  }
+  return "unknown";
+}
+
+DType dtype_from_name(const std::string& name) {
+  if (name == "float32") return DType::kFloat32;
+  if (name == "float16") return DType::kFloat16;
+  if (name == "int8") return DType::kInt8;
+  if (name == "int32") return DType::kInt32;
+  throw InvalidArgument("unknown dtype name: " + name);
+}
+
+}  // namespace aal

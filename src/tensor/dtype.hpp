@@ -1,0 +1,34 @@
+// Scalar data types carried by tensors. The deployment experiments in the
+// paper run fp32 inference; int8/fp16 are modeled so the simulator can be
+// exercised with quantized workloads as an extension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aal {
+
+enum class DType : std::uint8_t {
+  kFloat32,
+  kFloat16,
+  kInt8,
+  kInt32,
+};
+
+/// Size of one element in bytes.
+constexpr std::int64_t dtype_bytes(DType t) {
+  switch (t) {
+    case DType::kFloat32: return 4;
+    case DType::kFloat16: return 2;
+    case DType::kInt8: return 1;
+    case DType::kInt32: return 4;
+  }
+  return 4;
+}
+
+std::string dtype_name(DType t);
+
+/// Parses "float32" etc.; throws InvalidArgument on unknown names.
+DType dtype_from_name(const std::string& name);
+
+}  // namespace aal

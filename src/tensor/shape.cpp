@@ -1,0 +1,28 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+namespace aal {
+
+std::int64_t Shape::num_elements() const {
+  std::int64_t n = 1;
+  for (std::int64_t d : dims_) {
+    AAL_ASSERT(n <= (std::int64_t{1} << 62) / d,
+               "shape element count overflow");
+    n *= d;
+  }
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace aal

@@ -1,0 +1,71 @@
+// Tensor shapes. Layout convention throughout the library is NCHW for
+// activations and OIHW for convolution weights, matching the TVM CUDA
+// templates the paper tunes.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+#include "tensor/dtype.hpp"
+
+namespace aal {
+
+/// Immutable-by-convention dimension vector with element/byte accounting.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t operator[](std::size_t i) const {
+    AAL_CHECK(i < dims_.size(), "shape index " << i << " out of rank "
+                                               << dims_.size());
+    return dims_[i];
+  }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Product of all dimensions; 1 for a scalar (rank 0).
+  std::int64_t num_elements() const;
+
+  std::int64_t num_bytes(DType t) const {
+    return num_elements() * dtype_bytes(t);
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[1, 3, 224, 224]"
+  std::string to_string() const;
+
+ private:
+  void validate() const {
+    for (std::int64_t d : dims_) {
+      AAL_CHECK(d >= 1, "shape dimensions must be >= 1, got " << d);
+    }
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+/// A typed tensor signature (shape + dtype); the graph IR stores these on
+/// every edge. No data buffer: the simulator is analytical.
+struct TensorType {
+  Shape shape;
+  DType dtype = DType::kFloat32;
+
+  std::int64_t num_bytes() const { return shape.num_bytes(dtype); }
+  bool operator==(const TensorType& other) const {
+    return shape == other.shape && dtype == other.dtype;
+  }
+  std::string to_string() const {
+    return shape.to_string() + ":" + dtype_name(dtype);
+  }
+};
+
+}  // namespace aal

@@ -1,0 +1,78 @@
+#include "tuner/chameleon_tuner.hpp"
+
+#include <unordered_set>
+
+#include "ml/kmeans.hpp"
+
+namespace aal {
+
+ChameleonTuner::ChameleonTuner(
+    std::shared_ptr<const SurrogateFactory> surrogate_factory,
+    ChameleonTunerOptions options)
+    : surrogate_factory_(std::move(surrogate_factory)),
+      chameleon_options_(options) {
+  AAL_CHECK(chameleon_options_.oversample_factor >= 1,
+            "oversample_factor must be >= 1");
+}
+
+TuneResult ChameleonTuner::tune(Measurer& measurer,
+                                const TuneOptions& options) {
+  TuneLoopState state(measurer, options);
+  Rng rng(options.seed);
+  const TuningTask& task = measurer.task();
+  const ConfigSpace& space = task.space();
+
+  // Random initialization, as in AutoTVM/CHAMELEON.
+  state.measure_all(space.sample_distinct(options.num_initial, rng));
+
+  SaOptimizer sa(space, chameleon_options_.sa.num_chains > 0
+                            ? chameleon_options_.sa
+                            : SaParams{});
+  std::uint64_t round = 0;
+  while (!state.should_stop() && measurer.num_measured() < space.size()) {
+    // Cost model on everything measured so far.
+    const std::vector<MeasureResult> measured = measurer.all_results();
+    Dataset data(static_cast<std::size_t>(space.feature_dim()));
+    for (const auto& r : measured) {
+      data.add_row(space.features(r.config), r.ok ? r.gflops : 0.0);
+    }
+    auto model = surrogate_factory_->create(options.seed * 6151 + ++round);
+    model->fit(data);
+
+    std::unordered_set<std::int64_t> measured_flats;
+    for (const auto& r : measured) measured_flats.insert(r.config.flat);
+
+    // Over-provisioned proposal pool from SA.
+    const auto score = [&](const Config& c) {
+      return model->predict(space.features(c));
+    };
+    const int pool_size =
+        options.batch_size * chameleon_options_.oversample_factor;
+    std::vector<Config> pool =
+        sa.maximize(score, pool_size, rng, measured_flats);
+    if (pool.empty()) {
+      Config c = space.sample(rng);
+      if (!measured_flats.contains(c.flat)) pool.push_back(std::move(c));
+      if (pool.empty()) break;  // space exhausted
+    }
+
+    // Adaptive sampling: cluster the pool, measure one medoid per cluster.
+    std::vector<std::vector<double>> features;
+    features.reserve(pool.size());
+    for (const Config& c : pool) features.push_back(space.features(c));
+    const KMeansResult clusters = kmeans(
+        features, static_cast<std::size_t>(options.batch_size), rng);
+
+    std::vector<Config> plan;
+    plan.reserve(clusters.medoids.size());
+    std::unordered_set<std::int64_t> planned;
+    for (std::size_t medoid : clusters.medoids) {
+      const Config& c = pool[medoid];
+      if (planned.insert(c.flat).second) plan.push_back(c);
+    }
+    if (!state.measure_all(plan)) break;
+  }
+  return state.finish(name());
+}
+
+}  // namespace aal

@@ -1,0 +1,46 @@
+// CHAMELEON-inspired adaptive-sampling tuner.
+//
+// The paper's introduction discusses CHAMELEON (Ahn et al., ICLR 2020),
+// which improves AutoTVM by (a) adapting the exploration step and (b)
+// *adaptive sampling*: instead of measuring every candidate its search
+// module proposes, it clusters the proposals and measures one
+// representative per cluster, spending the on-chip budget on diverse
+// configurations. This tuner reproduces that sampling idea on top of our
+// XGB+SA machinery (the RL-learned proposal policy is out of scope — the
+// paper itself notes it is "too difficult to implement and train"):
+//   1. fit the cost model, run SA for an over-provisioned candidate pool
+//      (oversample_factor x batch);
+//   2. k-means the pool in feature space into `batch` clusters;
+//   3. measure the cluster medoids.
+#pragma once
+
+#include <memory>
+
+#include "ml/sa_optimizer.hpp"
+#include "ml/surrogate.hpp"
+#include "tuner/tuner.hpp"
+
+namespace aal {
+
+struct ChameleonTunerOptions {
+  SaParams sa;
+  /// SA pool size as a multiple of the measurement batch.
+  int oversample_factor = 4;
+};
+
+class ChameleonTuner final : public Tuner {
+ public:
+  explicit ChameleonTuner(
+      std::shared_ptr<const SurrogateFactory> surrogate_factory =
+          std::make_shared<GbdtSurrogateFactory>(),
+      ChameleonTunerOptions options = {});
+
+  std::string name() const override { return "chameleon"; }
+  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+
+ private:
+  std::shared_ptr<const SurrogateFactory> surrogate_factory_;
+  ChameleonTunerOptions chameleon_options_;
+};
+
+}  // namespace aal

@@ -1,0 +1,72 @@
+#include "tuner/ga_tuner.hpp"
+
+#include <algorithm>
+
+namespace aal {
+
+TuneResult GaTuner::tune(Measurer& measurer, const TuneOptions& options) {
+  TuneLoopState state(measurer, options);
+  Rng rng(options.seed);
+  const ConfigSpace& space = measurer.task().space();
+
+  struct Individual {
+    Config config;
+    double fitness = 0.0;
+  };
+
+  // Seed population.
+  std::vector<Individual> population;
+  for (const Config& c :
+       space.sample_distinct(options_.population, rng)) {
+    if (!state.measure(c)) return state.finish(name());
+    population.push_back(
+        Individual{c, measurer.measure(c).ok ? measurer.measure(c).gflops : 0.0});
+  }
+
+  auto tournament = [&]() -> const Individual& {
+    const Individual& a =
+        population[rng.next_index(population.size())];
+    const Individual& b =
+        population[rng.next_index(population.size())];
+    return a.fitness >= b.fitness ? a : b;
+  };
+
+  while (!state.should_stop() &&
+         measurer.num_measured() < space.size()) {
+    std::sort(population.begin(), population.end(),
+              [](const Individual& a, const Individual& b) {
+                return a.fitness > b.fitness;
+              });
+    std::vector<Individual> next(
+        population.begin(),
+        population.begin() + std::min<std::ptrdiff_t>(
+                                 options_.elite,
+                                 static_cast<std::ptrdiff_t>(population.size())));
+    while (next.size() < population.size() && !state.should_stop()) {
+      const Individual& mom = tournament();
+      const Individual& dad = tournament();
+      // One-point crossover in knob order.
+      std::vector<std::int32_t> child = mom.config.choices;
+      const std::size_t cut = rng.next_index(child.size() + 1);
+      for (std::size_t i = cut; i < child.size(); ++i) {
+        child[i] = dad.config.choices[i];
+      }
+      // Mutation.
+      for (std::size_t i = 0; i < child.size(); ++i) {
+        if (rng.next_bernoulli(options_.mutation_prob)) {
+          child[i] = static_cast<std::int32_t>(
+              rng.next_index(static_cast<std::uint64_t>(space.knob(i).size())));
+        }
+      }
+      Config config = space.make(std::move(child));
+      if (!state.measure(config)) break;
+      const MeasureResult& r = measurer.measure(config);
+      next.push_back(Individual{config, r.ok ? r.gflops : 0.0});
+    }
+    if (next.size() < 2) break;
+    population = std::move(next);
+  }
+  return state.finish(name());
+}
+
+}  // namespace aal

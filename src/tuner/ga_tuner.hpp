@@ -1,0 +1,27 @@
+// Genetic-algorithm tuner (AutoTVM ships one as a model-free baseline).
+// Tournament selection over measured GFLOPS, one-point knob crossover,
+// per-knob mutation. Included for tuner comparisons and the examples.
+#pragma once
+
+#include "tuner/tuner.hpp"
+
+namespace aal {
+
+struct GaTunerOptions {
+  int population = 64;
+  double mutation_prob = 0.1;  // per knob
+  int elite = 8;               // survivors copied unchanged
+};
+
+class GaTuner final : public Tuner {
+ public:
+  explicit GaTuner(GaTunerOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "ga"; }
+  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+
+ private:
+  GaTunerOptions options_;
+};
+
+}  // namespace aal

@@ -1,0 +1,32 @@
+#include "tuner/grid_tuner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aal {
+
+TuneResult GridTuner::tune(Measurer& measurer, const TuneOptions& options) {
+  TuneLoopState state(measurer, options);
+  const ConfigSpace& space = measurer.task().space();
+  const std::int64_t size = space.size();
+
+  // Low-discrepancy scan: step by ~golden-ratio * size, made coprime with
+  // the space size so every point is eventually visited. A naive stride of
+  // size/budget aliases with the mixed-radix knob encoding (the stride can
+  // be a multiple of a knob's radix product, freezing that knob — often on
+  // an unbuildable choice).
+  std::int64_t stride = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(0.6180339887498949 *
+                                   static_cast<double>(size)));
+  while (std::gcd(stride, size) != 1) ++stride;
+
+  std::int64_t flat = 0;
+  for (std::int64_t i = 0; i < size; ++i) {
+    if (!state.measure(space.at(flat))) break;
+    flat += stride;
+    if (flat >= size) flat -= size;
+  }
+  return state.finish(name());
+}
+
+}  // namespace aal

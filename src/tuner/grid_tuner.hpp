@@ -1,0 +1,16 @@
+// Deterministic grid-scan baseline (AutoTVM's GridSearchTuner): walks the
+// space in flat-index order with a fixed stride so a small budget still
+// touches the whole range.
+#pragma once
+
+#include "tuner/tuner.hpp"
+
+namespace aal {
+
+class GridTuner final : public Tuner {
+ public:
+  std::string name() const override { return "grid"; }
+  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+};
+
+}  // namespace aal

@@ -1,0 +1,18 @@
+#include "tuner/random_tuner.hpp"
+
+namespace aal {
+
+TuneResult RandomTuner::tune(Measurer& measurer, const TuneOptions& options) {
+  TuneLoopState state(measurer, options);
+  Rng rng(options.seed);
+  const ConfigSpace& space = measurer.task().space();
+  while (!state.should_stop() &&
+         measurer.num_measured() < space.size()) {
+    // Memoized duplicates cost nothing, so plain uniform draws are fine
+    // even near space exhaustion (the loop guard handles full exhaustion).
+    if (!state.measure(space.sample(rng))) break;
+  }
+  return state.finish(name());
+}
+
+}  // namespace aal

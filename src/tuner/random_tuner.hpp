@@ -1,0 +1,14 @@
+// Uniform-random search baseline (AutoTVM's RandomTuner).
+#pragma once
+
+#include "tuner/tuner.hpp"
+
+namespace aal {
+
+class RandomTuner final : public Tuner {
+ public:
+  std::string name() const override { return "random"; }
+  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+};
+
+}  // namespace aal

@@ -1,0 +1,99 @@
+// Tuner interface and shared tuning-loop types.
+//
+// A Tuner consumes a Measurer (task + device + budget accounting) and
+// produces a TuneResult: the measurement history (from which the paper's
+// convergence plots are drawn), the best configuration, and the number of
+// configurations spent. Budget and early-stopping semantics follow AutoTVM:
+// `budget` caps measured configs, `early_stopping` aborts when the best
+// GFLOPS has not improved within that many consecutive measurements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/measure.hpp"
+#include "support/rng.hpp"
+
+namespace aal {
+
+struct TuneOptions {
+  std::int64_t budget = 1024;
+  std::int64_t early_stopping = 400;
+  int batch_size = 64;   // configs measured per optimization round
+  std::uint64_t seed = 1;
+
+  /// Number of initial samples (AutoTVM default: 64).
+  int num_initial = 64;
+};
+
+struct TunePoint {
+  std::int64_t flat = -1;
+  bool ok = false;
+  double gflops = 0.0;
+};
+
+struct TuneResult {
+  std::string tuner_name;
+  std::vector<TunePoint> history;  // in measurement order
+  std::optional<MeasureResult> best;
+  std::int64_t num_measured = 0;
+
+  double best_gflops() const { return best ? best->gflops : 0.0; }
+
+  /// Running best GFLOPS after each measurement (the Fig. 4 curves).
+  std::vector<double> best_curve() const;
+};
+
+class Tuner {
+ public:
+  virtual ~Tuner() = default;
+  virtual std::string name() const = 0;
+
+  /// Runs the full tuning loop on one task.
+  virtual TuneResult tune(Measurer& measurer, const TuneOptions& options) = 0;
+};
+
+/// Initial-set sampler signature: produces `m` distinct configurations to
+/// bootstrap the search. The default is uniform random (AutoTVM); the
+/// paper's BTED plugs in here.
+using InitSampler = std::function<std::vector<Config>(
+    const TuningTask& task, int m, Rng& rng)>;
+
+/// Uniform-random initial sampler.
+InitSampler random_init_sampler();
+
+/// Book-keeping helper shared by tuner implementations: measures a batch,
+/// appends to history, and reports whether budget/early-stop tripped.
+class TuneLoopState {
+ public:
+  TuneLoopState(Measurer& measurer, const TuneOptions& options);
+
+  /// Measures one config; returns false when the loop must stop.
+  bool measure(const Config& config);
+
+  /// Measures a batch in order; returns false when the loop must stop.
+  bool measure_all(const std::vector<Config>& configs);
+
+  bool should_stop() const;
+  const std::vector<TunePoint>& history() const { return history_; }
+  Measurer& measurer() { return measurer_; }
+
+  /// Finalizes the result (best config, counts).
+  TuneResult finish(std::string tuner_name) const;
+
+  double best_gflops() const { return best_gflops_; }
+  std::int64_t best_flat() const { return best_flat_; }
+
+ private:
+  Measurer& measurer_;
+  const TuneOptions& options_;
+  std::vector<TunePoint> history_;
+  double best_gflops_ = 0.0;
+  std::int64_t best_flat_ = -1;
+  std::int64_t since_improvement_ = 0;
+};
+
+}  // namespace aal

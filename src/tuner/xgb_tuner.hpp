@@ -1,0 +1,57 @@
+// AutoTVM's model-based tuner (the paper's baseline).
+//
+// Reproduces the XGBTuner pipeline from "Learning to Optimize Tensor
+// Programs" as shipped in TVM v0.6:
+//   1. measure `num_initial` (64) seed configurations — uniform random by
+//      default; the initial sampler is pluggable, which is exactly where
+//      the paper's BTED slots in ("Embed BTED initialization algorithm
+//      into AutoTVM");
+//   2. each round, fit the cost model (GBDT standing in for XGBoost) on all
+//      measurements so far — optionally warm-started with transfer-learning
+//      rows from previously tuned tasks of the same kind;
+//   3. run parallel simulated annealing on the cost model to harvest the
+//      next `batch_size` most promising unmeasured configurations,
+//      ε-greedy-mixed with random exploration;
+//   4. measure the batch; repeat until budget or early stopping (400).
+#pragma once
+
+#include <memory>
+
+#include "ml/sa_optimizer.hpp"
+#include "ml/surrogate.hpp"
+#include "ml/transfer.hpp"
+#include "tuner/tuner.hpp"
+
+namespace aal {
+
+struct XgbTunerOptions {
+  SaParams sa;
+  double epsilon_greedy = 0.05;  // fraction of each batch chosen at random
+  /// Transfer-learning context shared across tasks (nullable).
+  TransferContext* transfer = nullptr;
+  /// Cap on transferred rows blended into each model fit.
+  std::size_t max_transfer_rows = 256;
+};
+
+class XgbTuner final : public Tuner {
+ public:
+  explicit XgbTuner(std::shared_ptr<const SurrogateFactory> surrogate_factory =
+                        std::make_shared<GbdtSurrogateFactory>(),
+                    InitSampler init_sampler = random_init_sampler(),
+                    XgbTunerOptions options = {});
+
+  std::string name() const override { return name_; }
+  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+
+  /// Overrides the displayed name (used when BTED is plugged in, so results
+  /// report "bted" rather than "xgb").
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::shared_ptr<const SurrogateFactory> surrogate_factory_;
+  InitSampler init_sampler_;
+  XgbTunerOptions xgb_options_;
+  std::string name_ = "autotvm";
+};
+
+}  // namespace aal

@@ -1,0 +1,137 @@
+#include "core/bao.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/advanced_tuner.hpp"
+#include "test_util.hpp"
+#include "tuner/random_tuner.hpp"
+
+namespace aal {
+namespace {
+
+class BaoTest : public ::testing::Test {
+ protected:
+  GpuSpec spec_ = GpuSpec::gtx1080ti();
+  TuningTask task_{testing::small_conv_workload(), spec_};
+};
+
+TEST_F(BaoTest, RequiresInitializedState) {
+  SimulatedDevice device(spec_, 1);
+  Measurer measurer(task_, device);
+  TuneOptions options;
+  TuneLoopState state(measurer, options);
+  Rng rng(1);
+  const GbdtSurrogateFactory factory;
+  EXPECT_THROW(run_bao(state, factory, BaoParams{}, rng), InvalidArgument);
+}
+
+TEST_F(BaoTest, RespectsBudget) {
+  SimulatedDevice device(spec_, 2);
+  Measurer measurer(task_, device);
+  TuneOptions options;
+  options.budget = 40;
+  options.early_stopping = 0;  // disabled
+  options.num_initial = 16;
+  TuneLoopState state(measurer, options);
+  Rng rng(2);
+  state.measure_all(task_.space().sample_distinct(16, rng));
+
+  const GbdtSurrogateFactory factory(
+      AdvancedActiveLearningTuner::default_bootstrap_gbdt_params());
+  const int iters = run_bao(state, factory, BaoParams{}, rng);
+  EXPECT_EQ(static_cast<std::int64_t>(state.history().size()), 40);
+  EXPECT_EQ(iters, 24);  // one measurement per iteration
+}
+
+TEST_F(BaoTest, ImprovesOverInitialization) {
+  // Averaged over seeds, BAO must end at least as high as the best initial
+  // point, and strictly higher in aggregate.
+  double init_total = 0.0, final_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SimulatedDevice device(spec_, seed * 11);
+    Measurer measurer(task_, device);
+    TuneOptions options;
+    options.budget = 150;
+    options.early_stopping = 0;
+    TuneLoopState state(measurer, options);
+    Rng rng(seed);
+    state.measure_all(task_.space().sample_distinct(32, rng));
+    const double init_best = state.best_gflops();
+
+    const GbdtSurrogateFactory factory(
+        AdvancedActiveLearningTuner::default_bootstrap_gbdt_params());
+    run_bao(state, factory, BaoParams{}, rng);
+    EXPECT_GE(state.best_gflops(), init_best);
+    init_total += init_best;
+    final_total += state.best_gflops();
+  }
+  EXPECT_GT(final_total, init_total);
+}
+
+TEST_F(BaoTest, ValidatesParams) {
+  SimulatedDevice device(spec_, 3);
+  Measurer measurer(task_, device);
+  TuneOptions options;
+  TuneLoopState state(measurer, options);
+  Rng rng(3);
+  state.measure_all(task_.space().sample_distinct(8, rng));
+  const GbdtSurrogateFactory factory;
+  BaoParams bad;
+  bad.tau = 1.0;
+  EXPECT_THROW(run_bao(state, factory, bad, rng), InvalidArgument);
+  bad = BaoParams{};
+  bad.radius = 0.0;
+  EXPECT_THROW(run_bao(state, factory, bad, rng), InvalidArgument);
+}
+
+TEST_F(BaoTest, TinySpaceTerminates) {
+  // A dense workload with tiny dimensions has a space small enough to
+  // exhaust; BAO must stop instead of spinning.
+  DenseWorkload d;
+  d.in_features = 4;
+  d.out_features = 4;
+  const TuningTask task(Workload::dense(d), spec_);
+  ASSERT_LT(task.space().size(), 200);
+
+  SimulatedDevice device(spec_, 4);
+  Measurer measurer(task, device);
+  TuneOptions options;
+  options.budget = 10000;
+  options.early_stopping = 0;
+  TuneLoopState state(measurer, options);
+  Rng rng(4);
+  state.measure_all(task.space().sample_distinct(8, rng));
+  const GbdtSurrogateFactory factory(
+      AdvancedActiveLearningTuner::default_bootstrap_gbdt_params());
+  run_bao(state, factory, BaoParams{}, rng);
+  EXPECT_LE(static_cast<std::int64_t>(state.history().size()),
+            task.space().size());
+}
+
+TEST_F(BaoTest, RecentreOnBestVariantRuns) {
+  SimulatedDevice device(spec_, 5);
+  Measurer measurer(task_, device);
+  TuneOptions options;
+  options.budget = 60;
+  options.early_stopping = 0;
+  TuneLoopState state(measurer, options);
+  Rng rng(5);
+  state.measure_all(task_.space().sample_distinct(16, rng));
+  BaoParams params;
+  params.recentre_on_best = true;
+  const GbdtSurrogateFactory factory(
+      AdvancedActiveLearningTuner::default_bootstrap_gbdt_params());
+  EXPECT_GT(run_bao(state, factory, params, rng), 0);
+}
+
+TEST_F(BaoTest, PaperDefaultsEncoded) {
+  const BaoParams p;
+  EXPECT_DOUBLE_EQ(p.eta, 0.05);
+  EXPECT_DOUBLE_EQ(p.tau, 1.5);
+  EXPECT_DOUBLE_EQ(p.radius, 3.0);
+  EXPECT_EQ(p.gamma, 2);
+  EXPECT_TRUE(p.literal_ceil);
+}
+
+}  // namespace
+}  // namespace aal

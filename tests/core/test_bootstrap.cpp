@@ -1,0 +1,133 @@
+#include "core/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "measure/tuning_task.hpp"
+#include "test_util.hpp"
+
+namespace aal {
+namespace {
+
+/// Deterministic surrogate for selection-logic tests: predicts the first
+/// feature's value.
+class FirstFeatureSurrogate final : public Surrogate {
+ public:
+  void fit(const Dataset&) override { fitted_ = true; }
+  double predict(std::span<const double> f) const override { return f[0]; }
+  bool fitted() const override { return fitted_; }
+  std::string name() const override { return "first-feature"; }
+
+ private:
+  bool fitted_ = false;
+};
+
+class FirstFeatureFactory final : public SurrogateFactory {
+ public:
+  std::unique_ptr<Surrogate> create(std::uint64_t) const override {
+    return std::make_unique<FirstFeatureSurrogate>();
+  }
+  std::string name() const override { return "first-feature"; }
+};
+
+Dataset linear_dataset(int rows, Rng& rng) {
+  Dataset d(2);
+  for (int i = 0; i < rows; ++i) {
+    const double a = rng.next_double();
+    const double b = rng.next_double();
+    d.add_row(std::vector<double>{a, b}, 5.0 * a + b);
+  }
+  return d;
+}
+
+TEST(BootstrapEnsemble, BuildsGammaModels) {
+  Rng rng(1);
+  const Dataset d = linear_dataset(60, rng);
+  const RidgeSurrogateFactory factory(1e-6);
+  const BootstrapEnsemble ensemble(d, factory, 4, rng);
+  EXPECT_EQ(ensemble.gamma(), 4);
+}
+
+TEST(BootstrapEnsemble, ScoreIsSumOfModels) {
+  Rng rng(2);
+  const Dataset d = linear_dataset(60, rng);
+  const FirstFeatureFactory factory;
+  const BootstrapEnsemble ensemble(d, factory, 3, rng);
+  // All three deterministic models predict f[0]; the sum is 3*f[0].
+  EXPECT_NEAR(ensemble.score(std::vector<double>{0.5, 0.0}), 1.5, 1e-12);
+}
+
+TEST(BootstrapEnsemble, RejectsBadArguments) {
+  Rng rng(3);
+  const RidgeSurrogateFactory factory;
+  const Dataset empty(2);
+  EXPECT_THROW(BootstrapEnsemble(empty, factory, 2, rng), InvalidArgument);
+  const Dataset d = linear_dataset(10, rng);
+  EXPECT_THROW(BootstrapEnsemble(d, factory, 0, rng), InvalidArgument);
+}
+
+TEST(BootstrapEnsemble, ResamplesDifferPerModel) {
+  // With gamma GBDTs on noisy data the bootstrap members must disagree
+  // somewhere (that disagreement is the whole point of bagging).
+  Rng rng(4);
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.next_double();
+    d.add_row(std::vector<double>{x}, x + rng.next_gaussian(0.0, 0.5));
+  }
+  const GbdtSurrogateFactory factory;
+  const BootstrapEnsemble a(d, factory, 1, rng);
+  const BootstrapEnsemble b(d, factory, 1, rng);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{static_cast<double>(i) / 50.0};
+    if (a.score(x) != b.score(x)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(BootstrapSelect, PicksArgmaxOverCandidates) {
+  const GpuSpec spec = GpuSpec::gtx1080ti();
+  const TuningTask task(testing::small_conv_workload(), spec);
+  Rng rng(5);
+
+  // first feature = log2 of tile_f's first factor; the deterministic
+  // surrogate scores candidates by it, so the argmax must match a manual
+  // scan.
+  Dataset d(static_cast<std::size_t>(task.space().feature_dim()));
+  for (const auto& c : task.space().sample_distinct(20, rng)) {
+    d.add_row(task.space().features(c), 1.0);
+  }
+  const FirstFeatureFactory factory;
+  const BootstrapEnsemble ensemble(d, factory, 2, rng);
+
+  const auto candidates = task.space().sample_distinct(50, rng);
+  const std::size_t picked = bootstrap_select(ensemble, task.space(), candidates);
+
+  double best = -1e300;
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double s = task.space().features(candidates[i])[0];
+    if (s > best) {
+      best = s;
+      expected = i;
+    }
+  }
+  EXPECT_EQ(picked, expected);
+}
+
+TEST(BootstrapSelect, EmptyCandidatesRejected) {
+  Rng rng(6);
+  const Dataset d = linear_dataset(20, rng);
+  const RidgeSurrogateFactory factory;
+  const BootstrapEnsemble ensemble(d, factory, 2, rng);
+  const GpuSpec spec = GpuSpec::gtx1080ti();
+  const TuningTask task(testing::small_conv_workload(), spec);
+  EXPECT_THROW(bootstrap_select(ensemble, task.space(), {}), InvalidArgument);
+}
+
+TEST(BootstrapParams, PaperDefaultGamma) {
+  EXPECT_EQ(BootstrapParams{}.gamma, 2);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,120 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/common.hpp"
+#include "test_util.hpp"
+
+namespace aal {
+namespace {
+
+TEST(Graph, BuildersInferShapes) {
+  Graph g("t");
+  NodeId in = g.add_input("data", {Shape{1, 3, 32, 32}, DType::kFloat32});
+  NodeId conv = g.conv2d("conv", in, 16, 3, 1, 1);
+  EXPECT_EQ(g.node(conv).output.shape, Shape({1, 16, 32, 32}));
+  NodeId pool = g.max_pool2d("pool", conv, 2, 2);
+  EXPECT_EQ(g.node(pool).output.shape, Shape({1, 16, 16, 16}));
+  NodeId flat = g.flatten("flat", pool);
+  EXPECT_EQ(g.node(flat).output.shape, Shape({1, 16 * 16 * 16}));
+  NodeId fc = g.dense("fc", flat, 10);
+  EXPECT_EQ(g.node(fc).output.shape, Shape({1, 10}));
+}
+
+TEST(Graph, DepthwiseBuilderTracksChannels) {
+  Graph g("t");
+  NodeId in = g.add_input("data", {Shape{1, 24, 16, 16}, DType::kFloat32});
+  NodeId dw = g.depthwise_conv2d("dw", in, 3, 1, 1);
+  EXPECT_EQ(g.node(dw).output.shape, Shape({1, 24, 16, 16}));
+  EXPECT_EQ(g.node(dw).op.conv.groups, 24);
+}
+
+TEST(Graph, RejectsUnknownInputId) {
+  Graph g("t");
+  Op op;
+  op.type = OpType::kRelu;
+  EXPECT_THROW(g.add("r", op, {5}), InvalidArgument);
+}
+
+TEST(Graph, NodeAccessValidation) {
+  Graph g("t");
+  g.add_input("data", {Shape{1, 2}, DType::kFloat32});
+  EXPECT_THROW(g.node(-1), InvalidArgument);
+  EXPECT_THROW(g.node(1), InvalidArgument);
+}
+
+TEST(Graph, TopoOrderRespectsEdges) {
+  const Graph g = testing::tiny_cnn();
+  const auto order = g.topo_order();
+  EXPECT_EQ(order.size(), g.size());
+  std::vector<std::size_t> position(g.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = i;
+  }
+  for (const Node& n : g.nodes()) {
+    for (NodeId in : n.inputs) {
+      EXPECT_LT(position[static_cast<std::size_t>(in)],
+                position[static_cast<std::size_t>(n.id)]);
+    }
+  }
+}
+
+TEST(Graph, ConsumerCounts) {
+  Graph g("t");
+  NodeId in = g.add_input("data", {Shape{1, 8, 8, 8}, DType::kFloat32});
+  NodeId a = g.relu("a", in);
+  NodeId b = g.relu("b", a);
+  NodeId c = g.relu("c", a);
+  g.add_op("sum", b, c);
+  const auto counts = g.consumer_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(in)], 1);
+  EXPECT_EQ(counts[static_cast<std::size_t>(a)], 2);
+  EXPECT_EQ(counts[static_cast<std::size_t>(b)], 1);
+}
+
+TEST(Graph, TotalFlopsAggregates) {
+  Graph g("t");
+  NodeId in = g.add_input("data", {Shape{1, 3, 8, 8}, DType::kFloat32});
+  NodeId conv = g.conv2d("conv", in, 4, 3, 1, 1);
+  g.relu("r", conv);
+  const std::int64_t conv_flops = 2LL * 4 * 8 * 8 * 27;
+  EXPECT_EQ(g.total_flops(), conv_flops + 4 * 8 * 8);
+}
+
+TEST(Graph, TunableNodesList) {
+  const Graph g = testing::tiny_cnn();
+  const auto tunable = g.tunable_nodes();
+  EXPECT_EQ(tunable.size(), 3u);  // conv, depthwise, dense
+  for (NodeId id : tunable) {
+    EXPECT_TRUE(is_tunable(g.node(id).op.type));
+  }
+}
+
+TEST(Graph, InputTypesOrdered) {
+  Graph g("t");
+  NodeId in = g.add_input("data", {Shape{1, 4, 4, 4}, DType::kFloat32});
+  NodeId a = g.relu("a", in);
+  NodeId b = g.relu("b", in);
+  NodeId sum = g.add_op("sum", a, b);
+  const auto types = g.input_types(sum);
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], g.node(a).output);
+}
+
+TEST(Graph, ToStringMentionsNodes) {
+  const Graph g = testing::tiny_cnn();
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("conv2d"), std::string::npos);
+  EXPECT_NE(s.find("dense"), std::string::npos);
+  EXPECT_NE(s.find("tiny_cnn"), std::string::npos);
+}
+
+TEST(Graph, ValidatePassesOnWellFormed) {
+  const Graph g = testing::tiny_cnn();
+  EXPECT_NO_THROW(g.validate());
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,116 @@
+#include "graph/model_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/fusion.hpp"
+#include "support/common.hpp"
+
+namespace aal {
+namespace {
+
+constexpr const char* kLenet = R"(
+# LeNet-ish example
+%data  = input(shape=[1,1,28,28])
+%c1    = conv2d(%data, channels=6, kernel=5, stride=1, pad=2)
+%r1    = relu(%c1)
+%p1    = max_pool2d(%r1, kernel=2, stride=2)
+%c2    = conv2d(%p1, channels=16, kernel=5)
+%r2    = relu(%c2)
+%p2    = max_pool2d(%r2, kernel=2)
+%f     = flatten(%p2)
+%fc1   = dense(%f, units=120)
+%fc2   = dense(%fc1, units=84)
+%out   = softmax(%fc2)
+)";
+
+TEST(ModelParser, ParsesLenet) {
+  const Graph g = parse_model_string(kLenet, "lenet");
+  EXPECT_EQ(g.name(), "lenet");
+  EXPECT_EQ(g.size(), 11u);
+  EXPECT_EQ(g.tunable_nodes().size(), 4u);  // 2 convs + 2 dense
+  // conv1 output: 28x28 preserved by pad=2.
+  EXPECT_EQ(g.node(1).output.shape, Shape({1, 6, 28, 28}));
+  // pool without explicit stride defaults to kernel (2): 28 -> 14.
+  EXPECT_EQ(g.node(3).output.shape, Shape({1, 6, 14, 14}));
+  // final softmax over 84 classes.
+  EXPECT_EQ(g.nodes().back().output.shape, Shape({1, 84}));
+}
+
+TEST(ModelParser, ParsedGraphIsTunable) {
+  const Graph g = parse_model_string(kLenet);
+  const auto tasks = extract_tasks(fuse(g));
+  EXPECT_EQ(tasks.size(), 4u);
+}
+
+TEST(ModelParser, ResidualAndConcat) {
+  const Graph g = parse_model_string(R"(
+%data = input(shape=[1,8,16,16])
+%a    = conv2d(%data, channels=8, kernel=3, pad=1)
+%b    = batch_norm(%a)
+%sum  = add(%b, %data)
+%c    = conv2d(%sum, channels=4, kernel=1)
+%d    = conv2d(%sum, channels=4, kernel=1)
+%cat  = concat(%c, %d, axis=1)
+)");
+  EXPECT_EQ(g.nodes().back().output.shape, Shape({1, 8, 16, 16}));
+}
+
+TEST(ModelParser, DepthwiseAndGlobalPool) {
+  const Graph g = parse_model_string(R"(
+%x  = input(shape=[1,32,14,14])
+%dw = depthwise_conv2d(%x, kernel=3, stride=1, pad=1)
+%gp = global_avg_pool2d(%dw)
+)");
+  EXPECT_EQ(g.nodes().back().output.shape, Shape({1, 32, 1, 1}));
+  EXPECT_EQ(g.node(1).op.type, OpType::kDepthwiseConv2d);
+}
+
+TEST(ModelParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_model_string("%a = input(shape=[1,3,8,8])\n%b = frobnicate(%a)\n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(ModelParser, RejectsUnknownReference) {
+  EXPECT_THROW(parse_model_string("%a = relu(%ghost)\n"), InvalidArgument);
+}
+
+TEST(ModelParser, RejectsRedefinition) {
+  EXPECT_THROW(parse_model_string(
+                   "%a = input(shape=[1,1,4,4])\n%a = relu(%a)\n"),
+               InvalidArgument);
+}
+
+TEST(ModelParser, RejectsMissingRequiredAttr) {
+  EXPECT_THROW(
+      parse_model_string("%a = input(shape=[1,3,8,8])\n%b = conv2d(%a)\n"),
+      InvalidArgument);
+}
+
+TEST(ModelParser, RejectsMalformedSyntax) {
+  EXPECT_THROW(parse_model_string("a = input(shape=[1])\n"), InvalidArgument);
+  EXPECT_THROW(parse_model_string("%a input(shape=[1])\n"), InvalidArgument);
+  EXPECT_THROW(parse_model_string("%a = input(shape=[1)\n"), InvalidArgument);
+  EXPECT_THROW(parse_model_string("%a = input(shape=[1,3,8,8]) junk\n"),
+               InvalidArgument);
+  EXPECT_THROW(parse_model_string(
+                   "%a = input(shape=[1,1,4,4])\n%b = relu(%a, k=1, k=2)\n"),
+               InvalidArgument);
+}
+
+TEST(ModelParser, CommentsAndBlankLinesIgnored) {
+  const Graph g = parse_model_string(
+      "\n  # leading comment\n%a = input(shape=[1,1,4,4])  # inline\n\n");
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(ModelParser, MissingFileThrows) {
+  EXPECT_THROW(parse_model_file("/nonexistent/model.txt"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,50 @@
+#include "hwsim/gpu_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aal {
+namespace {
+
+TEST(GpuSpecZoo, V100Numbers) {
+  const GpuSpec s = GpuSpec::v100();
+  EXPECT_EQ(s.total_cores(), 5120);
+  // 5120 * 2 * 1.53 GHz ~= 15.7 TFLOPS fp32.
+  EXPECT_NEAR(s.peak_gflops(), 15667.0, 100.0);
+  EXPECT_GT(s.dram_bw_gbps, 850.0);
+  EXPECT_EQ(s.l2_bytes, 6 * 1024 * 1024);
+}
+
+TEST(GpuSpecZoo, EmbeddedIsSmall) {
+  const GpuSpec s = GpuSpec::small_embedded();
+  EXPECT_LT(s.peak_gflops(), 1000.0);
+  EXPECT_LT(s.dram_bw_gbps, 50.0);
+  EXPECT_GT(s.kernel_launch_overhead_us,
+            GpuSpec::gtx1080ti().kernel_launch_overhead_us);
+}
+
+TEST(GpuSpecZoo, RelativeOrdering) {
+  const double embedded = GpuSpec::small_embedded().peak_gflops();
+  const double pascal = GpuSpec::gtx1080ti().peak_gflops();
+  const double volta = GpuSpec::v100().peak_gflops();
+  EXPECT_LT(embedded, pascal);
+  EXPECT_LT(pascal, volta);
+}
+
+TEST(GpuSpecZoo, NamesAreSet) {
+  EXPECT_STRNE(GpuSpec::gtx1080ti().name, "generic-gpu");
+  EXPECT_STRNE(GpuSpec::v100().name, "generic-gpu");
+  EXPECT_STRNE(GpuSpec::small_embedded().name, "generic-gpu");
+}
+
+TEST(GpuSpecZoo, ResourceLimitsAreSane) {
+  for (const GpuSpec& s : {GpuSpec::gtx1080ti(), GpuSpec::v100(),
+                           GpuSpec::small_embedded()}) {
+    EXPECT_GE(s.max_threads_per_sm, s.max_threads_per_block) << s.name;
+    EXPECT_GE(s.shared_mem_per_sm, s.shared_mem_per_block) << s.name;
+    EXPECT_GT(s.registers_per_sm, 0) << s.name;
+    EXPECT_EQ(s.warp_size, 32) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace aal

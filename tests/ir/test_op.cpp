@@ -1,0 +1,152 @@
+#include "ir/op.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/common.hpp"
+
+namespace aal {
+namespace {
+
+TensorType nchw(std::int64_t c, std::int64_t h, std::int64_t w) {
+  return {Shape{1, c, h, w}, DType::kFloat32};
+}
+
+TEST(OpInfer, Conv2d) {
+  Op op;
+  op.type = OpType::kConv2d;
+  op.conv = {64, 3, 3, 1, 1, 1, 1, 1};
+  const TensorType out = infer_output_type(op, {nchw(3, 224, 224)});
+  EXPECT_EQ(out.shape, Shape({1, 64, 224, 224}));
+}
+
+TEST(OpInfer, DepthwiseUsesInputChannels) {
+  Op op;
+  op.type = OpType::kDepthwiseConv2d;
+  op.conv = {32, 3, 3, 2, 2, 1, 1, 32};
+  const TensorType out = infer_output_type(op, {nchw(32, 112, 112)});
+  EXPECT_EQ(out.shape, Shape({1, 32, 56, 56}));
+}
+
+TEST(OpInfer, DenseRequiresRank2) {
+  Op op;
+  op.type = OpType::kDense;
+  op.dense.out_features = 10;
+  const TensorType out =
+      infer_output_type(op, {{Shape{1, 256}, DType::kFloat32}});
+  EXPECT_EQ(out.shape, Shape({1, 10}));
+  EXPECT_THROW(infer_output_type(op, {nchw(3, 8, 8)}), InvalidArgument);
+}
+
+TEST(OpInfer, MaxPoolFloorAndCeil) {
+  Op op;
+  op.type = OpType::kMaxPool2d;
+  op.pool = {3, 3, 2, 2, 0, 0, false};
+  EXPECT_EQ(infer_output_type(op, {nchw(64, 111, 111)}).shape,
+            Shape({1, 64, 55, 55}));
+  op.pool.ceil_mode = true;
+  EXPECT_EQ(infer_output_type(op, {nchw(64, 112, 112)}).shape,
+            Shape({1, 64, 56, 56}));
+}
+
+TEST(OpInfer, GlobalAvgPool) {
+  Op op;
+  op.type = OpType::kGlobalAvgPool2d;
+  EXPECT_EQ(infer_output_type(op, {nchw(512, 7, 7)}).shape,
+            Shape({1, 512, 1, 1}));
+}
+
+TEST(OpInfer, ElementwisePreserveType) {
+  for (OpType t : {OpType::kRelu, OpType::kBatchNorm, OpType::kSoftmax,
+                   OpType::kDropout, OpType::kLRN}) {
+    Op op;
+    op.type = t;
+    EXPECT_EQ(infer_output_type(op, {nchw(16, 8, 8)}).shape,
+              Shape({1, 16, 8, 8}))
+        << op_type_name(t);
+  }
+}
+
+TEST(OpInfer, AddValidatesOperands) {
+  Op op;
+  op.type = OpType::kAdd;
+  EXPECT_EQ(infer_output_type(op, {nchw(16, 8, 8), nchw(16, 8, 8)}).shape,
+            Shape({1, 16, 8, 8}));
+  EXPECT_THROW(infer_output_type(op, {nchw(16, 8, 8)}), InvalidArgument);
+  EXPECT_THROW(infer_output_type(op, {nchw(16, 8, 8), nchw(8, 8, 8)}),
+               InvalidArgument);
+}
+
+TEST(OpInfer, ConcatSumsAxis) {
+  Op op;
+  op.type = OpType::kConcat;
+  op.concat.axis = 1;
+  EXPECT_EQ(
+      infer_output_type(op, {nchw(64, 55, 55), nchw(64, 55, 55)}).shape,
+      Shape({1, 128, 55, 55}));
+  EXPECT_THROW(infer_output_type(op, {nchw(64, 55, 55)}), InvalidArgument);
+  EXPECT_THROW(
+      infer_output_type(op, {nchw(64, 55, 55), nchw(64, 54, 55)}),
+      InvalidArgument);
+}
+
+TEST(OpInfer, FlattenCollapsesTrailing) {
+  Op op;
+  op.type = OpType::kFlatten;
+  EXPECT_EQ(infer_output_type(op, {nchw(256, 6, 6)}).shape,
+            Shape({1, 9216}));
+}
+
+TEST(OpFlops, TunableMatchesWorkload) {
+  Op op;
+  op.type = OpType::kConv2d;
+  op.conv = {64, 3, 3, 1, 1, 1, 1, 1};
+  const auto inputs = std::vector<TensorType>{nchw(3, 224, 224)};
+  EXPECT_EQ(op_flops(op, inputs), make_workload(op, inputs).flops());
+}
+
+TEST(OpFlops, ZeroCostOps) {
+  for (OpType t : {OpType::kConcat, OpType::kFlatten, OpType::kDropout}) {
+    Op op;
+    op.type = t;
+    std::vector<TensorType> inputs{nchw(8, 4, 4)};
+    if (t == OpType::kConcat) inputs.push_back(nchw(8, 4, 4));
+    EXPECT_EQ(op_flops(op, inputs), 0) << op_type_name(t);
+  }
+}
+
+TEST(OpFlops, ElementwiseCountsPerElement) {
+  Op op;
+  op.type = OpType::kRelu;
+  EXPECT_EQ(op_flops(op, {nchw(2, 4, 4)}), 2 * 4 * 4);
+  op.type = OpType::kBatchNorm;
+  EXPECT_EQ(op_flops(op, {nchw(2, 4, 4)}), 4 * 2 * 4 * 4);
+}
+
+TEST(MakeWorkload, RejectsNonTunable) {
+  Op op;
+  op.type = OpType::kRelu;
+  EXPECT_THROW(make_workload(op, {nchw(4, 4, 4)}), InvalidArgument);
+}
+
+TEST(OpTypeName, AllNamed) {
+  for (OpType t : {OpType::kInput, OpType::kConv2d, OpType::kDepthwiseConv2d,
+                   OpType::kDense, OpType::kMaxPool2d, OpType::kAvgPool2d,
+                   OpType::kGlobalAvgPool2d, OpType::kRelu, OpType::kBatchNorm,
+                   OpType::kAdd, OpType::kConcat, OpType::kSoftmax,
+                   OpType::kFlatten, OpType::kDropout, OpType::kLRN}) {
+    EXPECT_NE(op_type_name(t), "unknown");
+  }
+}
+
+TEST(OpClassification, TunableAndFusable) {
+  EXPECT_TRUE(is_tunable(OpType::kConv2d));
+  EXPECT_TRUE(is_tunable(OpType::kDense));
+  EXPECT_FALSE(is_tunable(OpType::kRelu));
+  EXPECT_TRUE(is_fusable_elemwise(OpType::kRelu));
+  EXPECT_TRUE(is_fusable_elemwise(OpType::kAdd));
+  EXPECT_FALSE(is_fusable_elemwise(OpType::kMaxPool2d));
+  EXPECT_FALSE(is_fusable_elemwise(OpType::kConv2d));
+}
+
+}  // namespace
+}  // namespace aal

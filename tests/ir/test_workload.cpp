@@ -1,0 +1,160 @@
+#include "ir/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/common.hpp"
+
+namespace aal {
+namespace {
+
+Conv2dWorkload vgg_conv1() {
+  Conv2dWorkload w;
+  w.batch = 1;
+  w.in_channels = 3;
+  w.height = 224;
+  w.width = 224;
+  w.out_channels = 64;
+  w.kernel_h = 3;
+  w.kernel_w = 3;
+  w.pad_h = 1;
+  w.pad_w = 1;
+  return w;
+}
+
+TEST(Conv2dWorkload, OutputDims) {
+  Conv2dWorkload w = vgg_conv1();
+  EXPECT_EQ(w.out_height(), 224);
+  EXPECT_EQ(w.out_width(), 224);
+  w.stride_h = 2;
+  w.stride_w = 2;
+  EXPECT_EQ(w.out_height(), 112);
+  // AlexNet conv1: 224x224, k11 s4 p2 -> 55.
+  Conv2dWorkload a;
+  a.in_channels = 3;
+  a.height = 224;
+  a.width = 224;
+  a.out_channels = 64;
+  a.kernel_h = 11;
+  a.kernel_w = 11;
+  a.stride_h = 4;
+  a.stride_w = 4;
+  a.pad_h = 2;
+  a.pad_w = 2;
+  EXPECT_EQ(a.out_height(), 55);
+  EXPECT_EQ(a.out_width(), 55);
+}
+
+TEST(Conv2dWorkload, FlopsFormula) {
+  const Conv2dWorkload w = vgg_conv1();
+  // 2 * (1*64*224*224) * (3*3*3)
+  EXPECT_EQ(w.flops(), 2LL * 64 * 224 * 224 * 27);
+}
+
+TEST(Conv2dWorkload, DepthwiseFlopsUseChannelsPerGroup) {
+  Conv2dWorkload w;
+  w.in_channels = 32;
+  w.out_channels = 32;
+  w.groups = 32;
+  w.height = 112;
+  w.width = 112;
+  w.kernel_h = 3;
+  w.kernel_w = 3;
+  w.pad_h = 1;
+  w.pad_w = 1;
+  EXPECT_TRUE(w.is_depthwise());
+  EXPECT_EQ(w.flops(), 2LL * 32 * 112 * 112 * 9);
+}
+
+TEST(Conv2dWorkload, TensorTypes) {
+  const Conv2dWorkload w = vgg_conv1();
+  EXPECT_EQ(w.input_type().shape, Shape({1, 3, 224, 224}));
+  EXPECT_EQ(w.weight_type().shape, Shape({64, 3, 3, 3}));
+  EXPECT_EQ(w.output_type().shape, Shape({1, 64, 224, 224}));
+}
+
+TEST(Conv2dWorkload, ValidationFailures) {
+  Conv2dWorkload w = vgg_conv1();
+  w.groups = 2;  // 3 % 2 != 0
+  EXPECT_THROW(Workload::conv2d(w), InvalidArgument);
+
+  w = vgg_conv1();
+  w.kernel_h = 300;  // kernel larger than padded input
+  EXPECT_THROW(Workload::conv2d(w), InvalidArgument);
+
+  w = vgg_conv1();
+  w.stride_h = 0;
+  EXPECT_THROW(Workload::conv2d(w), InvalidArgument);
+
+  w = vgg_conv1();
+  w.out_channels = 0;
+  EXPECT_THROW(Workload::conv2d(w), InvalidArgument);
+}
+
+TEST(DenseWorkload, FlopsAndTypes) {
+  DenseWorkload d;
+  d.batch = 1;
+  d.in_features = 25088;
+  d.out_features = 4096;
+  EXPECT_EQ(d.flops(), 2LL * 25088 * 4096);
+  EXPECT_EQ(d.input_type().shape, Shape({1, 25088}));
+  EXPECT_EQ(d.weight_type().shape, Shape({4096, 25088}));
+  EXPECT_EQ(d.output_type().shape, Shape({1, 4096}));
+}
+
+TEST(DenseWorkload, Validation) {
+  DenseWorkload d;
+  d.in_features = 0;
+  d.out_features = 10;
+  EXPECT_THROW(Workload::dense(d), InvalidArgument);
+}
+
+TEST(Workload, KindClassification) {
+  const Workload conv = Workload::conv2d(vgg_conv1());
+  EXPECT_EQ(conv.kind(), WorkloadKind::kConv2d);
+  EXPECT_TRUE(conv.is_conv());
+
+  Conv2dWorkload dw;
+  dw.in_channels = 8;
+  dw.out_channels = 8;
+  dw.groups = 8;
+  dw.height = 8;
+  dw.width = 8;
+  dw.kernel_h = 3;
+  dw.kernel_w = 3;
+  dw.pad_h = 1;
+  dw.pad_w = 1;
+  const Workload depthwise = Workload::conv2d(dw);
+  EXPECT_EQ(depthwise.kind(), WorkloadKind::kDepthwiseConv2d);
+
+  DenseWorkload dn;
+  dn.in_features = 4;
+  dn.out_features = 4;
+  const Workload dense = Workload::dense(dn);
+  EXPECT_EQ(dense.kind(), WorkloadKind::kDense);
+  EXPECT_FALSE(dense.is_conv());
+  EXPECT_THROW(dense.as_conv2d(), InvalidArgument);
+  EXPECT_THROW(conv.as_dense(), InvalidArgument);
+}
+
+TEST(Workload, KeyIsStableAndDiscriminating) {
+  const Workload a = Workload::conv2d(vgg_conv1());
+  const Workload b = Workload::conv2d(vgg_conv1());
+  EXPECT_EQ(a.key(), b.key());
+  EXPECT_EQ(a, b);
+
+  Conv2dWorkload other = vgg_conv1();
+  other.stride_h = 2;
+  EXPECT_NE(a.key(), Workload::conv2d(other).key());
+
+  EXPECT_EQ(a.key(),
+            "conv2d/n1_c3_hw224x224_o64_k3x3_s1x1_p1x1_g1_float32");
+}
+
+TEST(Workload, BriefIsHumanReadable) {
+  const Workload w = Workload::conv2d(vgg_conv1());
+  EXPECT_NE(w.brief().find("conv2d"), std::string::npos);
+  EXPECT_NE(w.brief().find("64"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aal

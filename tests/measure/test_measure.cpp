@@ -1,0 +1,126 @@
+#include "measure/measure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace aal {
+namespace {
+
+class MeasureTest : public ::testing::Test {
+ protected:
+  GpuSpec spec_ = GpuSpec::gtx1080ti();
+  TuningTask task_{testing::small_conv_workload(), spec_};
+  SimulatedDevice device_{spec_, 99};
+  Measurer measurer_{task_, device_, 3};
+};
+
+TEST_F(MeasureTest, MeasureReturnsConsistentResult) {
+  Rng rng(1);
+  const Config c = task_.space().sample(rng);
+  const MeasureResult& r = measurer_.measure(c);
+  EXPECT_EQ(r.config.flat, c.flat);
+  if (r.ok) {
+    EXPECT_GT(r.gflops, 0.0);
+    EXPECT_GT(r.mean_time_us, 0.0);
+  } else {
+    EXPECT_DOUBLE_EQ(r.gflops, 0.0);
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST_F(MeasureTest, MemoizationCostsNoBudget) {
+  Rng rng(2);
+  const Config c = task_.space().sample(rng);
+  measurer_.measure(c);
+  EXPECT_EQ(measurer_.num_measured(), 1);
+  const MeasureResult& first = measurer_.measure(c);
+  const MeasureResult& second = measurer_.measure(c);
+  EXPECT_EQ(measurer_.num_measured(), 1);
+  EXPECT_DOUBLE_EQ(first.gflops, second.gflops);
+}
+
+TEST_F(MeasureTest, BatchAlignsWithInput) {
+  Rng rng(3);
+  const auto configs = task_.space().sample_distinct(8, rng);
+  const auto results = measurer_.measure_batch(configs);
+  ASSERT_EQ(results.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(results[i].config.flat, configs[i].flat);
+  }
+  EXPECT_EQ(measurer_.num_measured(), 8);
+}
+
+TEST_F(MeasureTest, BestTracksMaxGflops) {
+  Rng rng(4);
+  EXPECT_FALSE(measurer_.best().has_value());
+  const auto configs = task_.space().sample_distinct(64, rng);
+  measurer_.measure_batch(configs);
+  const auto best = measurer_.best();
+  ASSERT_TRUE(best.has_value());
+  for (const auto& r : measurer_.all_results()) {
+    if (r.ok) EXPECT_LE(r.gflops, best->gflops);
+  }
+}
+
+TEST_F(MeasureTest, AllResultsMatchesCount) {
+  Rng rng(5);
+  measurer_.measure_batch(task_.space().sample_distinct(10, rng));
+  EXPECT_EQ(measurer_.all_results().size(), 10u);
+}
+
+TEST_F(MeasureTest, RejectsZeroRepeats) {
+  EXPECT_THROW(Measurer(task_, device_, 0), InvalidArgument);
+}
+
+TEST_F(MeasureTest, PreloadSeedsCacheAndBest) {
+  Rng rng(6);
+  const Config a = task_.space().sample(rng);
+  const Config b = task_.space().sample(rng);
+  std::vector<TuningRecord> records;
+  records.push_back(TuningRecord{task_.key(), a.flat, true, 1234.5, 10.0});
+  records.push_back(TuningRecord{task_.key(), b.flat, false, 0.0, 0.0});
+  records.push_back(TuningRecord{"other/task", 0, true, 9999.0, 1.0});
+  records.push_back(TuningRecord{task_.key(), -5, true, 1.0, 1.0});  // bad flat
+
+  EXPECT_EQ(measurer_.preload(records), 2u);
+  EXPECT_EQ(measurer_.num_measured(), 2);
+
+  // Revisiting a preloaded config returns the historical result and costs
+  // no further budget.
+  const MeasureResult& r = measurer_.measure(a);
+  EXPECT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.gflops, 1234.5);
+  EXPECT_EQ(measurer_.num_measured(), 2);
+
+  const auto best = measurer_.best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->config.flat, a.flat);
+}
+
+TEST_F(MeasureTest, PreloadIgnoresDuplicates) {
+  Rng rng(7);
+  const Config a = task_.space().sample(rng);
+  measurer_.measure(a);
+  std::vector<TuningRecord> records{
+      TuningRecord{task_.key(), a.flat, true, 99999.0, 1.0}};
+  EXPECT_EQ(measurer_.preload(records), 0u);  // live result wins
+}
+
+TEST(TuningTaskTest, KeyAndSpace) {
+  const GpuSpec spec = GpuSpec::gtx1080ti();
+  const TuningTask task(testing::small_conv_workload(), spec);
+  EXPECT_EQ(task.key(), testing::small_conv_workload().key());
+  EXPECT_GT(task.space().size(), 1000);
+  Rng rng(6);
+  const Config c = task.space().sample(rng);
+  // profile() must agree with a directly constructed model.
+  const KernelModel model(testing::small_conv_workload(), spec);
+  const KernelProfile a = task.profile(c);
+  const KernelProfile b = model.profile(task.space(), c);
+  EXPECT_EQ(a.valid, b.valid);
+  if (a.valid) EXPECT_DOUBLE_EQ(a.base_time_us, b.base_time_us);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,132 @@
+#include "measure/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "support/common.hpp"
+
+namespace aal {
+namespace {
+
+TuningRecord sample_record() {
+  TuningRecord r;
+  r.task_key = "conv2d/n1_c3_hw224x224_o64_k3x3_s1x1_p1x1_g1_float32";
+  r.config_flat = 123456789;
+  r.ok = true;
+  r.gflops = 2345.6789;
+  r.mean_time_us = 17.25;
+  return r;
+}
+
+TEST(TuningRecord, LineRoundTrip) {
+  const TuningRecord r = sample_record();
+  const TuningRecord back = TuningRecord::from_line(r.to_line());
+  EXPECT_EQ(back.task_key, r.task_key);
+  EXPECT_EQ(back.config_flat, r.config_flat);
+  EXPECT_EQ(back.ok, r.ok);
+  EXPECT_NEAR(back.gflops, r.gflops, 1e-4);
+  EXPECT_NEAR(back.mean_time_us, r.mean_time_us, 1e-4);
+}
+
+TEST(TuningRecord, FailedRecordRoundTrip) {
+  TuningRecord r = sample_record();
+  r.ok = false;
+  r.gflops = 0.0;
+  const TuningRecord back = TuningRecord::from_line(r.to_line());
+  EXPECT_FALSE(back.ok);
+}
+
+TEST(TuningRecord, MalformedLineThrows) {
+  EXPECT_THROW(TuningRecord::from_line("too\tfew"), InvalidArgument);
+  EXPECT_THROW(TuningRecord::from_line(""), InvalidArgument);
+}
+
+TEST(RecordDatabase, AddAndQuery) {
+  RecordDatabase db;
+  TuningRecord r = sample_record();
+  db.add(r);
+  r.config_flat = 2;
+  r.gflops = 9999.0;
+  db.add(r);
+  r.config_flat = 3;
+  r.gflops = 500.0;
+  r.ok = false;
+  db.add(r);
+
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.records_for(sample_record().task_key).size(), 3u);
+  const auto best = db.best_for(sample_record().task_key);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->config_flat, 2);
+
+  EXPECT_TRUE(db.records_for("missing").empty());
+  EXPECT_FALSE(db.best_for("missing").has_value());
+}
+
+TEST(RecordDatabase, BestIgnoresFailures) {
+  RecordDatabase db;
+  TuningRecord r = sample_record();
+  r.ok = false;
+  db.add(r);
+  EXPECT_FALSE(db.best_for(r.task_key).has_value());
+}
+
+TEST(RecordDatabase, TaskKeysInsertionOrder) {
+  RecordDatabase db;
+  TuningRecord r = sample_record();
+  r.task_key = "b";
+  db.add(r);
+  r.task_key = "a";
+  db.add(r);
+  r.task_key = "b";
+  db.add(r);
+  EXPECT_EQ(db.task_keys(), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(RecordDatabase, StreamRoundTrip) {
+  RecordDatabase db;
+  TuningRecord r = sample_record();
+  db.add(r);
+  r.task_key = "dense/n1_i256_o128_float32";
+  r.config_flat = 7;
+  db.add(r);
+
+  std::stringstream buffer;
+  db.save(buffer);
+
+  RecordDatabase loaded;
+  loaded.load(buffer);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded.best_for("dense/n1_i256_o128_float32").has_value());
+}
+
+TEST(RecordDatabase, LoadSkipsBlankLines) {
+  std::stringstream buffer;
+  buffer << sample_record().to_line() << "\n\n   \n";
+  RecordDatabase db;
+  db.load(buffer);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(RecordDatabase, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "aal_records_test.log")
+          .string();
+  RecordDatabase db;
+  db.add(sample_record());
+  db.save_file(path);
+
+  RecordDatabase loaded;
+  loaded.load_file(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(loaded.load_file("/nonexistent/dir/records.log"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,90 @@
+#include "ml/binned.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace aal {
+namespace {
+
+Dataset make_dataset(int rows, int features, Rng& rng) {
+  Dataset d(static_cast<std::size_t>(features));
+  std::vector<double> x(static_cast<std::size_t>(features));
+  for (int r = 0; r < rows; ++r) {
+    for (auto& v : x) v = rng.next_double(-5.0, 5.0);
+    d.add_row(x, rng.next_double());
+  }
+  return d;
+}
+
+TEST(Binned, DimensionsMatch) {
+  Rng rng(1);
+  const Dataset d = make_dataset(100, 7, rng);
+  const BinnedMatrix m = BinnedMatrix::build(d);
+  EXPECT_EQ(m.num_rows(), 100u);
+  EXPECT_EQ(m.num_features(), 7u);
+}
+
+TEST(Binned, BinsAreMonotoneInValue) {
+  // For a single feature, higher raw values must never land in lower bins.
+  Dataset d(1);
+  const std::vector<double> values{-3.0, -1.0, 0.0, 0.5, 2.0, 7.0};
+  for (double v : values) d.add_row(std::vector<double>{v}, 0.0);
+  const BinnedMatrix m = BinnedMatrix::build(d);
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LE(m.bin(i, 0), m.bin(i + 1, 0));
+  }
+}
+
+TEST(Binned, DistinctSmallValuesGetDistinctBins) {
+  Dataset d(1);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) d.add_row(std::vector<double>{v}, 0.0);
+  const BinnedMatrix m = BinnedMatrix::build(d);
+  EXPECT_EQ(m.bin_count(0), 4);
+  for (std::size_t i = 0; i + 1 < 4; ++i) {
+    EXPECT_LT(m.bin(i, 0), m.bin(i + 1, 0));
+  }
+}
+
+TEST(Binned, ConstantFeatureHasOneBin) {
+  Dataset d(2);
+  for (int i = 0; i < 10; ++i) {
+    d.add_row(std::vector<double>{7.0, static_cast<double>(i)}, 0.0);
+  }
+  const BinnedMatrix m = BinnedMatrix::build(d);
+  EXPECT_EQ(m.bin_count(0), 1);
+  EXPECT_EQ(m.bin_count(1), 10);
+}
+
+TEST(Binned, CapsAtMaxBins) {
+  Rng rng(2);
+  Dataset d(1);
+  for (int i = 0; i < 1000; ++i) {
+    d.add_row(std::vector<double>{rng.next_double()}, 0.0);
+  }
+  const BinnedMatrix m = BinnedMatrix::build(d, 32);
+  EXPECT_LE(m.bin_count(0), 32);
+  EXPECT_GE(m.bin_count(0), 16);
+}
+
+TEST(Binned, ThresholdsSeparateBins) {
+  Dataset d(1);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) d.add_row(std::vector<double>{v}, 0.0);
+  const BinnedMatrix m = BinnedMatrix::build(d);
+  // threshold_after_bin(0, b) must lie between the values of bins b and b+1.
+  for (int b = 0; b + 1 < m.bin_count(0); ++b) {
+    const double thr = m.threshold_after_bin(0, b);
+    EXPECT_GT(thr, 1.0 + b - 1e-9);
+    EXPECT_LT(thr, 2.0 + b + 1e-9);
+  }
+}
+
+TEST(Binned, RejectsBadBinCounts) {
+  Rng rng(3);
+  const Dataset d = make_dataset(10, 2, rng);
+  EXPECT_THROW(BinnedMatrix::build(d, 1), InvalidArgument);
+  EXPECT_THROW(BinnedMatrix::build(d, 1000), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,142 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace aal {
+namespace {
+
+TEST(DecisionTree, FitsStepFunctionExactly) {
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) {
+    const double x = static_cast<double>(i) / 50.0;
+    d.add_row(std::vector<double>{x}, x < 0.5 ? 1.0 : 5.0);
+  }
+  DecisionTree tree;
+  DecisionTreeParams params;
+  Rng rng(1);
+  tree.fit(d, params, rng);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.1}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.9}), 5.0, 1e-9);
+}
+
+TEST(DecisionTree, ConstantTargetGivesLeaf) {
+  Dataset d(2);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    d.add_row(std::vector<double>{rng.next_double(), rng.next_double()}, 3.5);
+  }
+  DecisionTree tree;
+  DecisionTreeParams params;
+  tree.fit(d, params, rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.3, 0.7}), 3.5);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  Rng rng(3);
+  Dataset d(1);
+  for (int i = 0; i < 256; ++i) {
+    const double x = static_cast<double>(i);
+    d.add_row(std::vector<double>{x}, std::sin(x));
+  }
+  DecisionTree tree;
+  DecisionTreeParams params;
+  params.max_depth = 3;
+  tree.fit(d, params, rng);
+  EXPECT_LE(tree.depth(), 4);  // root at depth 1
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf) {
+  Rng rng(4);
+  Dataset d(1);
+  for (int i = 0; i < 16; ++i) {
+    d.add_row(std::vector<double>{static_cast<double>(i)},
+              static_cast<double>(i));
+  }
+  DecisionTree tree;
+  DecisionTreeParams params;
+  params.min_samples_leaf = 8;
+  tree.fit(d, params, rng);
+  // With 16 rows and min 8 per leaf, only the root split is possible.
+  EXPECT_LE(tree.num_nodes(), 3u);
+}
+
+TEST(DecisionTree, PredictsBeforeFitThrows) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(DecisionTree, EmptyDatasetThrows) {
+  DecisionTree tree;
+  Dataset d(1);
+  DecisionTreeParams params;
+  Rng rng(5);
+  EXPECT_THROW(tree.fit(d, params, rng), InvalidArgument);
+}
+
+TEST(DecisionTree, MultiFeaturePicksInformativeOne) {
+  // Feature 1 is noise; feature 0 carries the signal.
+  Rng rng(6);
+  Dataset d(2);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.next_double();
+    const double noise = rng.next_double();
+    d.add_row(std::vector<double>{x, noise}, x > 0.5 ? 10.0 : -10.0);
+  }
+  DecisionTree tree;
+  DecisionTreeParams params;
+  params.max_depth = 2;
+  tree.fit(d, params, rng);
+  // Check generalization on fresh points.
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.next_double();
+    const double pred = tree.predict(std::vector<double>{x, rng.next_double()});
+    if ((x > 0.55 && pred > 0.0) || (x < 0.45 && pred < 0.0)) ++correct;
+    if (x >= 0.45 && x <= 0.55) ++correct;  // boundary: don't penalize
+  }
+  EXPECT_GT(correct, 90);
+}
+
+TEST(DecisionTree, FitBinnedWithRowSubset) {
+  Rng rng(7);
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i);
+    d.add_row(std::vector<double>{x}, x < 50 ? 0.0 : 1.0);
+  }
+  const BinnedMatrix binned = BinnedMatrix::build(d);
+  std::vector<double> targets(100);
+  for (std::size_t i = 0; i < 100; ++i) targets[i] = d.target(i);
+
+  // Train only on the first half: the model must predict ~0 everywhere.
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < 50; ++i) rows.push_back(i);
+  DecisionTree tree;
+  DecisionTreeParams params;
+  tree.fit_binned(binned, targets, rows, params, rng);
+  EXPECT_NEAR(tree.predict(std::vector<double>{10.0}), 0.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{90.0}), 0.0, 1e-9);
+}
+
+TEST(DecisionTree, FeatureFractionStillFits) {
+  Rng rng(8);
+  Dataset d(4);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.next_double();
+    d.add_row(std::vector<double>{x, rng.next_double(), rng.next_double(),
+                                  rng.next_double()},
+              x);
+  }
+  DecisionTree tree;
+  DecisionTreeParams params;
+  params.feature_fraction = 0.5;
+  tree.fit(d, params, rng);
+  EXPECT_TRUE(tree.fitted());
+  EXPECT_GT(tree.num_nodes(), 1u);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,188 @@
+#include "ml/gbdt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace aal {
+namespace {
+
+Dataset quadratic_data(int rows, Rng& rng) {
+  Dataset d(2);
+  for (int i = 0; i < rows; ++i) {
+    const double x = rng.next_double(-2.0, 2.0);
+    const double y = rng.next_double(-2.0, 2.0);
+    d.add_row(std::vector<double>{x, y}, x * x + 0.5 * y + 1.0);
+  }
+  return d;
+}
+
+double holdout_r2(const Gbdt& model, int rows, Rng& rng) {
+  std::vector<double> pred, truth;
+  for (int i = 0; i < rows; ++i) {
+    const double x = rng.next_double(-2.0, 2.0);
+    const double y = rng.next_double(-2.0, 2.0);
+    pred.push_back(model.predict(std::vector<double>{x, y}));
+    truth.push_back(x * x + 0.5 * y + 1.0);
+  }
+  return r_squared(pred, truth);
+}
+
+TEST(Gbdt, LearnsQuadraticSurface) {
+  Rng rng(1);
+  const Dataset d = quadratic_data(400, rng);
+  Gbdt model;
+  GbdtParams params;
+  model.fit(d, params);
+  EXPECT_GT(holdout_r2(model, 200, rng), 0.85);
+}
+
+TEST(Gbdt, BeatsSingleTreeEquivalent) {
+  Rng rng(2);
+  const Dataset d = quadratic_data(400, rng);
+  Gbdt boosted;
+  GbdtParams params;
+  boosted.fit(d, params);
+
+  GbdtParams stump_params;
+  stump_params.num_trees = 1;
+  stump_params.learning_rate = 1.0;
+  Gbdt stump;
+  stump.fit(d, stump_params);
+
+  Rng eval_rng(3);
+  const double boosted_r2 = holdout_r2(boosted, 200, eval_rng);
+  eval_rng.reseed(3);
+  const double stump_r2 = holdout_r2(stump, 200, eval_rng);
+  EXPECT_GT(boosted_r2, stump_r2);
+}
+
+TEST(Gbdt, DeterministicGivenSeed) {
+  Rng rng(4);
+  const Dataset d = quadratic_data(200, rng);
+  GbdtParams params;
+  params.seed = 777;
+  Gbdt a, b;
+  a.fit(d, params);
+  b.fit(d, params);
+  Rng probe(5);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x{probe.next_double(-2.0, 2.0),
+                                probe.next_double(-2.0, 2.0)};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(Gbdt, TargetScaleInvariance) {
+  // Internal normalization: fitting y and 1000*y must give proportional
+  // predictions (same tree structure in normalized space).
+  Rng rng(6);
+  Dataset small(1), large(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.next_double();
+    small.add_row(std::vector<double>{x}, x);
+    large.add_row(std::vector<double>{x}, 1000.0 * x);
+  }
+  GbdtParams params;
+  params.row_subsample = 1.0;
+  Gbdt a, b;
+  a.fit(small, params);
+  b.fit(large, params);
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(1000.0 * a.predict(std::vector<double>{x}),
+                b.predict(std::vector<double>{x}), 1.0);
+  }
+}
+
+TEST(Gbdt, ConstantTargetPredictsConstant) {
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) {
+    d.add_row(std::vector<double>{static_cast<double>(i)}, 42.0);
+  }
+  Gbdt model;
+  model.fit(d, GbdtParams{});
+  EXPECT_NEAR(model.predict(std::vector<double>{25.0}), 42.0, 1e-6);
+}
+
+TEST(Gbdt, PredictManyMatchesPredict) {
+  Rng rng(7);
+  const Dataset d = quadratic_data(50, rng);
+  Gbdt model;
+  model.fit(d, GbdtParams{});
+  const auto batch = model.predict_many(d);
+  ASSERT_EQ(batch.size(), d.num_rows());
+  for (std::size_t i = 0; i < d.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], model.predict(d.row(i)));
+  }
+}
+
+TEST(Gbdt, UnfittedPredictThrows) {
+  Gbdt model;
+  EXPECT_FALSE(model.fitted());
+  EXPECT_THROW(model.predict(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(Gbdt, EmptyDatasetThrows) {
+  Gbdt model;
+  Dataset d(1);
+  EXPECT_THROW(model.fit(d, GbdtParams{}), InvalidArgument);
+}
+
+TEST(Gbdt, FeatureImportanceFindsTheSignal) {
+  // Feature 0 carries all the signal; features 1-2 are noise. The split
+  // counts must concentrate on feature 0.
+  Rng rng(9);
+  Dataset d(3);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.next_double();
+    d.add_row(std::vector<double>{x, rng.next_double(), rng.next_double()},
+              std::sin(6.0 * x));
+  }
+  Gbdt model;
+  GbdtParams params;
+  params.feature_fraction = 1.0;
+  model.fit(d, params);
+  const auto importance = model.feature_importance(3);
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_NEAR(importance[0] + importance[1] + importance[2], 1.0, 1e-9);
+  // Deep trees still burn some splits refining noise leaves, so the signal
+  // feature won't take everything — but it must clearly dominate (uniform
+  // would be 1/3 each).
+  EXPECT_GT(importance[0], 0.4);
+  EXPECT_GT(importance[0], 1.5 * importance[1]);
+  EXPECT_GT(importance[0], 1.5 * importance[2]);
+}
+
+TEST(Gbdt, FeatureImportanceRequiresFit) {
+  Gbdt model;
+  EXPECT_THROW(model.feature_importance(3), InvalidArgument);
+}
+
+TEST(Gbdt, RankingQualityOnNoisyData) {
+  // What tuners need is ranking, not calibration: Spearman on noisy data.
+  Rng rng(8);
+  Dataset d(2);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.next_double();
+    const double y = rng.next_double();
+    const double signal = 3.0 * x + y;
+    d.add_row(std::vector<double>{x, y},
+              signal + rng.next_gaussian(0.0, 0.3));
+  }
+  Gbdt model;
+  model.fit(d, GbdtParams{});
+  std::vector<double> pred, truth;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.next_double();
+    const double y = rng.next_double();
+    pred.push_back(model.predict(std::vector<double>{x, y}));
+    truth.push_back(3.0 * x + y);
+  }
+  EXPECT_GT(spearman(pred, truth), 0.85);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,109 @@
+#include "ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/common.hpp"
+
+namespace aal {
+namespace {
+
+std::vector<std::vector<double>> three_blobs(Rng& rng, int per_blob) {
+  std::vector<std::vector<double>> points;
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (const auto& c : centers) {
+    for (int i = 0; i < per_blob; ++i) {
+      points.push_back({c[0] + rng.next_gaussian(0.0, 0.3),
+                        c[1] + rng.next_gaussian(0.0, 0.3)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  Rng rng(1);
+  const auto points = three_blobs(rng, 30);
+  const KMeansResult result = kmeans(points, 3, rng);
+
+  ASSERT_EQ(result.centers.size(), 3u);
+  // Each recovered center must be near one of the true centers.
+  const double truth[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  std::set<int> matched;
+  for (const auto& c : result.centers) {
+    for (int t = 0; t < 3; ++t) {
+      const double d = (c[0] - truth[t][0]) * (c[0] - truth[t][0]) +
+                       (c[1] - truth[t][1]) * (c[1] - truth[t][1]);
+      if (d < 1.0) matched.insert(t);
+    }
+  }
+  EXPECT_EQ(matched.size(), 3u);
+}
+
+TEST(KMeans, AssignmentsAreConsistentWithCenters) {
+  Rng rng(2);
+  const auto points = three_blobs(rng, 20);
+  const KMeansResult result = kmeans(points, 3, rng);
+  ASSERT_EQ(result.assignment.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto assigned = static_cast<std::size_t>(result.assignment[i]);
+    double assigned_d = 0.0, best_d = 1e300;
+    for (std::size_t c = 0; c < result.centers.size(); ++c) {
+      double d = 0.0;
+      for (std::size_t j = 0; j < points[i].size(); ++j) {
+        d += (points[i][j] - result.centers[c][j]) *
+             (points[i][j] - result.centers[c][j]);
+      }
+      if (c == assigned) assigned_d = d;
+      best_d = std::min(best_d, d);
+    }
+    EXPECT_NEAR(assigned_d, best_d, 1e-12);
+  }
+}
+
+TEST(KMeans, MedoidsAreInputPoints) {
+  Rng rng(3);
+  const auto points = three_blobs(rng, 10);
+  const KMeansResult result = kmeans(points, 3, rng);
+  ASSERT_EQ(result.medoids.size(), 3u);
+  std::set<std::size_t> unique(result.medoids.begin(), result.medoids.end());
+  EXPECT_EQ(unique.size(), 3u);
+  for (std::size_t m : result.medoids) EXPECT_LT(m, points.size());
+}
+
+TEST(KMeans, KClampedToPointCount) {
+  Rng rng(4);
+  const std::vector<std::vector<double>> points{{1.0}, {2.0}, {3.0}};
+  const KMeansResult result = kmeans(points, 10, rng);
+  EXPECT_EQ(result.centers.size(), 3u);
+}
+
+TEST(KMeans, SinglePointAndDuplicates) {
+  Rng rng(5);
+  const std::vector<std::vector<double>> one{{4.0, 2.0}};
+  EXPECT_EQ(kmeans(one, 1, rng).centers.size(), 1u);
+
+  const std::vector<std::vector<double>> dupes(8, {1.0, 1.0});
+  const KMeansResult result = kmeans(dupes, 3, rng);
+  EXPECT_EQ(result.centers.size(), 3u);  // degenerate but well-defined
+}
+
+TEST(KMeans, ValidatesInput) {
+  Rng rng(6);
+  EXPECT_THROW(kmeans({}, 2, rng), InvalidArgument);
+  const std::vector<std::vector<double>> ragged{{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(kmeans(ragged, 1, rng), InvalidArgument);
+}
+
+TEST(KMeans, DeterministicGivenRng) {
+  Rng a(7), b(7);
+  Rng data_rng(8);
+  const auto points = three_blobs(data_rng, 15);
+  const KMeansResult x = kmeans(points, 3, a);
+  const KMeansResult y = kmeans(points, 3, b);
+  EXPECT_EQ(x.assignment, y.assignment);
+  EXPECT_EQ(x.medoids, y.medoids);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,130 @@
+#include "ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace aal {
+namespace {
+
+Dataset surface_data(int rows, Rng& rng) {
+  Dataset d(2);
+  for (int i = 0; i < rows; ++i) {
+    const double x = rng.next_double(-1.0, 1.0);
+    const double y = rng.next_double(-1.0, 1.0);
+    d.add_row(std::vector<double>{x, y}, std::sin(2.0 * x) + 0.5 * y * y);
+  }
+  return d;
+}
+
+TEST(Mlp, LearnsNonlinearSurface) {
+  Rng rng(1);
+  const Dataset d = surface_data(600, rng);
+  Mlp model;
+  MlpParams params;
+  model.fit(d, params);
+
+  std::vector<double> pred, truth;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.next_double(-1.0, 1.0);
+    const double y = rng.next_double(-1.0, 1.0);
+    pred.push_back(model.predict(std::vector<double>{x, y}));
+    truth.push_back(std::sin(2.0 * x) + 0.5 * y * y);
+  }
+  EXPECT_GT(r_squared(pred, truth), 0.8);
+}
+
+TEST(Mlp, LearnsLinearFunctionWell) {
+  Rng rng(2);
+  Dataset d(1);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.next_double(-1.0, 1.0);
+    d.add_row(std::vector<double>{x}, 3.0 * x + 1.0);
+  }
+  Mlp model;
+  model.fit(d, MlpParams{});
+  for (double x : {-0.5, 0.0, 0.5}) {
+    EXPECT_NEAR(model.predict(std::vector<double>{x}), 3.0 * x + 1.0, 0.25);
+  }
+}
+
+TEST(Mlp, TargetScaleHandled) {
+  // Internal standardization must make large-magnitude targets (GFLOPS
+  // scale) train as well as unit-scale ones.
+  Rng rng(3);
+  Dataset d(1);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.next_double();
+    d.add_row(std::vector<double>{x}, 5000.0 * x + 100.0);
+  }
+  Mlp model;
+  model.fit(d, MlpParams{});
+  const double mid = model.predict(std::vector<double>{0.5});
+  EXPECT_NEAR(mid, 2600.0, 300.0);
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+  Rng rng(4);
+  const Dataset d = surface_data(100, rng);
+  MlpParams params;
+  params.seed = 99;
+  params.epochs = 30;
+  Mlp a, b;
+  a.fit(d, params);
+  b.fit(d, params);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<double> x{rng.next_double(-1.0, 1.0),
+                                rng.next_double(-1.0, 1.0)};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+  }
+}
+
+TEST(Mlp, ValidatesInput) {
+  Mlp model;
+  EXPECT_THROW(model.predict(std::vector<double>{1.0}), InvalidArgument);
+  Dataset empty(2);
+  EXPECT_THROW(model.fit(empty, MlpParams{}), InvalidArgument);
+
+  Rng rng(5);
+  const Dataset d = surface_data(50, rng);
+  MlpParams bad;
+  bad.hidden = {};
+  EXPECT_THROW(model.fit(d, bad), InvalidArgument);
+
+  model.fit(d, MlpParams{});
+  EXPECT_THROW(model.predict(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST(MlpSurrogate, WorksThroughInterface) {
+  Rng rng(6);
+  const Dataset d = surface_data(200, rng);
+  const MlpSurrogateFactory factory;
+  auto model = factory.create(1);
+  EXPECT_EQ(model->name(), "mlp");
+  EXPECT_FALSE(model->fitted());
+  model->fit(d);
+  EXPECT_TRUE(model->fitted());
+}
+
+TEST(MlpSurrogate, FactorySeedsDiffer) {
+  Rng rng(7);
+  const Dataset d = surface_data(150, rng);
+  const MlpSurrogateFactory factory;
+  auto a = factory.create(1);
+  auto b = factory.create(2);
+  a->fit(d);
+  b->fit(d);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> x{rng.next_double(-1.0, 1.0),
+                                rng.next_double(-1.0, 1.0)};
+    if (a->predict(x) != b->predict(x)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,140 @@
+#include "ml/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace aal {
+namespace {
+
+Dataset linear_data(int rows, Rng& rng) {
+  Dataset d(3);
+  for (int i = 0; i < rows; ++i) {
+    const double a = rng.next_double(-1.0, 1.0);
+    const double b = rng.next_double(-1.0, 1.0);
+    const double c = rng.next_double(-1.0, 1.0);
+    d.add_row(std::vector<double>{a, b, c}, 2.0 * a - 3.0 * b + 0.5 * c + 4.0);
+  }
+  return d;
+}
+
+TEST(RidgeSurrogate, RecoversLinearFunction) {
+  Rng rng(1);
+  const Dataset d = linear_data(100, rng);
+  RidgeSurrogate model(1e-6);
+  model.fit(d);
+  EXPECT_TRUE(model.fitted());
+  for (int i = 0; i < 20; ++i) {
+    const double a = rng.next_double(-1.0, 1.0);
+    const double b = rng.next_double(-1.0, 1.0);
+    const double c = rng.next_double(-1.0, 1.0);
+    const double truth = 2.0 * a - 3.0 * b + 0.5 * c + 4.0;
+    EXPECT_NEAR(model.predict(std::vector<double>{a, b, c}), truth, 1e-3);
+  }
+}
+
+TEST(RidgeSurrogate, RegularizationShrinksWeights) {
+  Rng rng(2);
+  const Dataset d = linear_data(30, rng);
+  RidgeSurrogate weak(1e-6), strong(1e4);
+  weak.fit(d);
+  strong.fit(d);
+  // Heavy regularization pulls predictions toward a flat function, so the
+  // spread of predictions must shrink.
+  double weak_spread = 0.0, strong_spread = 0.0;
+  const std::vector<double> lo{-1.0, -1.0, -1.0};
+  const std::vector<double> hi{1.0, 1.0, 1.0};
+  weak_spread = std::abs(weak.predict(hi) - weak.predict(lo));
+  strong_spread = std::abs(strong.predict(hi) - strong.predict(lo));
+  EXPECT_LT(strong_spread, weak_spread);
+}
+
+TEST(RidgeSurrogate, DegenerateColumnHandled) {
+  Dataset d(2);
+  for (int i = 0; i < 10; ++i) {
+    d.add_row(std::vector<double>{static_cast<double>(i), 0.0},
+              static_cast<double>(i));
+  }
+  RidgeSurrogate model;
+  EXPECT_NO_THROW(model.fit(d));
+  EXPECT_NEAR(model.predict(std::vector<double>{5.0, 0.0}), 5.0, 0.5);
+}
+
+TEST(RidgeSurrogate, UnfittedThrows) {
+  RidgeSurrogate model;
+  EXPECT_THROW(model.predict(std::vector<double>{1.0, 2.0, 3.0}),
+               InvalidArgument);
+}
+
+TEST(KnnSurrogate, ReproducesTrainingPoints) {
+  Dataset d(1);
+  for (double x : {0.0, 1.0, 2.0, 3.0}) {
+    d.add_row(std::vector<double>{x}, 10.0 * x);
+  }
+  KnnSurrogate model(1);
+  model.fit(d);
+  EXPECT_NEAR(model.predict(std::vector<double>{2.0}), 20.0, 1e-6);
+  EXPECT_NEAR(model.predict(std::vector<double>{2.9}), 30.0, 1.0);
+}
+
+TEST(KnnSurrogate, InterpolatesBetweenNeighbors) {
+  Dataset d(1);
+  d.add_row(std::vector<double>{0.0}, 0.0);
+  d.add_row(std::vector<double>{1.0}, 10.0);
+  KnnSurrogate model(2);
+  model.fit(d);
+  const double mid = model.predict(std::vector<double>{0.5});
+  EXPECT_GT(mid, 2.0);
+  EXPECT_LT(mid, 8.0);
+}
+
+TEST(KnnSurrogate, KLargerThanDataIsClamped) {
+  Dataset d(1);
+  d.add_row(std::vector<double>{0.0}, 1.0);
+  KnnSurrogate model(10);
+  model.fit(d);
+  EXPECT_NEAR(model.predict(std::vector<double>{3.0}), 1.0, 1e-9);
+}
+
+TEST(GbdtSurrogate, FitsThroughInterface) {
+  Rng rng(3);
+  const Dataset d = linear_data(150, rng);
+  GbdtSurrogate model(GbdtParams{});
+  EXPECT_FALSE(model.fitted());
+  model.fit(d);
+  EXPECT_TRUE(model.fitted());
+  EXPECT_EQ(model.name(), "gbdt");
+}
+
+TEST(SurrogateFactories, ProduceNamedModels) {
+  const GbdtSurrogateFactory gbdt;
+  const RidgeSurrogateFactory ridge;
+  const KnnSurrogateFactory knn;
+  EXPECT_EQ(gbdt.create(1)->name(), "gbdt");
+  EXPECT_EQ(ridge.create(1)->name(), "ridge");
+  EXPECT_EQ(knn.create(1)->name(), "knn");
+}
+
+TEST(SurrogateFactories, GbdtSeedsDifferentiateModels) {
+  Rng rng(4);
+  Dataset d(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.next_double();
+    d.add_row(std::vector<double>{x}, x + rng.next_gaussian(0.0, 0.2));
+  }
+  const GbdtSurrogateFactory factory;
+  auto a = factory.create(1);
+  auto b = factory.create(2);
+  a->fit(d);
+  b->fit(d);
+  // Different row subsampling seeds: models should not be byte-identical.
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x{rng.next_double()};
+    if (a->predict(x) != b->predict(x)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,215 @@
+#include "space/config_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/common.hpp"
+
+namespace aal {
+namespace {
+
+ConfigSpace small_space() {
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::split("a", 8, 2));   // 4 entities
+  knobs.push_back(Knob::split("b", 12, 2));  // 6 entities
+  knobs.push_back(Knob::option("c", {0, 1, 2}));
+  return ConfigSpace(std::move(knobs));
+}
+
+TEST(ConfigSpace, SizeIsProductOfKnobs) {
+  const ConfigSpace s = small_space();
+  EXPECT_EQ(s.size(), 4 * 6 * 3);
+  EXPECT_EQ(s.num_knobs(), 3u);
+}
+
+TEST(ConfigSpace, EmptyKnobListRejected) {
+  EXPECT_THROW(ConfigSpace(std::vector<Knob>{}), InvalidArgument);
+}
+
+TEST(ConfigSpace, FlatRoundTripExhaustive) {
+  const ConfigSpace s = small_space();
+  std::set<std::vector<std::int32_t>> seen;
+  for (std::int64_t flat = 0; flat < s.size(); ++flat) {
+    const Config c = s.at(flat);
+    EXPECT_EQ(c.flat, flat);
+    EXPECT_EQ(s.flat_of(c.choices), flat);
+    seen.insert(c.choices);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), s.size());
+}
+
+TEST(ConfigSpace, AtValidatesRange) {
+  const ConfigSpace s = small_space();
+  EXPECT_THROW(s.at(-1), InvalidArgument);
+  EXPECT_THROW(s.at(s.size()), InvalidArgument);
+}
+
+TEST(ConfigSpace, FlatOfValidatesChoices) {
+  const ConfigSpace s = small_space();
+  EXPECT_THROW(s.flat_of({0, 0}), InvalidArgument);           // wrong arity
+  EXPECT_THROW(s.flat_of({0, 0, 3}), InvalidArgument);        // out of range
+  EXPECT_THROW(s.flat_of({-1, 0, 0}), InvalidArgument);
+}
+
+TEST(ConfigSpace, SampleIsInRange) {
+  const ConfigSpace s = small_space();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Config c = s.sample(rng);
+    EXPECT_GE(c.flat, 0);
+    EXPECT_LT(c.flat, s.size());
+  }
+}
+
+TEST(ConfigSpace, SampleDistinctReturnsDistinct) {
+  const ConfigSpace s = small_space();
+  Rng rng(5);
+  const auto configs = s.sample_distinct(30, rng);
+  EXPECT_EQ(configs.size(), 30u);
+  std::set<std::int64_t> flats;
+  for (const auto& c : configs) flats.insert(c.flat);
+  EXPECT_EQ(flats.size(), 30u);
+}
+
+TEST(ConfigSpace, SampleDistinctCapsAtSpaceSize) {
+  const ConfigSpace s = small_space();
+  Rng rng(7);
+  const auto configs = s.sample_distinct(10000, rng);
+  EXPECT_EQ(static_cast<std::int64_t>(configs.size()), s.size());
+}
+
+TEST(ConfigSpace, FeatureDimMatchesVector) {
+  const ConfigSpace s = small_space();
+  EXPECT_EQ(s.feature_dim(), 2 + 2 + 1);
+  Rng rng(9);
+  const Config c = s.sample(rng);
+  EXPECT_EQ(s.features(c).size(), static_cast<std::size_t>(s.feature_dim()));
+}
+
+TEST(ConfigSpace, ChoiceDistance) {
+  const ConfigSpace s = small_space();
+  const Config a = s.make({0, 0, 0});
+  const Config b = s.make({3, 4, 0});
+  EXPECT_DOUBLE_EQ(s.choice_distance_sq(a, b), 9.0 + 16.0);
+  EXPECT_DOUBLE_EQ(s.choice_distance_sq(a, a), 0.0);
+}
+
+TEST(ConfigSpace, NeighborhoodWithinRadiusAndExcludesCenter) {
+  const ConfigSpace s = small_space();
+  Rng rng(11);
+  const Config center = s.make({2, 3, 1});
+  const auto nb = s.neighborhood(center, 2.0, 1000, rng);
+  EXPECT_FALSE(nb.empty());
+  std::set<std::int64_t> flats;
+  for (const auto& c : nb) {
+    EXPECT_NE(c.flat, center.flat);
+    EXPECT_LE(s.choice_distance_sq(center, c), 4.0 + 1e-9);
+    flats.insert(c.flat);
+  }
+  EXPECT_EQ(flats.size(), nb.size());
+}
+
+TEST(ConfigSpace, NeighborhoodExactMatchesBruteForce) {
+  const ConfigSpace s = small_space();
+  Rng rng(13);
+  const Config center = s.make({1, 2, 1});
+  const double radius = 2.0;
+  const auto nb = s.neighborhood(center, radius, 100000, rng);
+
+  std::size_t brute = 0;
+  for (std::int64_t flat = 0; flat < s.size(); ++flat) {
+    const Config c = s.at(flat);
+    if (c.flat != center.flat &&
+        s.choice_distance_sq(center, c) <= radius * radius) {
+      ++brute;
+    }
+  }
+  EXPECT_EQ(nb.size(), brute);
+}
+
+TEST(ConfigSpace, NeighborhoodHonorsMaxPoints) {
+  const ConfigSpace s = small_space();
+  Rng rng(17);
+  const Config center = s.make({2, 3, 1});
+  const auto nb = s.neighborhood(center, 3.0, 5, rng);
+  EXPECT_LE(nb.size(), 5u);
+  EXPECT_FALSE(nb.empty());
+}
+
+TEST(ConfigSpace, NeighborhoodZeroRadiusFallsBack) {
+  const ConfigSpace s = small_space();
+  Rng rng(19);
+  const Config center = s.make({0, 0, 0});
+  // Radius 0 has no in-ball neighbors; the fallback must still provide one.
+  const auto nb = s.neighborhood(center, 0.0, 10, rng);
+  EXPECT_FALSE(nb.empty());
+  for (const auto& c : nb) EXPECT_NE(c.flat, center.flat);
+}
+
+TEST(ConfigSpace, FeatureDistanceMatchesManual) {
+  const ConfigSpace s = small_space();
+  const Config a = s.make({0, 0, 0});
+  const Config b = s.make({3, 4, 2});
+  const auto fa = s.features(a);
+  const auto fb = s.features(b);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    expected += (fa[i] - fb[i]) * (fa[i] - fb[i]);
+  }
+  EXPECT_DOUBLE_EQ(s.feature_distance_sq(a, b), expected);
+  EXPECT_DOUBLE_EQ(s.feature_distance_sq(a, a), 0.0);
+}
+
+TEST(ConfigSpace, FeatureNeighborhoodWithinRadius) {
+  const ConfigSpace s = small_space();
+  Rng rng(29);
+  const Config center = s.make({2, 3, 1});
+  const double radius = 2.5;
+  const auto nb = s.feature_neighborhood(center, radius, 200, rng);
+  EXPECT_FALSE(nb.empty());
+  std::set<std::int64_t> flats;
+  for (const auto& c : nb) {
+    EXPECT_NE(c.flat, center.flat);
+    EXPECT_LE(s.feature_distance_sq(center, c), radius * radius + 1e-9);
+    flats.insert(c.flat);
+  }
+  EXPECT_EQ(flats.size(), nb.size());
+}
+
+TEST(ConfigSpace, FeatureNeighborhoodFallsBackWhenEmpty) {
+  const ConfigSpace s = small_space();
+  Rng rng(31);
+  const Config center = s.make({0, 0, 0});
+  // Radius 0 admits nothing; the fallback must still return one point.
+  const auto nb = s.feature_neighborhood(center, 0.0, 10, rng);
+  EXPECT_FALSE(nb.empty());
+  for (const auto& c : nb) EXPECT_NE(c.flat, center.flat);
+}
+
+TEST(ConfigSpace, ToStringShowsKnobs) {
+  const ConfigSpace s = small_space();
+  const std::string str = s.to_string(s.make({0, 0, 1}));
+  EXPECT_NE(str.find("a="), std::string::npos);
+  EXPECT_NE(str.find("c=1"), std::string::npos);
+}
+
+// Property sweep over radii: all returned points are inside the ball.
+class NeighborhoodRadius : public ::testing::TestWithParam<double> {};
+
+TEST_P(NeighborhoodRadius, AllPointsInsideBall) {
+  const double radius = GetParam();
+  const ConfigSpace s = small_space();
+  Rng rng(23);
+  const Config center = s.make({2, 2, 1});
+  for (const auto& c : s.neighborhood(center, radius, 64, rng)) {
+    EXPECT_LE(std::sqrt(s.choice_distance_sq(center, c)), radius + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, NeighborhoodRadius,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 4.5));
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,95 @@
+#include "space/knob.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/math_util.hpp"
+
+namespace aal {
+namespace {
+
+TEST(Knob, SplitEnumeratesAllFactorizations) {
+  const Knob k = Knob::split("tile_f", 16, 4);
+  EXPECT_TRUE(k.is_split());
+  EXPECT_EQ(k.name(), "tile_f");
+  EXPECT_EQ(k.size(), count_ordered_factorizations(16, 4));
+  for (const auto& entity : k.as_split().entities) {
+    ASSERT_EQ(entity.size(), 4u);
+    std::int64_t prod = 1;
+    for (std::int64_t f : entity) prod *= f;
+    EXPECT_EQ(prod, 16);
+  }
+}
+
+TEST(Knob, SplitOfOneIsSingleton) {
+  const Knob k = Knob::split("t", 1, 4);
+  EXPECT_EQ(k.size(), 1);
+  EXPECT_EQ(k.as_split().entities[0],
+            (std::vector<std::int64_t>{1, 1, 1, 1}));
+}
+
+TEST(Knob, OptionHoldsValues) {
+  const Knob k = Knob::option("auto_unroll", {0, 512, 1500});
+  EXPECT_FALSE(k.is_split());
+  EXPECT_EQ(k.size(), 3);
+  EXPECT_EQ(k.as_option().values[1], 512);
+  EXPECT_THROW(k.as_split(), InvalidArgument);
+}
+
+TEST(Knob, OptionRejectsEmpty) {
+  EXPECT_THROW(Knob::option("x", {}), InvalidArgument);
+}
+
+TEST(Knob, FeatureWidths) {
+  EXPECT_EQ(Knob::split("s", 8, 4).feature_width(), 4);
+  EXPECT_EQ(Knob::split("s", 8, 2).feature_width(), 2);
+  EXPECT_EQ(Knob::option("o", {0, 1}).feature_width(), 1);
+}
+
+TEST(Knob, SplitFeaturesAreLog2Factors) {
+  const Knob k = Knob::split("s", 8, 2);
+  // Find the entity [2, 4].
+  std::int64_t choice = -1;
+  for (std::int64_t i = 0; i < k.size(); ++i) {
+    if (k.as_split().entities[static_cast<std::size_t>(i)] ==
+        std::vector<std::int64_t>{2, 4}) {
+      choice = i;
+    }
+  }
+  ASSERT_GE(choice, 0);
+  std::vector<double> feats;
+  k.append_features(choice, feats);
+  ASSERT_EQ(feats.size(), 2u);
+  EXPECT_DOUBLE_EQ(feats[0], 1.0);  // log2(2)
+  EXPECT_DOUBLE_EQ(feats[1], 2.0);  // log2(4)
+}
+
+TEST(Knob, OptionFeatureIsLog2Plus1) {
+  const Knob k = Knob::option("o", {0, 511, 1500});
+  std::vector<double> feats;
+  k.append_features(0, feats);
+  EXPECT_DOUBLE_EQ(feats[0], 0.0);
+  feats.clear();
+  k.append_features(1, feats);
+  EXPECT_DOUBLE_EQ(feats[0], 9.0);  // log2(512)
+}
+
+TEST(Knob, AppendFeaturesValidatesChoice) {
+  const Knob k = Knob::option("o", {1, 2});
+  std::vector<double> feats;
+  EXPECT_THROW(k.append_features(-1, feats), InvalidArgument);
+  EXPECT_THROW(k.append_features(2, feats), InvalidArgument);
+}
+
+TEST(Knob, EntityToString) {
+  const Knob split = Knob::split("s", 4, 2);
+  const std::string s = split.entity_to_string(0);
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_EQ(s.back(), ']');
+  const Knob opt = Knob::option("o", {7});
+  EXPECT_EQ(opt.entity_to_string(0), "7");
+}
+
+}  // namespace
+}  // namespace aal

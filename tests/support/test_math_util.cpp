@@ -1,0 +1,118 @@
+#include "support/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/common.hpp"
+
+namespace aal {
+namespace {
+
+TEST(MathUtil, DivisorsSmall) {
+  EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(7), (std::vector<std::int64_t>{1, 7}));
+  EXPECT_EQ(divisors(64),
+            (std::vector<std::int64_t>{1, 2, 4, 8, 16, 32, 64}));
+}
+
+TEST(MathUtil, DivisorsPerfectSquare) {
+  EXPECT_EQ(divisors(36), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+}
+
+TEST(MathUtil, DivisorsRejectsNonPositive) {
+  EXPECT_THROW(divisors(0), InvalidArgument);
+  EXPECT_THROW(divisors(-4), InvalidArgument);
+}
+
+TEST(MathUtil, FactorizationCountsMatchEnumeration) {
+  for (std::int64_t n : {1, 2, 6, 12, 24, 36, 64, 224}) {
+    for (int k : {1, 2, 3, 4}) {
+      const auto all = ordered_factorizations(n, k);
+      EXPECT_EQ(static_cast<std::int64_t>(all.size()),
+                count_ordered_factorizations(n, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(MathUtil, FactorizationsHaveCorrectProduct) {
+  const auto all = ordered_factorizations(24, 3);
+  for (const auto& f : all) {
+    ASSERT_EQ(f.size(), 3u);
+    std::int64_t prod = 1;
+    for (std::int64_t v : f) {
+      EXPECT_GE(v, 1);
+      prod *= v;
+    }
+    EXPECT_EQ(prod, 24);
+  }
+}
+
+TEST(MathUtil, FactorizationsAreDistinct) {
+  const auto all = ordered_factorizations(36, 4);
+  std::set<std::vector<std::int64_t>> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), all.size());
+}
+
+TEST(MathUtil, KnownFactorizationCounts) {
+  // 4-way ordered factorizations of 2^6: C(6+3,3) = 84.
+  EXPECT_EQ(count_ordered_factorizations(64, 4), 84);
+  // 224 = 2^5 * 7: C(8,3) * C(4,3) = 56 * 4 = 224.
+  EXPECT_EQ(count_ordered_factorizations(224, 4), 224);
+  // Any n with k=1 has exactly one factorization.
+  EXPECT_EQ(count_ordered_factorizations(12345, 1), 1);
+  // Prime p with k=2: (1,p) and (p,1).
+  EXPECT_EQ(count_ordered_factorizations(13, 2), 2);
+}
+
+TEST(MathUtil, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(round_up(10, 32), 32);
+  EXPECT_EQ(round_up(32, 32), 32);
+  EXPECT_EQ(round_up(33, 32), 64);
+}
+
+TEST(MathUtil, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_EQ(next_power_of_two(1), 1);
+  EXPECT_EQ(next_power_of_two(17), 32);
+  EXPECT_EQ(next_power_of_two(64), 64);
+}
+
+TEST(MathUtil, Clamp) {
+  EXPECT_EQ(clamp(5, 0, 10), 5);
+  EXPECT_EQ(clamp(-5, 0, 10), 0);
+  EXPECT_EQ(clamp(15, 0, 10), 10);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+// Property sweep: the count function is multiplicative over prime powers.
+class FactorizationProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(FactorizationProperty, CountMatchesEnumerationAndAllValid) {
+  const std::int64_t n = GetParam();
+  for (int k = 1; k <= 4; ++k) {
+    const auto all = ordered_factorizations(n, k);
+    EXPECT_EQ(static_cast<std::int64_t>(all.size()),
+              count_ordered_factorizations(n, k));
+    for (const auto& f : all) {
+      const std::int64_t prod = std::accumulate(
+          f.begin(), f.end(), std::int64_t{1}, std::multiplies<>());
+      EXPECT_EQ(prod, n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CommonLayerExtents, FactorizationProperty,
+                         ::testing::Values(1, 3, 7, 16, 32, 55, 56, 96, 112,
+                                           192, 512));
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,170 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace aal {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, NextIndexInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_index(17), 17u);
+  }
+  EXPECT_EQ(rng.next_index(1), 0u);
+}
+
+TEST(Rng, NextIndexRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.next_index(0), InvalidArgument);
+}
+
+TEST(Rng, NextIndexCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_index(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianShiftScale) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  const auto s = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<std::size_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t idx : s) EXPECT_LT(idx, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(29);
+  const auto s = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(31);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), InvalidArgument);
+}
+
+TEST(Rng, SampleWithReplacementSizeAndRange) {
+  Rng rng(37);
+  const auto s = rng.sample_with_replacement(10, 40);
+  EXPECT_EQ(s.size(), 40u);
+  for (std::size_t idx : s) EXPECT_LT(idx, 10u);
+  // With 40 draws from 10 values, collisions are certain.
+  std::set<std::size_t> unique(s.begin(), s.end());
+  EXPECT_LT(unique.size(), s.size());
+}
+
+TEST(Rng, BootstrapUniqueFractionNearTheory) {
+  // The paper cites 1 - 1/e ~= 0.632 unique elements per bootstrap set.
+  Rng rng(41);
+  const std::size_t n = 2000;
+  const auto s = rng.sample_with_replacement(n, n);
+  std::set<std::size_t> unique(s.begin(), s.end());
+  const double frac = static_cast<double>(unique.size()) / static_cast<double>(n);
+  EXPECT_NEAR(frac, 0.632, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(47);
+  Rng child = a.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace aal

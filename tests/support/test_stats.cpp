@@ -1,0 +1,192 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace aal {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.5, -3.0, 7.0, 0.25};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(s.variance(), variance(xs), 1e-12);
+  EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SampleVarianceBesselCorrected) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);         // population
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);  // unbiased
+}
+
+TEST(RunningStats, MergeEquivalentToCombinedStream) {
+  Rng rng(5);
+  RunningStats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_gaussian(3.0, 2.0);
+    (i % 2 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(2.0);
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs: copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Stats, MeanAndVarianceBasics) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptySpanMeanIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 15.0);
+}
+
+TEST(Stats, PercentileValidatesInput) {
+  EXPECT_THROW(percentile({}, 50.0), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, -1.0), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 101.0), InvalidArgument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+  const std::vector<double> c{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  const std::vector<double> a{1.0, 1.0, 1.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Stats, SpearmanMonotoneNonlinear) {
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b{1.0, 8.0, 27.0, 64.0, 125.0};  // monotone
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(Stats, AverageRanksHandleTies) {
+  const std::vector<double> xs{10.0, 20.0, 20.0, 30.0};
+  const auto ranks = average_ranks(xs);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(Stats, RSquaredPerfectAndMean) {
+  const std::vector<double> truth{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(truth, truth), 1.0);
+  const std::vector<double> mean_pred{2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(mean_pred, truth), 0.0, 1e-12);
+}
+
+TEST(Stats, RmseBasics) {
+  const std::vector<double> pred{1.0, 2.0, 3.0};
+  const std::vector<double> truth{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(pred, truth), 0.0);
+  const std::vector<double> off{2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(off, truth), 1.0);
+}
+
+TEST(Stats, BootstrapCiCoversTrueMean) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 60; ++i) xs.push_back(rng.next_gaussian(10.0, 2.0));
+  const ConfidenceInterval ci = bootstrap_mean_ci(xs);
+  EXPECT_LE(ci.lo, ci.mean);
+  EXPECT_GE(ci.hi, ci.mean);
+  EXPECT_NEAR(ci.mean, mean(xs), 1e-12);
+  // With n=60, sigma=2: the 95% CI half-width is ~0.5; 10 must be inside.
+  EXPECT_LT(ci.lo, 10.0 + 1.0);
+  EXPECT_GT(ci.hi, 10.0 - 1.0);
+}
+
+TEST(Stats, BootstrapCiNarrowsWithMoreData) {
+  Rng rng(13);
+  std::vector<double> small_xs, large_xs;
+  for (int i = 0; i < 10; ++i) small_xs.push_back(rng.next_gaussian(0.0, 1.0));
+  for (int i = 0; i < 500; ++i) large_xs.push_back(rng.next_gaussian(0.0, 1.0));
+  const ConfidenceInterval a = bootstrap_mean_ci(small_xs);
+  const ConfidenceInterval b = bootstrap_mean_ci(large_xs);
+  EXPECT_GT(a.hi - a.lo, b.hi - b.lo);
+}
+
+TEST(Stats, BootstrapCiDeterministicAndValidated) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const ConfidenceInterval a = bootstrap_mean_ci(xs, 0.05, 500, 7);
+  const ConfidenceInterval b = bootstrap_mean_ci(xs, 0.05, 500, 7);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+
+  const ConfidenceInterval single = bootstrap_mean_ci(std::vector<double>{5.0});
+  EXPECT_DOUBLE_EQ(single.lo, 5.0);
+  EXPECT_DOUBLE_EQ(single.hi, 5.0);
+
+  EXPECT_THROW(bootstrap_mean_ci({}), InvalidArgument);
+  EXPECT_THROW(bootstrap_mean_ci(xs, 1.5), InvalidArgument);
+  EXPECT_THROW(bootstrap_mean_ci(xs, 0.05, 5), InvalidArgument);
+}
+
+TEST(Stats, SizeMismatchThrows) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(pearson(a, b), InvalidArgument);
+  EXPECT_THROW(spearman(a, b), InvalidArgument);
+  EXPECT_THROW(rmse(a, b), InvalidArgument);
+  EXPECT_THROW(r_squared(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,75 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/common.hpp"
+#include "tensor/dtype.hpp"
+
+namespace aal {
+namespace {
+
+TEST(DType, SizesAndNames) {
+  EXPECT_EQ(dtype_bytes(DType::kFloat32), 4);
+  EXPECT_EQ(dtype_bytes(DType::kFloat16), 2);
+  EXPECT_EQ(dtype_bytes(DType::kInt8), 1);
+  EXPECT_EQ(dtype_bytes(DType::kInt32), 4);
+  EXPECT_EQ(dtype_name(DType::kFloat32), "float32");
+  EXPECT_EQ(dtype_from_name("int8"), DType::kInt8);
+}
+
+TEST(DType, RoundTripAllValues) {
+  for (DType t : {DType::kFloat32, DType::kFloat16, DType::kInt8,
+                  DType::kInt32}) {
+    EXPECT_EQ(dtype_from_name(dtype_name(t)), t);
+  }
+}
+
+TEST(DType, UnknownNameThrows) {
+  EXPECT_THROW(dtype_from_name("float64"), InvalidArgument);
+}
+
+TEST(Shape, RankAndAccess) {
+  const Shape s{1, 3, 224, 224};
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[3], 224);
+  EXPECT_THROW(s[4], InvalidArgument);
+}
+
+TEST(Shape, NumElementsAndBytes) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.num_elements(), 24);
+  EXPECT_EQ(s.num_bytes(DType::kFloat32), 96);
+  EXPECT_EQ(s.num_bytes(DType::kInt8), 24);
+}
+
+TEST(Shape, ScalarHasOneElement) {
+  const Shape s{};
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.num_elements(), 1);
+}
+
+TEST(Shape, RejectsNonPositiveDims) {
+  EXPECT_THROW(Shape({1, 0, 3}), InvalidArgument);
+  EXPECT_THROW(Shape({-1}), InvalidArgument);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_NE(Shape({1, 2}), Shape({1, 2, 1}));
+  EXPECT_EQ(Shape({1, 3, 224, 224}).to_string(), "[1, 3, 224, 224]");
+}
+
+TEST(TensorType, BytesAndEquality) {
+  const TensorType t{Shape{1, 64, 56, 56}, DType::kFloat32};
+  EXPECT_EQ(t.num_bytes(), 1 * 64 * 56 * 56 * 4);
+  const TensorType same{Shape{1, 64, 56, 56}, DType::kFloat32};
+  EXPECT_TRUE(t == same);
+  const TensorType other{Shape{1, 64, 56, 56}, DType::kInt8};
+  EXPECT_FALSE(t == other);
+  EXPECT_EQ(t.to_string(), "[1, 64, 56, 56]:float32");
+}
+
+}  // namespace
+}  // namespace aal

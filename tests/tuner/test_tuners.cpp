@@ -1,0 +1,210 @@
+#include "tuner/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.hpp"
+#include "tuner/ga_tuner.hpp"
+#include "tuner/grid_tuner.hpp"
+#include "tuner/random_tuner.hpp"
+#include "tuner/xgb_tuner.hpp"
+
+namespace aal {
+namespace {
+
+class TunerTest : public ::testing::Test {
+ protected:
+  GpuSpec spec_ = GpuSpec::gtx1080ti();
+  TuningTask task_{testing::small_conv_workload(), spec_};
+
+  TuneOptions quick_options() {
+    TuneOptions o;
+    o.budget = 120;
+    o.early_stopping = 0;
+    o.num_initial = 32;
+    o.batch_size = 16;
+    return o;
+  }
+};
+
+TEST_F(TunerTest, LoopStateEnforcesBudget) {
+  SimulatedDevice device(spec_, 1);
+  Measurer measurer(task_, device);
+  TuneOptions options;
+  options.budget = 5;
+  options.early_stopping = 0;
+  TuneLoopState state(measurer, options);
+  Rng rng(1);
+  int accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (!state.measure(task_.space().sample(rng))) break;
+    ++accepted;
+  }
+  EXPECT_EQ(state.history().size(), 5u);
+  EXPECT_TRUE(state.should_stop());
+}
+
+TEST_F(TunerTest, LoopStateEarlyStopping) {
+  SimulatedDevice device(spec_, 2);
+  Measurer measurer(task_, device);
+  TuneOptions options;
+  options.budget = 100000;
+  options.early_stopping = 30;
+  TuneLoopState state(measurer, options);
+  Rng rng(2);
+  while (!state.should_stop()) {
+    state.measure(task_.space().sample(rng));
+  }
+  // The loop must have stopped well before the budget.
+  EXPECT_LT(state.history().size(), 10000u);
+}
+
+TEST_F(TunerTest, LoopStateMemoizedRevisitIsFree) {
+  SimulatedDevice device(spec_, 3);
+  Measurer measurer(task_, device);
+  TuneOptions options;
+  options.budget = 10;
+  TuneLoopState state(measurer, options);
+  Rng rng(3);
+  const Config c = task_.space().sample(rng);
+  state.measure(c);
+  state.measure(c);
+  state.measure(c);
+  EXPECT_EQ(state.history().size(), 1u);
+}
+
+TEST_F(TunerTest, LoopStateValidatesOptions) {
+  SimulatedDevice device(spec_, 4);
+  Measurer measurer(task_, device);
+  TuneOptions bad;
+  bad.budget = 0;
+  EXPECT_THROW(TuneLoopState(measurer, bad), InvalidArgument);
+}
+
+TEST_F(TunerTest, RandomTunerRunsToBudget) {
+  SimulatedDevice device(spec_, 5);
+  Measurer measurer(task_, device);
+  RandomTuner tuner;
+  const TuneResult r = tuner.tune(measurer, quick_options());
+  EXPECT_EQ(r.tuner_name, "random");
+  EXPECT_EQ(r.num_measured, 120);
+  ASSERT_TRUE(r.best.has_value());
+}
+
+TEST_F(TunerTest, GridTunerIsDeterministicAndStrided) {
+  SimulatedDevice device_a(spec_, 6);
+  Measurer measurer_a(task_, device_a);
+  GridTuner tuner;
+  const TuneResult a = tuner.tune(measurer_a, quick_options());
+
+  SimulatedDevice device_b(spec_, 7);
+  Measurer measurer_b(task_, device_b);
+  const TuneResult b = tuner.tune(measurer_b, quick_options());
+
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].flat, b.history[i].flat);
+  }
+  // The low-discrepancy walk must reach the upper half of the space.
+  std::int64_t max_flat = 0;
+  for (const auto& p : a.history) max_flat = std::max(max_flat, p.flat);
+  EXPECT_GT(max_flat, task_.space().size() / 2);
+  // ... and must find at least one buildable config in 120 probes.
+  EXPECT_TRUE(a.best.has_value());
+}
+
+TEST_F(TunerTest, GaTunerImprovesPopulation) {
+  SimulatedDevice device(spec_, 8);
+  Measurer measurer(task_, device);
+  GaTuner tuner;
+  const TuneResult r = tuner.tune(measurer, quick_options());
+  EXPECT_EQ(r.tuner_name, "ga");
+  EXPECT_GT(r.num_measured, 60);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_GT(r.best->gflops, 0.0);
+}
+
+TEST_F(TunerTest, XgbTunerRunsAndImproves) {
+  SimulatedDevice device(spec_, 9);
+  Measurer measurer(task_, device);
+  XgbTuner tuner;
+  const TuneResult r = tuner.tune(measurer, quick_options());
+  EXPECT_EQ(r.tuner_name, "autotvm");
+  EXPECT_EQ(r.num_measured, 120);
+  ASSERT_TRUE(r.best.has_value());
+  // The model-guided phase should beat the best of the 32 random seeds.
+  const auto curve = r.best_curve();
+  EXPECT_GE(curve.back(), curve[31]);
+}
+
+TEST_F(TunerTest, XgbTunerHistoryDistinctConfigs) {
+  SimulatedDevice device(spec_, 10);
+  Measurer measurer(task_, device);
+  XgbTuner tuner;
+  const TuneResult r = tuner.tune(measurer, quick_options());
+  std::set<std::int64_t> flats;
+  for (const auto& p : r.history) flats.insert(p.flat);
+  EXPECT_EQ(flats.size(), r.history.size());
+}
+
+TEST_F(TunerTest, XgbTunerSetNamePropagates) {
+  SimulatedDevice device(spec_, 11);
+  Measurer measurer(task_, device);
+  XgbTuner tuner;
+  tuner.set_name("bted");
+  const TuneResult r = tuner.tune(measurer, quick_options());
+  EXPECT_EQ(r.tuner_name, "bted");
+}
+
+TEST_F(TunerTest, BestCurveMonotoneForAllTuners) {
+  for (int arm = 0; arm < 3; ++arm) {
+    SimulatedDevice device(spec_, 20 + static_cast<std::uint64_t>(arm));
+    Measurer measurer(task_, device);
+    std::unique_ptr<Tuner> tuner;
+    if (arm == 0) tuner = std::make_unique<RandomTuner>();
+    if (arm == 1) tuner = std::make_unique<GaTuner>();
+    if (arm == 2) tuner = std::make_unique<XgbTuner>();
+    const auto curve = tuner->tune(measurer, quick_options()).best_curve();
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+      EXPECT_GE(curve[i], curve[i - 1]) << tuner->name();
+    }
+  }
+}
+
+TEST(TunerExhaustion, AllTunersTerminateOnTinySpace) {
+  // A space smaller than the budget: every tuner must stop once the space
+  // is exhausted instead of spinning on memoized re-measurements.
+  const GpuSpec spec = GpuSpec::gtx1080ti();
+  DenseWorkload d;
+  d.in_features = 4;
+  d.out_features = 4;
+  const Workload w = Workload::dense(d);
+  for (int arm = 0; arm < 3; ++arm) {
+    TuningTask task(w, spec);
+    ASSERT_LT(task.space().size(), 500);
+    SimulatedDevice device(spec, 40 + static_cast<std::uint64_t>(arm));
+    Measurer measurer(task, device);
+    std::unique_ptr<Tuner> tuner;
+    if (arm == 0) tuner = std::make_unique<RandomTuner>();
+    if (arm == 1) tuner = std::make_unique<GaTuner>();
+    if (arm == 2) tuner = std::make_unique<XgbTuner>();
+    TuneOptions options;
+    options.budget = 100000;
+    options.early_stopping = 0;
+    options.num_initial = 16;
+    options.batch_size = 8;
+    const TuneResult r = tuner->tune(measurer, options);
+    EXPECT_LE(r.num_measured, task.space().size()) << tuner->name();
+    EXPECT_TRUE(r.best.has_value()) << tuner->name();
+  }
+}
+
+TEST(TuneResultTest, EmptyResultBasics) {
+  TuneResult r;
+  EXPECT_DOUBLE_EQ(r.best_gflops(), 0.0);
+  EXPECT_TRUE(r.best_curve().empty());
+}
+
+}  // namespace
+}  // namespace aal

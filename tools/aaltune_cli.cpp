@@ -1,0 +1,205 @@
+// aaltune command-line tool.
+//
+//   aaltune_cli zoo
+//   aaltune_cli inspect <model>
+//   aaltune_cli tune    <model> [--tuner bted+bao] [--budget N] [--records f]
+//   aaltune_cli deploy  <model> [--records f] [--runs N]
+//
+// <model> is either a zoo name (alexnet, resnet18, vgg16, mobilenet_v1,
+// squeezenet_v11) or a path to a .model description file (see
+// src/graph/model_parser.hpp for the format). `tune` writes an AutoTVM-style
+// record log that `deploy` replays — the standard tune-once / deploy-many
+// workflow.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/advanced_tuner.hpp"
+#include "graph/fusion.hpp"
+#include "graph/model_parser.hpp"
+#include "graph/models.hpp"
+#include "measure/record.hpp"
+#include "pipeline/latency.hpp"
+#include "pipeline/model_tuner.hpp"
+#include "support/arg_parser.hpp"
+#include "support/logging.hpp"
+#include "support/string_util.hpp"
+
+namespace {
+
+using namespace aal;
+
+Graph load_model(const std::string& spec) {
+  if (std::filesystem::exists(spec)) return parse_model_file(spec);
+  return make_model(spec);
+}
+
+GpuSpec load_gpu(const std::string& name) {
+  if (name == "1080ti") return GpuSpec::gtx1080ti();
+  if (name == "v100") return GpuSpec::v100();
+  if (name == "embedded") return GpuSpec::small_embedded();
+  throw InvalidArgument("unknown GPU '" + name +
+                        "' (expected 1080ti, v100 or embedded)");
+}
+
+TunerFactory load_tuner(const std::string& name) {
+  if (name == "autotvm") return autotvm_tuner_factory();
+  if (name == "bted") return bted_tuner_factory();
+  if (name == "bted+bao") return bted_bao_tuner_factory();
+  if (name == "random") return random_tuner_factory();
+  if (name == "ga") return ga_tuner_factory();
+  throw InvalidArgument("unknown tuner '" + name +
+                        "' (expected autotvm, bted, bted+bao, random, ga)");
+}
+
+int cmd_zoo() {
+  TextTable table;
+  table.set_header({"name", "nodes", "tasks", "GFLOPs"});
+  for (const auto& name : model_zoo_names()) {
+    const Graph g = make_model(name);
+    table.add_row({name, std::to_string(g.size()),
+                   std::to_string(extract_tasks(fuse(g)).size()),
+                   format_double(static_cast<double>(g.total_flops()) / 1e9, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_inspect(const std::string& model_spec) {
+  const Graph g = load_model(model_spec);
+  std::printf("%s", g.to_string().c_str());
+  const FusedGraph fused = fuse(g);
+  std::printf("\n%s\n", fused.to_string().c_str());
+  TextTable table;
+  table.set_header({"task", "layers", "space size"});
+  for (const auto& t : extract_tasks(fused)) {
+    table.add_row({t.workload.brief(), std::to_string(t.count()),
+                   format_count(build_config_space(t.workload).size())});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_tune(const ArgParser& args) {
+  const Graph g = load_model(*args.get_positional("model"));
+  const GpuSpec gpu = load_gpu(args.get("gpu"));
+  ModelTuneOptions options;
+  options.tune.budget = args.get_int("budget");
+  options.tune.early_stopping = args.get_int("early-stop");
+  options.tune.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  options.device_seed = options.tune.seed * 1009 + 7;
+
+  RecordDatabase resume_db;
+  const std::string resume = args.get("resume");
+  if (!resume.empty()) {
+    resume_db.load_file(resume);
+    options.resume_from = &resume_db;
+    std::printf("resuming from %zu records in %s\n", resume_db.size(),
+                resume.c_str());
+  }
+
+  std::printf("tuning %s on %s with '%s' (budget %lld/task)...\n",
+              g.name().c_str(), gpu.name, args.get("tuner").c_str(),
+              static_cast<long long>(options.tune.budget));
+  const ModelTuneReport report =
+      tune_model(g, gpu, load_tuner(args.get("tuner")), options);
+
+  TextTable table;
+  table.set_header({"task", "configs", "best GFLOPS"});
+  for (const auto& t : report.tasks) {
+    table.add_row({t.workload.brief(), std::to_string(t.result.num_measured),
+                   format_double(t.result.best_gflops(), 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const std::string records = args.get("records");
+  if (!records.empty()) {
+    RecordDatabase db;
+    for (const auto& t : report.tasks) {
+      for (const auto& p : t.result.history) {
+        db.add(TuningRecord{t.task_key, p.flat, p.ok, p.gflops, 0.0});
+      }
+    }
+    db.save_file(records);
+    std::printf("wrote %zu records to %s\n", db.size(), records.c_str());
+  }
+  return 0;
+}
+
+int cmd_deploy(const ArgParser& args) {
+  const Graph g = load_model(*args.get_positional("model"));
+  const GpuSpec gpu = load_gpu(args.get("gpu"));
+  std::unordered_map<std::string, std::int64_t> best;
+  const std::string records = args.get("records");
+  if (!records.empty()) {
+    RecordDatabase db;
+    db.load_file(records);
+    for (const auto& key : db.task_keys()) {
+      if (const auto r = db.best_for(key)) best.emplace(key, r->config_flat);
+    }
+    std::printf("loaded best configs for %zu tasks from %s\n", best.size(),
+                records.c_str());
+  } else {
+    std::printf("no --records given: deploying fallback schedules\n");
+  }
+  const LatencyEvaluator evaluator(g, gpu);
+  const int runs = static_cast<int>(args.get_int("runs"));
+  const LatencyReport report =
+      evaluator.run(best, runs, static_cast<std::uint64_t>(args.get_int("seed")));
+  std::printf("%s on %s: %.4f ms mean over %d runs (variance %.4f, min %.4f, "
+              "max %.4f)\n",
+              g.name().c_str(), gpu.name, report.mean_ms, runs,
+              report.variance, report.min_ms, report.max_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_threshold(LogLevel::kWarn);
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <zoo|inspect|tune|deploy> [...]\n"
+                 "run '%s <command> --help' for command flags\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "zoo") return cmd_zoo();
+
+    ArgParser args(command == "tune"
+                       ? "Tune every task of a model and write a record log."
+                   : command == "deploy"
+                       ? "Simulate deployed inference latency from a record log."
+                       : "Inspect a model's graph, fusion groups and tasks.");
+    args.add_positional("model", "zoo name or .model file path");
+    args.add_flag("gpu", "target GPU: 1080ti, v100, embedded", "1080ti");
+    if (command == "tune") {
+      args.add_flag("tuner", "autotvm, bted, bted+bao, random, ga", "bted+bao");
+      args.add_int_flag("budget", "measurement budget per task", 512);
+      args.add_int_flag("early-stop", "early-stopping patience", 400);
+      args.add_int_flag("seed", "random seed", 1);
+      args.add_flag("records", "output record log path", "");
+      args.add_flag("resume", "input record log to resume from", "");
+    } else if (command == "deploy") {
+      args.add_flag("records", "input record log path", "");
+      args.add_int_flag("runs", "inference runs", 600);
+      args.add_int_flag("seed", "noise seed", 1);
+    } else if (command != "inspect") {
+      std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+      return 2;
+    }
+    args.parse(argc - 2, argv + 2);
+    if (args.help_requested()) {
+      std::printf("%s", args.usage(std::string(argv[0]) + " " + command).c_str());
+      return 0;
+    }
+    if (command == "inspect") return cmd_inspect(*args.get_positional("model"));
+    if (command == "tune") return cmd_tune(args);
+    return cmd_deploy(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
