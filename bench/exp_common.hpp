@@ -7,6 +7,10 @@
 //   AAL_TRIALS  trials averaged per (task, tuner) pair   (default 3;  paper 10)
 //   AAL_BUDGET  measurement budget per task              (default 1024; paper ~1024)
 //   AAL_RUNS    inference runs per deployed model        (default 600; paper 600)
+//   AAL_JOBS    concurrent tuning lanes / grid cells     (default 1)
+//
+// Results are bitwise-identical for every AAL_JOBS value: seeds derive from
+// (task, arm, trial) positions and measurement noise is counter-based.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +19,12 @@
 #include <string>
 #include <vector>
 
+#include "measure/backend.hpp"
 #include "measure/measure.hpp"
 #include "pipeline/model_tuner.hpp"
 #include "support/logging.hpp"
 #include "support/stats.hpp"
+#include "tuner/tuning_session.hpp"
 
 namespace aal::bench {
 
@@ -31,6 +37,10 @@ inline std::int64_t env_int(const char* name, std::int64_t fallback) {
 inline int trials() { return static_cast<int>(env_int("AAL_TRIALS", 3)); }
 inline std::int64_t budget() { return env_int("AAL_BUDGET", 1024); }
 inline int latency_runs() { return static_cast<int>(env_int("AAL_RUNS", 600)); }
+inline int jobs() {
+  const auto j = env_int("AAL_JOBS", 1);
+  return j < 1 ? 1 : static_cast<int>(j);
+}
 
 /// The paper's three experiment arms, in Table I column order.
 struct ExperimentArm {
@@ -55,10 +65,14 @@ struct TaskOutcome {
 };
 
 /// Runs one tuner arm on one workload `trials` times with distinct seeds.
+/// Each trial drives a TuningSession over `backend` (serial when null);
+/// since measurement noise is counter-based the backend never changes the
+/// numbers, only the wall-clock.
 inline TaskOutcome run_task(const Workload& workload, const GpuSpec& spec,
                             const TunerFactory& factory,
                             const TuneOptions& base_options, int num_trials,
-                            std::uint64_t salt) {
+                            std::uint64_t salt,
+                            MeasureBackend* backend = nullptr) {
   TaskOutcome outcome;
   for (int trial = 0; trial < num_trials; ++trial) {
     TuningTask task(workload, spec);
@@ -68,7 +82,10 @@ inline TaskOutcome run_task(const Workload& workload, const GpuSpec& spec,
     auto tuner = factory(nullptr);
     TuneOptions options = base_options;
     options.seed = salt * 131 + static_cast<std::uint64_t>(trial) + 1;
-    const TuneResult result = tuner->tune(measurer, options);
+    SerialBackend serial;
+    TuningSession session(*tuner, measurer, options,
+                          backend != nullptr ? *backend : static_cast<MeasureBackend&>(serial));
+    const TuneResult result = session.run();
     outcome.mean_best_gflops += result.best_gflops();
     outcome.mean_configs += static_cast<double>(result.num_measured);
     if (result.best) {
@@ -89,9 +106,10 @@ inline TaskOutcome run_task(const Workload& workload, const GpuSpec& spec,
 inline void banner(const char* experiment, const char* what) {
   std::printf("=======================================================\n");
   std::printf("%s — %s\n", experiment, what);
-  std::printf("trials=%d budget=%lld runs=%d (override via AAL_TRIALS / "
-              "AAL_BUDGET / AAL_RUNS)\n",
-              trials(), static_cast<long long>(budget()), latency_runs());
+  std::printf("trials=%d budget=%lld runs=%d jobs=%d (override via AAL_TRIALS "
+              "/ AAL_BUDGET / AAL_RUNS / AAL_JOBS)\n",
+              trials(), static_cast<long long>(budget()), latency_runs(),
+              jobs());
   std::printf("=======================================================\n");
 }
 

@@ -155,7 +155,8 @@ void BM_SimulatedMeasurement(benchmark::State& state) {
     return;
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(device.run(profile, task.workload().flops(), 3));
+    benchmark::DoNotOptimize(
+        device.run(profile, task.workload().flops(), 3, c.flat));
   }
 }
 BENCHMARK(BM_SimulatedMeasurement);

@@ -32,6 +32,7 @@ ArmResult evaluate_arm(const Graph& model, const GpuSpec& spec,
     options.tune.early_stopping = 400;
     options.tune.seed = salt * 100 + static_cast<std::uint64_t>(trial) + 1;
     options.device_seed = salt * 991 + static_cast<std::uint64_t>(trial);
+    options.jobs = jobs();  // lane-parallel tuning; results jobs-invariant
     const ModelTuneReport report =
         tune_model(model, spec, factory, options);
     const LatencyReport latency =

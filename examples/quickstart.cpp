@@ -11,6 +11,7 @@
 #include "core/advanced_tuner.hpp"
 #include "measure/measure.hpp"
 #include "support/logging.hpp"
+#include "tuner/tuning_session.hpp"
 
 int main() {
   using namespace aal;
@@ -46,7 +47,23 @@ int main() {
   options.budget = 600;
   options.early_stopping = 400;  // AutoTVM's stopping criterion
   options.seed = 7;
-  const TuneResult result = tuner.tune(measurer, options);
+
+  // The tuner is a proposal policy; a TuningSession owns the loop (budget,
+  // early stopping) and lets us watch progress between steps. Measurements
+  // run through a MeasureBackend — swap in ParallelBackend for a thread
+  // pool; the results are bitwise-identical either way.
+  ParallelBackend backend(/*threads=*/4);
+  TuningSession session(tuner, measurer, options, backend);
+  std::int64_t last_reported = 0;
+  while (session.step()) {
+    if (session.num_measured() - last_reported >= 150) {
+      last_reported = session.num_measured();
+      std::printf("  ... %lld configs measured, best so far %.1f GFLOPS\n",
+                  static_cast<long long>(session.num_measured()),
+                  session.best_gflops());
+    }
+  }
+  const TuneResult result = session.finish();
 
   // 4. Report.
   std::printf("\nmeasured %lld configurations\n",

@@ -7,28 +7,52 @@ namespace aal {
 AdvancedActiveLearningTuner::AdvancedActiveLearningTuner(
     BtedParams bted, BaoParams bao,
     std::shared_ptr<const SurrogateFactory> surrogate_factory)
-    : bted_(bted), bao_(bao), surrogate_factory_(std::move(surrogate_factory)) {}
+    : bted_(bted), bao_(bao), surrogate_factory_(std::move(surrogate_factory)) {
+  // Validate the BAO parameters up front (tau > 1, radius > 0).
+  BaoSearch validate(bao_);
+  (void)validate;
+}
 
-TuneResult AdvancedActiveLearningTuner::tune(Measurer& measurer,
-                                             const TuneOptions& options) {
-  TuneLoopState state(measurer, options);
-  Rng rng(options.seed);
+void AdvancedActiveLearningTuner::begin(const Measurer& measurer,
+                                        const TuneOptions& options) {
+  measurer_ = &measurer;
+  tune_options_ = options;
+  rng_.reseed(options.seed);
+  bao_search_ = std::make_unique<BaoSearch>(bao_);
+  initialized_ = false;
+  bao_active_ = false;
+}
+
+std::vector<Config> AdvancedActiveLearningTuner::propose(std::int64_t k) {
+  (void)k;  // the session trims overshoot against the remaining budget
 
   // Stage 1: BTED initialization. options.num_initial (m) overrides the
   // params' num_select, mirroring the paper's m = 64 setting.
-  BtedParams bted = bted_;
-  bted.num_select = options.num_initial;
-  const std::vector<Config> initial =
-      bted_sample(measurer.task(), bted, rng);
-  state.measure_all(initial);
-  AAL_LOG_DEBUG << "bted+bao: initialized with " << initial.size()
-                << " configs, best " << state.best_gflops() << " GFLOPS";
-
-  // Stage 2: BAO iterative optimization until budget / early stopping.
-  if (!state.should_stop()) {
-    run_bao(state, *surrogate_factory_, bao_, rng);
+  if (!initialized_) {
+    initialized_ = true;
+    BtedParams bted = bted_;
+    bted.num_select = tune_options_.num_initial;
+    std::vector<Config> initial = bted_sample(measurer_->task(), bted, rng_);
+    AAL_LOG_DEBUG << "bted+bao: proposing " << initial.size()
+                  << " initialization configs";
+    return initial;
   }
-  return state.finish(name());
+
+  // Stage 2: one BAO iteration per round — the paper deploys exactly one
+  // configuration per adaptive step.
+  bao_active_ = true;
+  std::optional<Config> chosen =
+      bao_search_->next(*measurer_, *surrogate_factory_, rng_);
+  if (!chosen) return {};
+  return {std::move(*chosen)};
+}
+
+void AdvancedActiveLearningTuner::observe(
+    std::span<const MeasureResult> results) {
+  if (!bao_active_ || results.empty()) return;
+  // BAO proposes one fresh config per round, so the round's fresh results
+  // contain exactly its deployment.
+  bao_search_->observe(results.front(), *measurer_);
 }
 
 }  // namespace aal

@@ -1,6 +1,11 @@
 // The paper's advanced active-learning framework as a Tuner:
 // BTED initialization (Algorithms 1-2) + BAO iterative optimization
 // (Algorithms 3-4). This is the "BTED + BAO" row of every experiment.
+//
+// As an ask/tell policy the two stages map directly onto propose():
+// the first call returns the BTED initialization set; every later call
+// returns the single configuration BAO deploys that iteration. The
+// TuningSession owns budget and early stopping.
 #pragma once
 
 #include <memory>
@@ -34,7 +39,10 @@ class AdvancedActiveLearningTuner final : public Tuner {
               default_bootstrap_gbdt_params()));
 
   std::string name() const override { return "bted+bao"; }
-  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+
+  void begin(const Measurer& measurer, const TuneOptions& options) override;
+  std::vector<Config> propose(std::int64_t k) override;
+  void observe(std::span<const MeasureResult> results) override;
 
   const BtedParams& bted_params() const { return bted_; }
   const BaoParams& bao_params() const { return bao_; }
@@ -43,6 +51,13 @@ class AdvancedActiveLearningTuner final : public Tuner {
   BtedParams bted_;
   BaoParams bao_;
   std::shared_ptr<const SurrogateFactory> surrogate_factory_;
+
+  const Measurer* measurer_ = nullptr;
+  TuneOptions tune_options_;
+  Rng rng_;
+  std::unique_ptr<BaoSearch> bao_search_;
+  bool initialized_ = false;
+  bool bao_active_ = false;
 };
 
 }  // namespace aal

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
 #include "support/logging.hpp"
 
@@ -18,12 +19,14 @@ double relative_improvement(double y_prev, double y_prev2, bool literal_ceil) {
 
 }  // namespace
 
-int run_bao(TuneLoopState& state, const SurrogateFactory& surrogate_factory,
-            const BaoParams& params, Rng& rng) {
-  AAL_CHECK(params.tau > 1.0, "BAO tau must be > 1");
-  AAL_CHECK(params.radius > 0.0, "BAO radius must be > 0");
+BaoSearch::BaoSearch(BaoParams params) : params_(params) {
+  AAL_CHECK(params_.tau > 1.0, "BAO tau must be > 1");
+  AAL_CHECK(params_.radius > 0.0, "BAO radius must be > 0");
+}
 
-  Measurer& measurer = state.measurer();
+std::optional<Config> BaoSearch::next(const Measurer& measurer,
+                                      const SurrogateFactory& surrogate_factory,
+                                      Rng& rng) {
   const TuningTask& task = measurer.task();
   const ConfigSpace& space = task.space();
 
@@ -32,90 +35,87 @@ int run_bao(TuneLoopState& state, const SurrogateFactory& surrogate_factory,
   AAL_CHECK(measurer.num_measured() > 0,
             "BAO requires an already-measured initialization set");
 
-  // x*_0: best configuration of the initialization stage (Algorithm 4,
-  // line 1). If every initial config failed, fall back to any measured one
-  // — the enlarged-radius rule will pull the search away from it.
-  const auto initial_best = measurer.best();
-  Config center = initial_best ? initial_best->config
-                               : measurer.all_results().front().config;
-
-  // y* series for Equation (1); y*_0 is the incumbent's value.
-  std::vector<double> y_series{initial_best ? initial_best->gflops : 0.0};
-  int stagnant_steps = 0;
-
-  int iterations = 0;
-  while (!state.should_stop()) {
-    ++iterations;
-
-    // --- Adaptive search scope (lines 3-9) -----------------------------
-    double radius = params.radius;
-    if (y_series.size() >= 2) {
-      const double rt = relative_improvement(y_series[y_series.size() - 1],
-                                             y_series[y_series.size() - 2],
-                                             params.literal_ceil);
-      if (rt < params.eta) {
-        ++stagnant_steps;
-        radius = params.compound_radius
-                     ? std::min(params.max_radius,
-                                params.radius *
-                                    std::pow(params.tau, stagnant_steps))
-                     : params.tau * params.radius;
-      } else {
-        stagnant_steps = 0;
-      }
-    }
-
-    const std::vector<MeasureResult> measured = measurer.all_results();
-    std::unordered_set<std::int64_t> measured_flats;
-    measured_flats.reserve(measured.size());
-    for (const auto& r : measured) measured_flats.insert(r.config.flat);
-
-    // Materialize C_t, excluding already-measured points (re-deploying them
-    // would burn budget on memoized results). If the ball is exhausted,
-    // widen it geometrically until fresh candidates appear.
-    std::vector<Config> candidates;
-    double r = radius;
-    for (int attempt = 0; attempt < 8 && candidates.empty(); ++attempt) {
-      std::vector<Config> ball =
-          params.metric == BaoMetric::kFeature
-              ? space.feature_neighborhood(center, r, params.neighborhood_cap,
-                                           rng)
-              : space.neighborhood(center, r, params.neighborhood_cap, rng);
-      for (Config& c : ball) {
-        if (!measured_flats.contains(c.flat)) candidates.push_back(std::move(c));
-      }
-      r *= params.tau;
-    }
-    if (candidates.empty()) {
-      // Degenerate tiny space: everything reachable is measured.
-      break;
-    }
-
-    // --- BS: bootstrap ensemble + argmax over C_t (line 10) -------------
-    Dataset data(static_cast<std::size_t>(space.feature_dim()));
-    for (const auto& r : measured) {
-      data.add_row(space.features(r.config), r.ok ? r.gflops : 0.0);
-    }
-    const BootstrapEnsemble ensemble(data, surrogate_factory, params.gamma,
-                                     rng);
-    const std::size_t pick = bootstrap_select(ensemble, space, candidates);
-    Config chosen = candidates[pick];
-
-    // --- Deploy on hardware (lines 11-12) --------------------------------
-    const bool keep_going = state.measure(chosen);
-    const MeasureResult& result = measurer.measure(chosen);
-    y_series.push_back(result.ok ? result.gflops : 0.0);
-
-    center = params.recentre_on_best && state.best_flat() >= 0
-                 ? space.at(state.best_flat())
-                 : std::move(chosen);
-
-    AAL_LOG_DEBUG << "BAO iter " << iterations << ": radius " << radius
-                  << ", measured " << result.gflops << " GFLOPS, best "
-                  << state.best_gflops();
-    if (!keep_going) break;
+  if (!center_) {
+    // x*_0: best configuration of the initialization stage (Algorithm 4,
+    // line 1). If every initial config failed, fall back to any measured
+    // one — the enlarged-radius rule will pull the search away from it.
+    const auto initial_best = measurer.best();
+    center_ = initial_best ? initial_best->config
+                           : measurer.all_results().front().config;
+    // y* series for Equation (1); y*_0 is the incumbent's value.
+    y_series_ = {initial_best ? initial_best->gflops : 0.0};
+    stagnant_steps_ = 0;
   }
-  return iterations;
+
+  ++iterations_;
+
+  // --- Adaptive search scope (lines 3-9) -----------------------------
+  double radius = params_.radius;
+  if (y_series_.size() >= 2) {
+    const double rt = relative_improvement(y_series_[y_series_.size() - 1],
+                                           y_series_[y_series_.size() - 2],
+                                           params_.literal_ceil);
+    if (rt < params_.eta) {
+      ++stagnant_steps_;
+      radius = params_.compound_radius
+                   ? std::min(params_.max_radius,
+                              params_.radius *
+                                  std::pow(params_.tau, stagnant_steps_))
+                   : params_.tau * params_.radius;
+    } else {
+      stagnant_steps_ = 0;
+    }
+  }
+
+  const std::vector<MeasureResult> measured = measurer.all_results();
+  std::unordered_set<std::int64_t> measured_flats;
+  measured_flats.reserve(measured.size());
+  for (const auto& r : measured) measured_flats.insert(r.config.flat);
+
+  // Materialize C_t, excluding already-measured points (re-deploying them
+  // would burn budget on memoized results). If the ball is exhausted,
+  // widen it geometrically until fresh candidates appear.
+  std::vector<Config> candidates;
+  double r = radius;
+  for (int attempt = 0; attempt < 8 && candidates.empty(); ++attempt) {
+    std::vector<Config> ball =
+        params_.metric == BaoMetric::kFeature
+            ? space.feature_neighborhood(*center_, r, params_.neighborhood_cap,
+                                         rng)
+            : space.neighborhood(*center_, r, params_.neighborhood_cap, rng);
+    for (Config& c : ball) {
+      if (!measured_flats.contains(c.flat)) candidates.push_back(std::move(c));
+    }
+    r *= params_.tau;
+  }
+  if (candidates.empty()) {
+    // Degenerate tiny space: everything reachable is measured.
+    return std::nullopt;
+  }
+
+  // --- BS: bootstrap ensemble + argmax over C_t (line 10) -------------
+  Dataset data(static_cast<std::size_t>(space.feature_dim()));
+  for (const auto& m : measured) {
+    data.add_row(space.features(m.config), m.ok ? m.gflops : 0.0);
+  }
+  const BootstrapEnsemble ensemble(data, surrogate_factory, params_.gamma,
+                                   rng);
+  const std::size_t pick = bootstrap_select(ensemble, space, candidates);
+  AAL_LOG_DEBUG << "BAO iter " << iterations_ << ": radius " << radius << ", "
+                << candidates.size() << " candidates";
+  return candidates[pick];
+}
+
+void BaoSearch::observe(const MeasureResult& result, const Measurer& measurer) {
+  y_series_.push_back(result.ok ? result.gflops : 0.0);
+  if (params_.recentre_on_best) {
+    const auto best = measurer.best();
+    if (best) {
+      center_ = best->config;
+      return;
+    }
+  }
+  center_ = result.config;
 }
 
 }  // namespace aal

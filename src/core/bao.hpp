@@ -13,9 +13,16 @@
 // with eta in (0,1) the ceil makes the trigger binary — the radius grows
 // exactly when the latest step failed to improve on the one before
 // (see DESIGN.md). Set literal_ceil=false for the real-valued variant.
+//
+// BaoSearch is a stepwise (ask/tell) formulation of the loop: next()
+// proposes the configuration Algorithm 4 would deploy, observe() appends
+// the deployment outcome to the y* series and moves the center. The
+// enclosing policy (AdvancedActiveLearningTuner) feeds it from a
+// TuningSession, which owns all budget/early-stopping accounting.
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/bootstrap.hpp"
 #include "measure/measure.hpp"
@@ -53,10 +60,38 @@ struct BaoParams {
   double max_radius = 24.0;  // compounding cap
 };
 
-/// Runs the BAO loop on top of an already-measured initial set until the
-/// loop state trips (budget / early stopping). `state` must already contain
-/// the initialization measurements. Returns the number of BAO iterations.
-int run_bao(TuneLoopState& state, const SurrogateFactory& surrogate_factory,
-            const BaoParams& params, Rng& rng);
+/// One BAO run over a single task: proposes one configuration per
+/// iteration. The measurer must already contain the initialization set
+/// (BTED picks and/or preloaded records) before the first next().
+class BaoSearch {
+ public:
+  /// Validates parameters (tau > 1, radius > 0; throws InvalidArgument).
+  explicit BaoSearch(BaoParams params);
+
+  const BaoParams& params() const { return params_; }
+
+  /// Algorithm 4, one iteration: adapts the radius from the y* series,
+  /// materializes the neighborhood C_t of the current center (widening
+  /// geometrically while it contains no unmeasured point), fits the
+  /// bootstrap ensemble and returns its argmax. Returns nullopt when every
+  /// reachable configuration has been measured (degenerate tiny space).
+  std::optional<Config> next(const Measurer& measurer,
+                             const SurrogateFactory& surrogate_factory,
+                             Rng& rng);
+
+  /// Records the deployment outcome of the configuration returned by the
+  /// last next(): appends to the y* series and moves the center.
+  void observe(const MeasureResult& result, const Measurer& measurer);
+
+  /// Number of next() proposals so far.
+  int iterations() const { return iterations_; }
+
+ private:
+  BaoParams params_;
+  std::optional<Config> center_;
+  std::vector<double> y_series_;
+  int stagnant_steps_ = 0;
+  int iterations_ = 0;
+};
 
 }  // namespace aal

@@ -6,8 +6,16 @@
 // run-to-run variation AutoTVM sees from a real GPU. The device also tracks
 // the total number of measurements, which is the budget currency of every
 // experiment in the paper.
+//
+// Noise is *counter-based*: every timing sample is a pure function of
+// (device seed, config flat index, repeat index), derived through a
+// splitmix64 mix rather than a shared sequential generator. Two devices with
+// the same seed therefore agree on every sample regardless of the order in
+// which configurations are measured — the property that makes parallel
+// measurement (and resume-from-records) bitwise-deterministic.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -30,22 +38,28 @@ class SimulatedDevice {
 
   const GpuSpec& spec() const { return spec_; }
 
-  /// Simulates `repeats` timed runs of the profiled kernel. Invalid
-  /// profiles yield ok == false with gflops == 0 (AutoTVM error records).
+  /// Simulates `repeats` timed runs of the profiled kernel identified by its
+  /// flat config index. Invalid profiles yield ok == false with gflops == 0
+  /// (AutoTVM error records). Thread-safe; the outcome depends only on
+  /// (seed, config_flat, repeat index), never on other calls.
   MeasureOutcome run(const KernelProfile& profile, std::int64_t flops,
-                     int repeats);
+                     int repeats, std::int64_t config_flat) const;
 
-  /// One noisy timing sample for an already-validated profile.
-  double sample_time_us(const KernelProfile& profile);
+  /// One noisy timing sample for an already-validated profile; `repeat`
+  /// selects which independent draw of the (seed, flat) stream to return.
+  double sample_time_us(const KernelProfile& profile, std::int64_t config_flat,
+                        int repeat) const;
 
   /// Total successful timed runs so far (diagnostics only; tuners count
   /// *measured configurations*, not repeats).
-  std::int64_t total_runs() const { return total_runs_; }
+  std::int64_t total_runs() const {
+    return total_runs_.load(std::memory_order_relaxed);
+  }
 
  private:
   GpuSpec spec_;
-  Rng rng_;
-  std::int64_t total_runs_ = 0;
+  std::uint64_t seed_ = 1;
+  mutable std::atomic<std::int64_t> total_runs_{0};
 };
 
 }  // namespace aal

@@ -1,0 +1,26 @@
+#include "measure/backend.hpp"
+
+namespace aal {
+
+void SerialBackend::dispatch(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+ParallelBackend::ParallelBackend(std::size_t threads) {
+  if (threads > 0) {
+    owned_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_.get();
+  } else {
+    pool_ = &ThreadPool::shared();
+  }
+}
+
+std::size_t ParallelBackend::threads() const { return pool_->size(); }
+
+void ParallelBackend::dispatch(std::size_t n,
+                               const std::function<void(std::size_t)>& fn) {
+  pool_->parallel_for(n, fn);
+}
+
+}  // namespace aal

@@ -1,5 +1,7 @@
 #include "measure/measure.hpp"
 
+#include <utility>
+
 #include "support/common.hpp"
 
 namespace aal {
@@ -10,13 +12,10 @@ Measurer::Measurer(const TuningTask& task, SimulatedDevice& device,
   AAL_CHECK(repeats >= 1, "repeats must be >= 1");
 }
 
-const MeasureResult& Measurer::measure(const Config& config) {
-  auto it = cache_.find(config.flat);
-  if (it != cache_.end()) return it->second;
-
+MeasureResult Measurer::compute(const Config& config) const {
   const KernelProfile profile = task_.profile(config);
   const MeasureOutcome outcome =
-      device_.run(profile, task_.workload().flops(), repeats_);
+      device_.run(profile, task_.workload().flops(), repeats_, config.flat);
 
   MeasureResult result;
   result.config = config;
@@ -24,18 +23,51 @@ const MeasureResult& Measurer::measure(const Config& config) {
   result.error = outcome.error;
   result.gflops = outcome.gflops;
   result.mean_time_us = outcome.mean_time_us;
+  return result;
+}
 
-  auto [pos, inserted] = cache_.emplace(config.flat, std::move(result));
+const MeasureResult& Measurer::commit_locked(MeasureResult result) {
+  const std::int64_t flat = result.config.flat;
+  auto [pos, inserted] = cache_.emplace(flat, std::move(result));
   AAL_ASSERT(inserted, "measure cache collision");
+  order_.push_back(flat);
   if (pos->second.ok && pos->second.gflops > best_gflops_) {
     best_gflops_ = pos->second.gflops;
-    best_flat_ = config.flat;
+    best_flat_ = flat;
   }
   return pos->second;
 }
 
+const MeasureResult& Measurer::measure(const Config& config) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(config.flat);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock: the device draw is a pure function of
+  // (seed, flat, repeat), so a concurrent racer would compute the identical
+  // result — whichever commits first wins and the other copy is dropped.
+  MeasureResult result = compute(config);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(config.flat);
+  if (it != cache_.end()) return it->second;
+  return commit_locked(std::move(result));
+}
+
+bool Measurer::is_cached(std::int64_t flat) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.contains(flat);
+}
+
+const MeasureResult* Measurer::find(std::int64_t flat) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(flat);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
 std::size_t Measurer::preload(const std::vector<TuningRecord>& records) {
   const std::string key = task_.key();
+  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t adopted = 0;
   for (const TuningRecord& r : records) {
     if (r.task_key != key) continue;
@@ -47,11 +79,7 @@ std::size_t Measurer::preload(const std::vector<TuningRecord>& records) {
     result.gflops = r.gflops;
     result.mean_time_us = r.mean_time_us;
     if (!r.ok) result.error = "failed in a previous session";
-    cache_.emplace(r.config_flat, std::move(result));
-    if (r.ok && r.gflops > best_gflops_) {
-      best_gflops_ = r.gflops;
-      best_flat_ = r.config_flat;
-    }
+    commit_locked(std::move(result));
     ++adopted;
   }
   return adopted;
@@ -65,15 +93,67 @@ std::vector<MeasureResult> Measurer::measure_batch(
   return out;
 }
 
+std::vector<MeasureResult> Measurer::measure_batch(
+    std::span<const Config> configs, MeasureBackend& backend) {
+  // Phase 1: pick the first occurrence of every uncached flat, in input
+  // order. This is the only order that matters — phase 3 commits in exactly
+  // this order regardless of how phase 2 schedules the computation.
+  std::vector<std::size_t> fresh_index;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unordered_map<std::int64_t, bool> seen;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      const std::int64_t flat = configs[i].flat;
+      if (cache_.contains(flat)) continue;
+      if (!seen.emplace(flat, true).second) continue;
+      fresh_index.push_back(i);
+    }
+  }
+
+  // Phase 2: compute fresh results, possibly concurrently. compute() is
+  // pure, so the schedule cannot affect any value.
+  std::vector<MeasureResult> fresh(fresh_index.size());
+  backend.dispatch(fresh_index.size(), [&](std::size_t j) {
+    fresh[j] = compute(configs[fresh_index[j]]);
+  });
+
+  // Phase 3: serial commit in input order.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (MeasureResult& r : fresh) {
+      if (cache_.contains(r.config.flat)) continue;  // raced external caller
+      commit_locked(std::move(r));
+    }
+  }
+
+  // Phase 4: aligned output from the cache.
+  std::vector<MeasureResult> out;
+  out.reserve(configs.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Config& c : configs) {
+    auto it = cache_.find(c.flat);
+    AAL_ASSERT(it != cache_.end(), "batch result missing from cache");
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::int64_t Measurer::num_measured() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(cache_.size());
+}
+
 std::optional<MeasureResult> Measurer::best() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (best_flat_ < 0) return std::nullopt;
   return cache_.at(best_flat_);
 }
 
 std::vector<MeasureResult> Measurer::all_results() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<MeasureResult> out;
-  out.reserve(cache_.size());
-  for (const auto& [flat, result] : cache_) out.push_back(result);
+  out.reserve(order_.size());
+  for (const std::int64_t flat : order_) out.push_back(cache_.at(flat));
   return out;
 }
 

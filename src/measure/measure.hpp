@@ -6,8 +6,17 @@
 // too (the time was spent). The measurer memoizes by flat index so a tuner
 // re-visiting a config does not consume extra budget — and per the paper's
 // Fig. 5(a) we report the number of distinct measured configurations.
+//
+// The measurer is thread-safe. Batch measurement follows a
+// "parallel compute, serial commit" protocol: the per-config device runs of
+// a batch are pure (counter-based noise, see hwsim/device.hpp) and may be
+// scheduled concurrently by a MeasureBackend; the results are then committed
+// to the memo cache strictly in input order. Cache contents, commit order
+// and best-so-far tracking are therefore identical for every backend and
+// thread count.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -15,6 +24,7 @@
 #include <vector>
 
 #include "hwsim/device.hpp"
+#include "measure/backend.hpp"
 #include "measure/record.hpp"
 #include "measure/tuning_task.hpp"
 
@@ -35,8 +45,16 @@ class Measurer {
 
   const TuningTask& task() const { return task_; }
 
-  /// Measures one configuration (memoized by flat index).
+  /// Measures one configuration (memoized by flat index). The returned
+  /// reference stays valid for the measurer's lifetime (node-based cache).
   const MeasureResult& measure(const Config& config);
+
+  /// True if this flat index is already in the memo cache.
+  bool is_cached(std::int64_t flat) const;
+
+  /// Cached result for a flat index, or nullptr if it has not been measured.
+  /// The pointer stays valid for the measurer's lifetime (node-based cache).
+  const MeasureResult* find(std::int64_t flat) const;
 
   /// Seeds the memo cache from previously persisted records of *this* task
   /// (records for other task keys are ignored). Resuming an interrupted
@@ -45,25 +63,40 @@ class Measurer {
   /// adopted.
   std::size_t preload(const std::vector<TuningRecord>& records);
 
-  /// Measures a batch; results align with the input order.
+  /// Measures a batch serially; results align with the input order.
   std::vector<MeasureResult> measure_batch(std::span<const Config> configs);
 
+  /// Measures a batch through the given backend. Uncached configurations are
+  /// computed (possibly concurrently) and committed to the cache in input
+  /// order; results align with the input order and are bitwise-identical to
+  /// the serial path.
+  std::vector<MeasureResult> measure_batch(std::span<const Config> configs,
+                                           MeasureBackend& backend);
+
   /// Number of distinct configurations measured so far.
-  std::int64_t num_measured() const {
-    return static_cast<std::int64_t>(cache_.size());
-  }
+  std::int64_t num_measured() const;
 
   /// Best successful result so far, if any.
   std::optional<MeasureResult> best() const;
 
-  /// All measured results (unspecified order).
+  /// All measured results, in the order they were committed to the cache
+  /// (deterministic: preload order, then measurement commit order).
   std::vector<MeasureResult> all_results() const;
 
  private:
+  /// Pure per-config measurement: no shared-state mutation besides the
+  /// device's diagnostic run counter (atomic).
+  MeasureResult compute(const Config& config) const;
+
+  /// Inserts a freshly computed result; caller must hold mutex_.
+  const MeasureResult& commit_locked(MeasureResult result);
+
   const TuningTask& task_;
   SimulatedDevice& device_;
   int repeats_;
+  mutable std::mutex mutex_;
   std::unordered_map<std::int64_t, MeasureResult> cache_;
+  std::vector<std::int64_t> order_;  // flats in commit order
   std::int64_t best_flat_ = -1;
   double best_gflops_ = 0.0;
 };

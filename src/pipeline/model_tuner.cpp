@@ -1,8 +1,12 @@
 #include "pipeline/model_tuner.hpp"
 
+#include <algorithm>
+#include <future>
+
 #include "core/advanced_tuner.hpp"
 #include "core/bted.hpp"
 #include "support/logging.hpp"
+#include "support/thread_pool.hpp"
 #include "tuner/ga_tuner.hpp"
 #include "tuner/random_tuner.hpp"
 #include "tuner/xgb_tuner.hpp"
@@ -74,13 +78,17 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
 
   ModelTuneReport report;
   report.model_name = graph.name();
-
-  TransferContext transfer;
-  TransferContext* transfer_ptr = options.use_transfer ? &transfer : nullptr;
-
-  std::uint64_t task_index = 0;
+  report.tasks.reserve(tasks.size());
   for (const Task& task : tasks) {
-    ++task_index;
+    report.tasks.push_back(TaskTuneReport{task.workload.key(), task.workload,
+                                          task.count(), TuneResult{}});
+  }
+
+  // Tunes the task at position `i` (0-based model order) and writes its
+  // report slot. Seeds depend only on the position, never on the schedule.
+  const auto tune_one = [&](std::size_t i, TransferContext* transfer_ptr) {
+    const Task& task = tasks[i];
+    const std::uint64_t task_index = static_cast<std::uint64_t>(i) + 1;
     TuningTask tuning_task(task.workload, spec);
     SimulatedDevice device(spec, options.device_seed * 1000003 + task_index);
     Measurer measurer(tuning_task, device);
@@ -97,7 +105,6 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
     TuneOptions tune_options = options.tune;
     tune_options.seed = options.tune.seed * 7907 + task_index;
     TuneResult result = tuner->tune(measurer, tune_options);
-    if (report.tuner_name.empty()) report.tuner_name = result.tuner_name;
 
     AAL_LOG_INFO << graph.name() << " [" << task_index << '/' << tasks.size()
                  << "] " << task.workload.brief() << ": best "
@@ -105,8 +112,54 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
                  << result.num_measured << " configs ("
                  << result.tuner_name << ')';
 
-    report.tasks.push_back(TaskTuneReport{task.workload.key(), task.workload,
-                                          task.count(), std::move(result)});
+    report.tasks[i].result = std::move(result);
+  };
+
+  // Lane decomposition. The transfer pool is keyed by workload kind and
+  // seed_for() only reads same-kind rows, so giving each kind its own lane
+  // (and its own TransferContext) yields exactly the state the serial run's
+  // shared context would expose to every task. Without transfer, every task
+  // is independent and becomes its own lane.
+  std::vector<std::vector<std::size_t>> lanes;
+  if (options.use_transfer) {
+    std::unordered_map<int, std::size_t> lane_of_kind;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const int kind = static_cast<int>(tasks[i].workload.kind());
+      auto [it, inserted] = lane_of_kind.emplace(kind, lanes.size());
+      if (inserted) lanes.emplace_back();
+      lanes[it->second].push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < tasks.size(); ++i) lanes.push_back({i});
+  }
+
+  const auto run_lane = [&](const std::vector<std::size_t>& lane) {
+    TransferContext transfer;
+    TransferContext* transfer_ptr = options.use_transfer ? &transfer : nullptr;
+    for (const std::size_t i : lane) tune_one(i, transfer_ptr);
+  };
+
+  if (options.jobs <= 1 || lanes.size() <= 1) {
+    for (const auto& lane : lanes) run_lane(lane);
+  } else {
+    // A dedicated pool, NOT ThreadPool::shared(): lane bodies block on BTED
+    // and batched measurement which fan out over the shared pool — waiting
+    // on it from inside it would deadlock.
+    ThreadPool pool(std::min<std::size_t>(
+        static_cast<std::size_t>(options.jobs), lanes.size()));
+    std::vector<std::future<void>> futures;
+    futures.reserve(lanes.size());
+    for (const auto& lane : lanes) {
+      futures.push_back(pool.submit([&run_lane, &lane] { run_lane(lane); }));
+    }
+    for (auto& f : futures) f.get();  // rethrows lane failures
+  }
+
+  for (const auto& t : report.tasks) {
+    if (!t.result.tuner_name.empty()) {
+      report.tuner_name = t.result.tuner_name;
+      break;
+    }
   }
   return report;
 }

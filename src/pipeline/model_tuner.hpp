@@ -1,10 +1,18 @@
 // Node-wise model tuning — the outer loop of the paper's Fig. 1.
 //
 // Lowers a model graph through fusion, extracts the deduplicated tuning
-// tasks, runs the chosen tuner on every task against a shared simulated
+// tasks, runs the chosen tuner on every task against a per-task simulated
 // device, and collects per-task results plus the best configuration per
 // task for the deployment/latency stage. AutoTVM-style transfer learning is
 // threaded through tasks of the same model in tuning order.
+//
+// With ModelTuneOptions::jobs > 1 independent tasks tune concurrently: the
+// transfer pool is keyed by workload kind and a task only ever reads rows of
+// its own kind, so tasks are grouped into per-kind *lanes*. Within a lane
+// tasks run sequentially in model order (preserving the serial transfer
+// chain exactly); lanes run in parallel. Device and tuner seeds are derived
+// from the task's position in model order, so every per-task result is
+// bitwise-identical to the jobs=1 run.
 #pragma once
 
 #include <functional>
@@ -60,6 +68,11 @@ struct ModelTuneOptions {
   /// preloaded with its matching records, so historical configurations are
   /// revisited for free (resume semantics). Non-owning; may be null.
   const RecordDatabase* resume_from = nullptr;
+  /// Task-level parallelism: number of tuning lanes running concurrently.
+  /// Tasks are grouped into lanes by workload kind so the transfer-learning
+  /// chain within a kind is preserved — results are bitwise-identical for
+  /// every jobs value (see DESIGN.md). 1 = serial (default).
+  int jobs = 1;
 };
 
 /// Tunes every task of `graph` with tuners from `factory`.

@@ -18,6 +18,17 @@
 
 namespace aal {
 
+/// splitmix64 finalizer: bijectively scrambles a 64-bit word. Used both to
+/// seed xoshiro streams and to derive *counter-based* per-call seeds (e.g.
+/// hash of (device seed, config flat, repeat)) so that stochastic draws can
+/// be made independent of evaluation order.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 /// xoshiro256++ generator satisfying std::uniform_random_bit_generator.
 class Rng {
  public:

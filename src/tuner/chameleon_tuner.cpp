@@ -1,6 +1,7 @@
 #include "tuner/chameleon_tuner.hpp"
 
 #include <unordered_set>
+#include <utility>
 
 #include "ml/kmeans.hpp"
 
@@ -15,64 +16,74 @@ ChameleonTuner::ChameleonTuner(
             "oversample_factor must be >= 1");
 }
 
-TuneResult ChameleonTuner::tune(Measurer& measurer,
-                                const TuneOptions& options) {
-  TuneLoopState state(measurer, options);
-  Rng rng(options.seed);
-  const TuningTask& task = measurer.task();
+void ChameleonTuner::begin(const Measurer& measurer,
+                           const TuneOptions& options) {
+  measurer_ = &measurer;
+  tune_options_ = options;
+  rng_.reseed(options.seed);
+  sa_ = std::make_unique<SaOptimizer>(
+      measurer.task().space(), chameleon_options_.sa.num_chains > 0
+                                   ? chameleon_options_.sa
+                                   : SaParams{});
+  round_ = 0;
+  initialized_ = false;
+}
+
+std::vector<Config> ChameleonTuner::propose(std::int64_t k) {
+  const TuningTask& task = measurer_->task();
   const ConfigSpace& space = task.space();
 
   // Random initialization, as in AutoTVM/CHAMELEON.
-  state.measure_all(space.sample_distinct(options.num_initial, rng));
-
-  SaOptimizer sa(space, chameleon_options_.sa.num_chains > 0
-                            ? chameleon_options_.sa
-                            : SaParams{});
-  std::uint64_t round = 0;
-  while (!state.should_stop() && measurer.num_measured() < space.size()) {
-    // Cost model on everything measured so far.
-    const std::vector<MeasureResult> measured = measurer.all_results();
-    Dataset data(static_cast<std::size_t>(space.feature_dim()));
-    for (const auto& r : measured) {
-      data.add_row(space.features(r.config), r.ok ? r.gflops : 0.0);
-    }
-    auto model = surrogate_factory_->create(options.seed * 6151 + ++round);
-    model->fit(data);
-
-    std::unordered_set<std::int64_t> measured_flats;
-    for (const auto& r : measured) measured_flats.insert(r.config.flat);
-
-    // Over-provisioned proposal pool from SA.
-    const auto score = [&](const Config& c) {
-      return model->predict(space.features(c));
-    };
-    const int pool_size =
-        options.batch_size * chameleon_options_.oversample_factor;
-    std::vector<Config> pool =
-        sa.maximize(score, pool_size, rng, measured_flats);
-    if (pool.empty()) {
-      Config c = space.sample(rng);
-      if (!measured_flats.contains(c.flat)) pool.push_back(std::move(c));
-      if (pool.empty()) break;  // space exhausted
-    }
-
-    // Adaptive sampling: cluster the pool, measure one medoid per cluster.
-    std::vector<std::vector<double>> features;
-    features.reserve(pool.size());
-    for (const Config& c : pool) features.push_back(space.features(c));
-    const KMeansResult clusters = kmeans(
-        features, static_cast<std::size_t>(options.batch_size), rng);
-
-    std::vector<Config> plan;
-    plan.reserve(clusters.medoids.size());
-    std::unordered_set<std::int64_t> planned;
-    for (std::size_t medoid : clusters.medoids) {
-      const Config& c = pool[medoid];
-      if (planned.insert(c.flat).second) plan.push_back(c);
-    }
-    if (!state.measure_all(plan)) break;
+  if (!initialized_) {
+    initialized_ = true;
+    return space.sample_distinct(tune_options_.num_initial, rng_);
   }
-  return state.finish(name());
+
+  // Cost model on everything measured so far.
+  const std::vector<MeasureResult> measured = measurer_->all_results();
+  Dataset data(static_cast<std::size_t>(space.feature_dim()));
+  for (const auto& r : measured) {
+    data.add_row(space.features(r.config), r.ok ? r.gflops : 0.0);
+  }
+  auto model = surrogate_factory_->create(tune_options_.seed * 6151 + ++round_);
+  model->fit(data);
+
+  std::unordered_set<std::int64_t> measured_flats;
+  for (const auto& r : measured) measured_flats.insert(r.config.flat);
+
+  // Over-provisioned proposal pool from SA.
+  const auto score = [&](const Config& c) {
+    return model->predict(space.features(c));
+  };
+  const int pool_size =
+      tune_options_.batch_size * chameleon_options_.oversample_factor;
+  std::vector<Config> pool =
+      sa_->maximize(score, pool_size, rng_, measured_flats);
+  if (pool.empty()) {
+    // Tiny or nearly exhausted space: deterministic sweep for any
+    // still-unmeasured point.
+    for (std::int64_t flat = 0; flat < space.size(); ++flat) {
+      if (!measurer_->is_cached(flat)) return {space.at(flat)};
+    }
+    return {};
+  }
+
+  // Adaptive sampling: cluster the pool, measure one medoid per cluster.
+  std::vector<std::vector<double>> features;
+  features.reserve(pool.size());
+  for (const Config& c : pool) features.push_back(space.features(c));
+  const KMeansResult clusters = kmeans(
+      features, static_cast<std::size_t>(tune_options_.batch_size), rng_);
+
+  std::vector<Config> plan;
+  plan.reserve(clusters.medoids.size());
+  std::unordered_set<std::int64_t> planned;
+  for (std::size_t medoid : clusters.medoids) {
+    const Config& c = pool[medoid];
+    if (planned.insert(c.flat).second) plan.push_back(c);
+  }
+  (void)k;  // the session trims overshoot; a round never exceeds batch_size
+  return plan;
 }
 
 }  // namespace aal

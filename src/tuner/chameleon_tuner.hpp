@@ -7,11 +7,12 @@
 // representative per cluster, spending the on-chip budget on diverse
 // configurations. This tuner reproduces that sampling idea on top of our
 // XGB+SA machinery (the RL-learned proposal policy is out of scope — the
-// paper itself notes it is "too difficult to implement and train"):
+// paper itself notes it is "too difficult to implement and train"). As an
+// ask/tell policy each propose() performs one adaptive-sampling round:
 //   1. fit the cost model, run SA for an over-provisioned candidate pool
 //      (oversample_factor x batch);
 //   2. k-means the pool in feature space into `batch` clusters;
-//   3. measure the cluster medoids.
+//   3. return the cluster medoids for measurement.
 #pragma once
 
 #include <memory>
@@ -36,11 +37,20 @@ class ChameleonTuner final : public Tuner {
       ChameleonTunerOptions options = {});
 
   std::string name() const override { return "chameleon"; }
-  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+
+  void begin(const Measurer& measurer, const TuneOptions& options) override;
+  std::vector<Config> propose(std::int64_t k) override;
 
  private:
   std::shared_ptr<const SurrogateFactory> surrogate_factory_;
   ChameleonTunerOptions chameleon_options_;
+
+  const Measurer* measurer_ = nullptr;
+  TuneOptions tune_options_;
+  Rng rng_;
+  std::unique_ptr<SaOptimizer> sa_;
+  std::uint64_t round_ = 0;
+  bool initialized_ = false;
 };
 
 }  // namespace aal

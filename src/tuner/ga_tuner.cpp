@@ -1,72 +1,137 @@
 #include "tuner/ga_tuner.hpp"
 
 #include <algorithm>
+#include <unordered_set>
+#include <utility>
 
 namespace aal {
 
-TuneResult GaTuner::tune(Measurer& measurer, const TuneOptions& options) {
-  TuneLoopState state(measurer, options);
-  Rng rng(options.seed);
-  const ConfigSpace& space = measurer.task().space();
+void GaTuner::begin(const Measurer& measurer, const TuneOptions& options) {
+  measurer_ = &measurer;
+  rng_.reseed(options.seed);
+  batch_size_ = options.batch_size;
+  population_.clear();
+  elites_.clear();
+  forming_.clear();
+  in_flight_.clear();
+  dead_ = false;
+  pending_ = measurer.task().space().sample_distinct(options_.population, rng_);
+}
 
-  struct Individual {
-    Config config;
-    double fitness = 0.0;
-  };
-
-  // Seed population.
-  std::vector<Individual> population;
-  for (const Config& c :
-       space.sample_distinct(options_.population, rng)) {
-    if (!state.measure(c)) return state.finish(name());
-    population.push_back(
-        Individual{c, measurer.measure(c).ok ? measurer.measure(c).gflops : 0.0});
+void GaTuner::breed() {
+  if (population_.size() < 2) {
+    dead_ = true;
+    return;
   }
+  std::sort(population_.begin(), population_.end(),
+            [](const Individual& a, const Individual& b) {
+              return a.fitness > b.fitness;
+            });
+  elites_.assign(population_.begin(),
+                 population_.begin() +
+                     std::min<std::ptrdiff_t>(
+                         options_.elite,
+                         static_cast<std::ptrdiff_t>(population_.size())));
 
+  const ConfigSpace& space = measurer_->task().space();
   auto tournament = [&]() -> const Individual& {
-    const Individual& a =
-        population[rng.next_index(population.size())];
-    const Individual& b =
-        population[rng.next_index(population.size())];
+    const Individual& a = population_[rng_.next_index(population_.size())];
+    const Individual& b = population_[rng_.next_index(population_.size())];
     return a.fitness >= b.fitness ? a : b;
   };
 
-  while (!state.should_stop() &&
-         measurer.num_measured() < space.size()) {
-    std::sort(population.begin(), population.end(),
-              [](const Individual& a, const Individual& b) {
-                return a.fitness > b.fitness;
-              });
-    std::vector<Individual> next(
-        population.begin(),
-        population.begin() + std::min<std::ptrdiff_t>(
-                                 options_.elite,
-                                 static_cast<std::ptrdiff_t>(population.size())));
-    while (next.size() < population.size() && !state.should_stop()) {
-      const Individual& mom = tournament();
-      const Individual& dad = tournament();
-      // One-point crossover in knob order.
-      std::vector<std::int32_t> child = mom.config.choices;
-      const std::size_t cut = rng.next_index(child.size() + 1);
-      for (std::size_t i = cut; i < child.size(); ++i) {
-        child[i] = dad.config.choices[i];
-      }
-      // Mutation.
-      for (std::size_t i = 0; i < child.size(); ++i) {
-        if (rng.next_bernoulli(options_.mutation_prob)) {
-          child[i] = static_cast<std::int32_t>(
-              rng.next_index(static_cast<std::uint64_t>(space.knob(i).size())));
-        }
-      }
-      Config config = space.make(std::move(child));
-      if (!state.measure(config)) break;
-      const MeasureResult& r = measurer.measure(config);
-      next.push_back(Individual{config, r.ok ? r.gflops : 0.0});
+  pending_.clear();
+  while (elites_.size() + pending_.size() < population_.size()) {
+    const Individual& mom = tournament();
+    const Individual& dad = tournament();
+    // One-point crossover in knob order.
+    std::vector<std::int32_t> child = mom.config.choices;
+    const std::size_t cut = rng_.next_index(child.size() + 1);
+    for (std::size_t i = cut; i < child.size(); ++i) {
+      child[i] = dad.config.choices[i];
     }
-    if (next.size() < 2) break;
-    population = std::move(next);
+    // Mutation.
+    for (std::size_t i = 0; i < child.size(); ++i) {
+      if (rng_.next_bernoulli(options_.mutation_prob)) {
+        child[i] = static_cast<std::int32_t>(
+            rng_.next_index(static_cast<std::uint64_t>(space.knob(i).size())));
+      }
+    }
+    pending_.push_back(space.make(std::move(child)));
   }
-  return state.finish(name());
+}
+
+void GaTuner::maybe_complete_generation() {
+  if (!pending_.empty() || !in_flight_.empty()) return;
+  std::vector<Individual> next = elites_;
+  next.insert(next.end(), forming_.begin(), forming_.end());
+  elites_.clear();
+  forming_.clear();
+  population_ = std::move(next);
+  if (population_.size() < 2) dead_ = true;
+}
+
+std::vector<Config> GaTuner::propose(std::int64_t k) {
+  const std::int64_t target =
+      std::min<std::int64_t>(k, static_cast<std::int64_t>(batch_size_));
+  // A generation whose offspring are all revisits resolves without any
+  // measurement; bound how many of those we fold per call so a converged
+  // population on a tiny space terminates instead of spinning.
+  int silent_generations = 0;
+  while (!dead_ && silent_generations < 32) {
+    std::vector<Config> plan;
+    std::unordered_set<std::int64_t> planned;
+    std::size_t i = 0;
+    while (i < pending_.size() &&
+           static_cast<std::int64_t>(plan.size()) < target) {
+      Config& c = pending_[i];
+      if (const MeasureResult* hit = measurer_->find(c.flat)) {
+        // Already measured: resolve for free, no proposal needed.
+        forming_.push_back(Individual{c, hit->ok ? hit->gflops : 0.0});
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      if (planned.contains(c.flat)) {
+        // Duplicate offspring within one brood: defer to the next call,
+        // by which time the first copy has a cached result.
+        ++i;
+        continue;
+      }
+      planned.insert(c.flat);
+      plan.push_back(c);
+      in_flight_.push_back(c);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    if (!plan.empty()) return plan;
+
+    // Nothing proposable. If the generation is complete, fold it and breed
+    // the next one; otherwise we are waiting on observe().
+    if (pending_.empty() && in_flight_.empty()) {
+      maybe_complete_generation();
+      if (dead_) break;
+      breed();
+      ++silent_generations;
+      continue;
+    }
+    break;
+  }
+  return {};
+}
+
+void GaTuner::observe(std::span<const MeasureResult> results) {
+  (void)results;  // fitness is read back through the memo cache
+  std::vector<Config> unresolved;
+  for (Config& c : in_flight_) {
+    if (const MeasureResult* hit = measurer_->find(c.flat)) {
+      forming_.push_back(Individual{c, hit->ok ? hit->gflops : 0.0});
+    } else {
+      // The session trimmed this proposal (budget edge); try again later.
+      unresolved.push_back(std::move(c));
+    }
+  }
+  in_flight_.clear();
+  pending_.insert(pending_.begin(), unresolved.begin(), unresolved.end());
+  maybe_complete_generation();
 }
 
 }  // namespace aal

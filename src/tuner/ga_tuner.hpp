@@ -1,6 +1,12 @@
 // Genetic-algorithm tuner (AutoTVM ships one as a model-free baseline).
 // Tournament selection over measured GFLOPS, one-point knob crossover,
 // per-knob mutation. Included for tuner comparisons and the examples.
+//
+// Ask/tell policy: the population is seeded and evolved generation by
+// generation; propose() hands out the individuals of the current
+// generation that still need measuring, observe() resolves their fitness,
+// and a generation completes once every member has a result (revisited
+// configurations resolve for free from the memo cache).
 #pragma once
 
 #include "tuner/tuner.hpp"
@@ -18,10 +24,36 @@ class GaTuner final : public Tuner {
   explicit GaTuner(GaTunerOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "ga"; }
-  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+
+  void begin(const Measurer& measurer, const TuneOptions& options) override;
+  std::vector<Config> propose(std::int64_t k) override;
+  void observe(std::span<const MeasureResult> results) override;
 
  private:
+  struct Individual {
+    Config config;
+    double fitness = 0.0;
+  };
+
+  /// Sorts the population, copies elites and queues a fresh offspring
+  /// brood into pending_. Sets dead_ when the population collapses.
+  void breed();
+
+  /// Folds finished generations: when nothing is pending or in flight, the
+  /// resolved individuals (plus elites) become the next population.
+  void maybe_complete_generation();
+
   GaTunerOptions options_;
+  const Measurer* measurer_ = nullptr;
+  Rng rng_;
+  int batch_size_ = 64;
+
+  std::vector<Individual> population_;  // previous completed generation
+  std::vector<Individual> elites_;      // carried into the forming generation
+  std::vector<Individual> forming_;     // resolved members of this generation
+  std::vector<Config> pending_;         // not yet proposed
+  std::vector<Config> in_flight_;       // proposed, awaiting observe()
+  bool dead_ = false;
 };
 
 }  // namespace aal

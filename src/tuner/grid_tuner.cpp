@@ -5,28 +5,40 @@
 
 namespace aal {
 
-TuneResult GridTuner::tune(Measurer& measurer, const TuneOptions& options) {
-  TuneLoopState state(measurer, options);
-  const ConfigSpace& space = measurer.task().space();
-  const std::int64_t size = space.size();
+void GridTuner::begin(const Measurer& measurer, const TuneOptions& options) {
+  measurer_ = &measurer;
+  batch_size_ = options.batch_size;
+  const std::int64_t size = measurer.task().space().size();
 
   // Low-discrepancy scan: step by ~golden-ratio * size, made coprime with
   // the space size so every point is eventually visited. A naive stride of
   // size/budget aliases with the mixed-radix knob encoding (the stride can
   // be a multiple of a knob's radix product, freezing that knob — often on
   // an unbuildable choice).
-  std::int64_t stride = std::max<std::int64_t>(
+  stride_ = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(0.6180339887498949 *
                                    static_cast<double>(size)));
-  while (std::gcd(stride, size) != 1) ++stride;
+  while (std::gcd(stride_, size) != 1) ++stride_;
+  cursor_ = 0;
+  visited_ = 0;
+}
 
-  std::int64_t flat = 0;
-  for (std::int64_t i = 0; i < size; ++i) {
-    if (!state.measure(space.at(flat))) break;
-    flat += stride;
-    if (flat >= size) flat -= size;
+std::vector<Config> GridTuner::propose(std::int64_t k) {
+  const ConfigSpace& space = measurer_->task().space();
+  const std::int64_t size = space.size();
+  const std::int64_t target =
+      std::min<std::int64_t>(k, static_cast<std::int64_t>(batch_size_));
+  std::vector<Config> plan;
+  while (visited_ < size &&
+         static_cast<std::int64_t>(plan.size()) < target) {
+    const std::int64_t flat = cursor_;
+    cursor_ += stride_;
+    if (cursor_ >= size) cursor_ -= size;
+    ++visited_;
+    if (measurer_->is_cached(flat)) continue;  // resumed/revisited: free
+    plan.push_back(space.at(flat));
   }
-  return state.finish(name());
+  return plan;  // empty once the walk has covered the whole space
 }
 
 }  // namespace aal

@@ -1,6 +1,7 @@
 // Deterministic grid-scan baseline (AutoTVM's GridSearchTuner): walks the
 // space in flat-index order with a fixed stride so a small budget still
-// touches the whole range.
+// touches the whole range. Ask/tell policy: propose() advances the walk
+// cursor, skipping configurations already measured.
 #pragma once
 
 #include "tuner/tuner.hpp"
@@ -10,7 +11,16 @@ namespace aal {
 class GridTuner final : public Tuner {
  public:
   std::string name() const override { return "grid"; }
-  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+
+  void begin(const Measurer& measurer, const TuneOptions& options) override;
+  std::vector<Config> propose(std::int64_t k) override;
+
+ private:
+  const Measurer* measurer_ = nullptr;
+  int batch_size_ = 64;
+  std::int64_t stride_ = 1;
+  std::int64_t cursor_ = 0;
+  std::int64_t visited_ = 0;  // walk positions consumed (<= space size)
 };
 
 }  // namespace aal

@@ -1,18 +1,49 @@
 #include "tuner/random_tuner.hpp"
 
+#include <algorithm>
+#include <unordered_set>
+
 namespace aal {
 
-TuneResult RandomTuner::tune(Measurer& measurer, const TuneOptions& options) {
-  TuneLoopState state(measurer, options);
-  Rng rng(options.seed);
-  const ConfigSpace& space = measurer.task().space();
-  while (!state.should_stop() &&
-         measurer.num_measured() < space.size()) {
-    // Memoized duplicates cost nothing, so plain uniform draws are fine
-    // even near space exhaustion (the loop guard handles full exhaustion).
-    if (!state.measure(space.sample(rng))) break;
+void RandomTuner::begin(const Measurer& measurer, const TuneOptions& options) {
+  measurer_ = &measurer;
+  rng_.reseed(options.seed);
+  batch_size_ = options.batch_size;
+}
+
+std::vector<Config> RandomTuner::propose(std::int64_t k) {
+  const ConfigSpace& space = measurer_->task().space();
+  const std::int64_t target =
+      std::min<std::int64_t>(k, static_cast<std::int64_t>(batch_size_));
+  std::vector<Config> plan;
+  std::unordered_set<std::int64_t> planned;
+
+  // Rejection-sample fresh configurations; duplicates of measured configs
+  // are simply skipped (they would be free revisits anyway, but proposing
+  // fresh points keeps the session making progress near exhaustion).
+  const std::int64_t max_attempts = 64 * target + 256;
+  for (std::int64_t attempt = 0;
+       attempt < max_attempts &&
+       static_cast<std::int64_t>(plan.size()) < target;
+       ++attempt) {
+    Config c = space.sample(rng_);
+    if (measurer_->is_cached(c.flat) || planned.contains(c.flat)) continue;
+    planned.insert(c.flat);
+    plan.push_back(std::move(c));
   }
-  return state.finish(name());
+
+  // Near-exhaustion fallback: deterministic scan for whatever is left.
+  if (plan.empty()) {
+    for (std::int64_t flat = 0;
+         flat < space.size() &&
+         static_cast<std::int64_t>(plan.size()) < target;
+         ++flat) {
+      if (measurer_->is_cached(flat) || planned.contains(flat)) continue;
+      planned.insert(flat);
+      plan.push_back(space.at(flat));
+    }
+  }
+  return plan;
 }
 
 }  // namespace aal

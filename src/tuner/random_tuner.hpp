@@ -1,4 +1,5 @@
-// Uniform-random search baseline (AutoTVM's RandomTuner).
+// Uniform-random search baseline (AutoTVM's RandomTuner), as an ask/tell
+// proposal policy.
 #pragma once
 
 #include "tuner/tuner.hpp"
@@ -8,7 +9,14 @@ namespace aal {
 class RandomTuner final : public Tuner {
  public:
   std::string name() const override { return "random"; }
-  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+
+  void begin(const Measurer& measurer, const TuneOptions& options) override;
+  std::vector<Config> propose(std::int64_t k) override;
+
+ private:
+  const Measurer* measurer_ = nullptr;
+  Rng rng_;
+  int batch_size_ = 64;
 };
 
 }  // namespace aal

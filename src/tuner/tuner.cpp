@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/common.hpp"
+#include "tuner/tuning_session.hpp"
 
 namespace aal {
 
@@ -17,62 +18,24 @@ std::vector<double> TuneResult::best_curve() const {
   return curve;
 }
 
+void Tuner::begin(const Measurer& measurer, const TuneOptions& options) {
+  (void)measurer;
+  (void)options;
+}
+
+void Tuner::observe(std::span<const MeasureResult> results) { (void)results; }
+
+void Tuner::finalize(const Measurer& measurer) { (void)measurer; }
+
+TuneResult Tuner::tune(Measurer& measurer, const TuneOptions& options) {
+  TuningSession session(*this, measurer, options);
+  return session.run();
+}
+
 InitSampler random_init_sampler() {
   return [](const TuningTask& task, int m, Rng& rng) {
     return task.space().sample_distinct(m, rng);
   };
-}
-
-TuneLoopState::TuneLoopState(Measurer& measurer, const TuneOptions& options)
-    : measurer_(measurer), options_(options) {
-  AAL_CHECK(options.budget >= 1, "budget must be >= 1");
-  AAL_CHECK(options.batch_size >= 1, "batch_size must be >= 1");
-}
-
-bool TuneLoopState::measure(const Config& config) {
-  if (should_stop()) return false;
-  const std::int64_t before = measurer_.num_measured();
-  const MeasureResult& r = measurer_.measure(config);
-  if (measurer_.num_measured() == before) {
-    // Memoized revisit: costs no budget and adds no history entry.
-    return !should_stop();
-  }
-  history_.push_back(TunePoint{r.config.flat, r.ok, r.gflops});
-  if (r.ok && r.gflops > best_gflops_) {
-    best_gflops_ = r.gflops;
-    best_flat_ = r.config.flat;
-    since_improvement_ = 0;
-  } else {
-    ++since_improvement_;
-  }
-  return !should_stop();
-}
-
-bool TuneLoopState::measure_all(const std::vector<Config>& configs) {
-  for (const Config& c : configs) {
-    if (!measure(c)) return false;
-  }
-  return !should_stop();
-}
-
-bool TuneLoopState::should_stop() const {
-  if (static_cast<std::int64_t>(history_.size()) >= options_.budget) {
-    return true;
-  }
-  if (options_.early_stopping > 0 &&
-      since_improvement_ >= options_.early_stopping) {
-    return true;
-  }
-  return false;
-}
-
-TuneResult TuneLoopState::finish(std::string tuner_name) const {
-  TuneResult result;
-  result.tuner_name = std::move(tuner_name);
-  result.history = history_;
-  result.num_measured = static_cast<std::int64_t>(history_.size());
-  result.best = measurer_.best();
-  return result;
 }
 
 }  // namespace aal

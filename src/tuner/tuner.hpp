@@ -1,16 +1,22 @@
-// Tuner interface and shared tuning-loop types.
+// Tuner interface and shared tuning types.
 //
-// A Tuner consumes a Measurer (task + device + budget accounting) and
-// produces a TuneResult: the measurement history (from which the paper's
-// convergence plots are drawn), the best configuration, and the number of
-// configurations spent. Budget and early-stopping semantics follow AutoTVM:
-// `budget` caps measured configs, `early_stopping` aborts when the best
-// GFLOPS has not improved within that many consecutive measurements.
+// Tuners are *proposal policies* in an ask/tell loop: a TuningSession (see
+// tuner/tuning_session.hpp) owns budget and early-stopping accounting,
+// repeatedly asks the policy to propose() candidate configurations, drives
+// them through a MeasureBackend, and tells the policy the fresh results via
+// observe(). Budget and early-stopping semantics follow AutoTVM: `budget`
+// caps measured configs, `early_stopping` aborts when the best GFLOPS has
+// not improved within that many consecutive measurements.
+//
+// The base class keeps a blocking tune() driver for compatibility: it runs
+// a serial session to completion, which is what the CLI and benches use at
+// jobs=1.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,8 +58,27 @@ class Tuner {
   virtual ~Tuner() = default;
   virtual std::string name() const = 0;
 
-  /// Runs the full tuning loop on one task.
-  virtual TuneResult tune(Measurer& measurer, const TuneOptions& options) = 0;
+  /// Called once by the session before the first propose(). The measurer
+  /// reference stays valid for the whole session; policies may hold it to
+  /// query measured state (all_results, is_cached, best) while proposing.
+  virtual void begin(const Measurer& measurer, const TuneOptions& options);
+
+  /// Asks the policy for the next batch of candidate configurations. At
+  /// most `k` of them should be previously unmeasured (the session trims
+  /// any overshoot before measuring); already-measured revisits are free.
+  /// An empty return means the policy is exhausted and the session stops.
+  virtual std::vector<Config> propose(std::int64_t k) = 0;
+
+  /// Tells the policy the results that were freshly measured (and committed
+  /// to history) this round. Memoized revisits are not repeated here.
+  virtual void observe(std::span<const MeasureResult> results);
+
+  /// Called once when the session finishes (budget, early stop or
+  /// exhaustion) — e.g. to absorb results into a transfer-learning context.
+  virtual void finalize(const Measurer& measurer);
+
+  /// Compatibility driver: runs a serial TuningSession to completion.
+  TuneResult tune(Measurer& measurer, const TuneOptions& options);
 };
 
 /// Initial-set sampler signature: produces `m` distinct configurations to
@@ -64,36 +89,5 @@ using InitSampler = std::function<std::vector<Config>(
 
 /// Uniform-random initial sampler.
 InitSampler random_init_sampler();
-
-/// Book-keeping helper shared by tuner implementations: measures a batch,
-/// appends to history, and reports whether budget/early-stop tripped.
-class TuneLoopState {
- public:
-  TuneLoopState(Measurer& measurer, const TuneOptions& options);
-
-  /// Measures one config; returns false when the loop must stop.
-  bool measure(const Config& config);
-
-  /// Measures a batch in order; returns false when the loop must stop.
-  bool measure_all(const std::vector<Config>& configs);
-
-  bool should_stop() const;
-  const std::vector<TunePoint>& history() const { return history_; }
-  Measurer& measurer() { return measurer_; }
-
-  /// Finalizes the result (best config, counts).
-  TuneResult finish(std::string tuner_name) const;
-
-  double best_gflops() const { return best_gflops_; }
-  std::int64_t best_flat() const { return best_flat_; }
-
- private:
-  Measurer& measurer_;
-  const TuneOptions& options_;
-  std::vector<TunePoint> history_;
-  double best_gflops_ = 0.0;
-  std::int64_t best_flat_ = -1;
-  std::int64_t since_improvement_ = 0;
-};
 
 }  // namespace aal

@@ -1,0 +1,156 @@
+#include "tuner/tuning_session.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+namespace {
+// A policy that keeps proposing only already-measured configurations makes
+// no progress; cap such rounds so the session always terminates.
+constexpr int kMaxBarrenRounds = 64;
+}  // namespace
+
+TuningSession::TuningSession(Tuner& tuner, Measurer& measurer,
+                             const TuneOptions& options,
+                             MeasureBackend& backend)
+    : tuner_(tuner), measurer_(measurer), options_(options),
+      backend_(&backend) {
+  AAL_CHECK(options.budget >= 1, "budget must be >= 1");
+  AAL_CHECK(options.batch_size >= 1, "batch_size must be >= 1");
+}
+
+TuningSession::TuningSession(Tuner& tuner, Measurer& measurer,
+                             const TuneOptions& options)
+    : TuningSession(tuner, measurer, options, serial_) {}
+
+bool TuningSession::should_stop() const {
+  if (static_cast<std::int64_t>(history_.size()) >= options_.budget) {
+    return true;
+  }
+  if (options_.early_stopping > 0 &&
+      since_improvement_ >= options_.early_stopping) {
+    return true;
+  }
+  if (measurer_.num_measured() >= measurer_.task().space().size()) {
+    return true;  // space exhausted
+  }
+  return false;
+}
+
+bool TuningSession::step() {
+  if (done_) return false;
+  if (!begun_) {
+    tuner_.begin(measurer_, options_);
+    begun_ = true;
+  }
+  if (should_stop()) {
+    done_ = true;
+    return false;
+  }
+
+  const std::int64_t remaining =
+      options_.budget - static_cast<std::int64_t>(history_.size());
+  const std::int64_t space_left =
+      measurer_.task().space().size() - measurer_.num_measured();
+  const std::int64_t k = std::min(remaining, space_left);
+
+  std::vector<Config> plan = tuner_.propose(k);
+  if (plan.empty()) {
+    done_ = true;
+    return false;
+  }
+
+  // Trim the plan so at most k configurations are fresh; revisits stay (they
+  // are free) but everything past the k-th fresh candidate is dropped.
+  // `fresh_flats` ends up holding exactly the flats this round will commit —
+  // anything else in the plan (preloaded or session revisits) is free.
+  std::unordered_set<std::int64_t> fresh_flats;
+  {
+    std::size_t keep = plan.size();
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const std::int64_t flat = plan[i].flat;
+      if (measurer_.is_cached(flat)) continue;
+      if (fresh_flats.contains(flat)) continue;
+      if (static_cast<std::int64_t>(fresh_flats.size()) >= k) {
+        keep = i;
+        break;
+      }
+      fresh_flats.insert(flat);
+    }
+    plan.resize(keep);
+  }
+  if (plan.empty()) {
+    done_ = true;
+    return false;
+  }
+
+  const std::vector<MeasureResult> batch =
+      measurer_.measure_batch(plan, *backend_);
+
+  // Commit fresh results to the history in plan order. The batch aligns
+  // with the plan, so taking the first occurrence of each fresh flat walks
+  // exactly the points the measurer just committed, in the same order.
+  std::vector<MeasureResult> fresh;
+  fresh.reserve(fresh_flats.size());
+  for (const MeasureResult& r : batch) {
+    auto it = fresh_flats.find(r.config.flat);
+    if (it == fresh_flats.end()) continue;
+    fresh_flats.erase(it);  // first occurrence only
+    fresh.push_back(r);
+  }
+
+  for (const MeasureResult& r : fresh) {
+    history_.push_back(TunePoint{r.config.flat, r.ok, r.gflops});
+    if (r.ok && r.gflops > best_gflops_) {
+      best_gflops_ = r.gflops;
+      best_flat_ = r.config.flat;
+      since_improvement_ = 0;
+    } else {
+      ++since_improvement_;
+    }
+  }
+
+  if (!fresh.empty()) {
+    barren_rounds_ = 0;
+    tuner_.observe(std::span<const MeasureResult>(fresh));
+  } else if (++barren_rounds_ >= kMaxBarrenRounds) {
+    done_ = true;
+    return false;
+  }
+
+  if (should_stop()) {
+    done_ = true;
+    return false;
+  }
+  return true;
+}
+
+TuneResult TuningSession::run() {
+  while (step()) {
+  }
+  return finish();
+}
+
+TuneResult TuningSession::finish() {
+  done_ = true;
+  if (!finalized_) {
+    if (!begun_) {
+      tuner_.begin(measurer_, options_);
+      begun_ = true;
+    }
+    tuner_.finalize(measurer_);
+    finalized_ = true;
+  }
+  TuneResult result;
+  result.tuner_name = tuner_.name();
+  result.history = history_;
+  result.num_measured = static_cast<std::int64_t>(history_.size());
+  result.best = measurer_.best();
+  return result;
+}
+
+}  // namespace aal

@@ -1,0 +1,70 @@
+// TuningSession: the ask/tell engine that owns the tuning loop.
+//
+// One session drives one (policy, measurer) pair: each step() it computes
+// the remaining budget, asks the policy for candidates, trims the plan so at
+// most that many *fresh* configurations are measured, runs the batch through
+// a MeasureBackend, commits fresh results to the history in plan order, and
+// feeds them back to the policy. Centralizing the accounting here means no
+// tuner carries a private budget/early-stop loop, and swapping the backend
+// (serial vs thread pool) cannot change any decision the policy sees:
+// per-config measurements are pure (counter-based device noise) and commits
+// are serialized in plan order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measure/backend.hpp"
+#include "tuner/tuner.hpp"
+
+namespace aal {
+
+class TuningSession {
+ public:
+  /// Validates options (budget >= 1, batch_size >= 1; throws
+  /// InvalidArgument). The session serializes all policy interaction; only
+  /// the per-config measurement work inside a batch runs on `backend`.
+  TuningSession(Tuner& tuner, Measurer& measurer, const TuneOptions& options,
+                MeasureBackend& backend);
+
+  /// Convenience: serial measurement on the calling thread.
+  TuningSession(Tuner& tuner, Measurer& measurer, const TuneOptions& options);
+
+  /// Runs one propose → measure → observe round. Returns false when the
+  /// session is over (budget spent, early stopping tripped, space
+  /// exhausted, or the policy returned no candidates).
+  bool step();
+
+  /// Drives step() to completion and returns finish().
+  TuneResult run();
+
+  /// Finalizes: notifies the policy once and packages the result.
+  TuneResult finish();
+
+  bool done() const { return done_; }
+  const std::vector<TunePoint>& history() const { return history_; }
+  std::int64_t num_measured() const {
+    return static_cast<std::int64_t>(history_.size());
+  }
+  double best_gflops() const { return best_gflops_; }
+  std::int64_t best_flat() const { return best_flat_; }
+
+ private:
+  bool should_stop() const;
+
+  Tuner& tuner_;
+  Measurer& measurer_;
+  TuneOptions options_;
+  SerialBackend serial_;  // fallback when no backend is supplied
+  MeasureBackend* backend_;
+  std::vector<TunePoint> history_;
+  double best_gflops_ = 0.0;
+  std::int64_t best_flat_ = -1;
+  std::int64_t since_improvement_ = 0;
+  int barren_rounds_ = 0;  // consecutive rounds with zero fresh measurements
+  bool begun_ = false;
+  bool done_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace aal

@@ -13,81 +13,94 @@ XgbTuner::XgbTuner(std::shared_ptr<const SurrogateFactory> surrogate_factory,
       init_sampler_(std::move(init_sampler)),
       xgb_options_(options) {}
 
-TuneResult XgbTuner::tune(Measurer& measurer, const TuneOptions& options) {
-  TuneLoopState state(measurer, options);
-  Rng rng(options.seed);
-  const TuningTask& task = measurer.task();
+void XgbTuner::begin(const Measurer& measurer, const TuneOptions& options) {
+  measurer_ = &measurer;
+  tune_options_ = options;
+  rng_.reseed(options.seed);
+  sa_ = std::make_unique<SaOptimizer>(
+      measurer.task().space(),
+      xgb_options_.sa.num_chains > 0 ? xgb_options_.sa : SaParams{});
+  round_ = 0;
+  initialized_ = false;
+}
+
+std::vector<Config> XgbTuner::propose(std::int64_t k) {
+  const TuningTask& task = measurer_->task();
   const ConfigSpace& space = task.space();
 
   // --- Stage 1: initialization -------------------------------------------
-  const std::vector<Config> initial =
-      init_sampler_(task, options.num_initial, rng);
-  state.measure_all(initial);
+  if (!initialized_) {
+    initialized_ = true;
+    return init_sampler_(task, tune_options_.num_initial, rng_);
+  }
 
-  // --- Stage 2: model-guided rounds ---------------------------------------
-  SaOptimizer sa(space, xgb_options_.sa.num_chains > 0 ? xgb_options_.sa
-                                                       : SaParams{});
-  std::uint64_t round = 0;
-  while (!state.should_stop() && measurer.num_measured() < space.size()) {
-    // Fit the cost model on everything measured so far (failed configs
-    // train at 0 GFLOPS — the model must learn to avoid them), plus
-    // transferred rows from sibling tasks, score-scaled to this task.
-    const std::vector<MeasureResult> measured = measurer.all_results();
-    double best = state.best_gflops();
-    Dataset data(static_cast<std::size_t>(space.feature_dim()));
-    for (const auto& r : measured) {
-      data.add_row(space.features(r.config), r.ok ? r.gflops : 0.0);
+  // --- Stage 2: a model-guided round -------------------------------------
+  // Fit the cost model on everything measured so far (failed configs train
+  // at 0 GFLOPS — the model must learn to avoid them), plus transferred
+  // rows from sibling tasks, score-scaled to this task.
+  const std::vector<MeasureResult> measured = measurer_->all_results();
+  const std::optional<MeasureResult> best_result = measurer_->best();
+  const double best = best_result ? best_result->gflops : 0.0;
+  Dataset data(static_cast<std::size_t>(space.feature_dim()));
+  for (const auto& r : measured) {
+    data.add_row(space.features(r.config), r.ok ? r.gflops : 0.0);
+  }
+  if (xgb_options_.transfer != nullptr && best > 0.0) {
+    const Dataset seed =
+        xgb_options_.transfer->seed_for(task, xgb_options_.max_transfer_rows);
+    for (std::size_t i = 0; i < seed.num_rows(); ++i) {
+      // Normalized [0,1] transfer scores rescaled into this task's GFLOPS
+      // range so they blend with native rows.
+      data.add_row(seed.row(i), seed.target(i) * best);
     }
-    if (xgb_options_.transfer != nullptr && best > 0.0) {
-      const Dataset seed = xgb_options_.transfer->seed_for(
-          task, xgb_options_.max_transfer_rows);
-      for (std::size_t i = 0; i < seed.num_rows(); ++i) {
-        // Normalized [0,1] transfer scores rescaled into this task's GFLOPS
-        // range so they blend with native rows.
-        data.add_row(seed.row(i), seed.target(i) * best);
+  }
+
+  auto model = surrogate_factory_->create(tune_options_.seed * 7919 + ++round_);
+  model->fit(data);
+
+  std::unordered_set<std::int64_t> measured_flats;
+  measured_flats.reserve(measured.size());
+  for (const auto& r : measured) measured_flats.insert(r.config.flat);
+
+  const auto score = [&](const Config& c) {
+    return model->predict(space.features(c));
+  };
+  std::vector<Config> plan =
+      sa_->maximize(score, tune_options_.batch_size, rng_, measured_flats);
+
+  // ε-greedy exploration: the tail of each batch is random instead of
+  // model-chosen.
+  const auto num_random = static_cast<std::size_t>(
+      xgb_options_.epsilon_greedy *
+      static_cast<double>(tune_options_.batch_size));
+  const auto plan_quota =
+      static_cast<std::size_t>(tune_options_.batch_size) - num_random;
+  if (plan.size() > plan_quota) plan.resize(plan_quota);
+  for (std::size_t i = 0; i < num_random; ++i) {
+    Config c = space.sample(rng_);
+    if (!measured_flats.contains(c.flat)) plan.push_back(std::move(c));
+  }
+  if (plan.empty()) {
+    // Model found nothing new (tiny space): deterministic sweep for any
+    // still-unmeasured point so the session keeps making progress.
+    for (std::int64_t flat = 0; flat < space.size(); ++flat) {
+      if (!measurer_->is_cached(flat)) {
+        plan.push_back(space.at(flat));
+        break;
       }
     }
-
-    auto model = surrogate_factory_->create(options.seed * 7919 + ++round);
-    model->fit(data);
-
-    std::unordered_set<std::int64_t> measured_flats;
-    measured_flats.reserve(measured.size());
-    for (const auto& r : measured) measured_flats.insert(r.config.flat);
-
-    const auto score = [&](const Config& c) {
-      return model->predict(space.features(c));
-    };
-    std::vector<Config> plan =
-        sa.maximize(score, options.batch_size, rng, measured_flats);
-
-    // ε-greedy exploration: the tail of each batch is random instead of
-    // model-chosen.
-    const auto num_random = static_cast<std::size_t>(
-        xgb_options_.epsilon_greedy * static_cast<double>(options.batch_size));
-    const auto plan_quota =
-        static_cast<std::size_t>(options.batch_size) - num_random;
-    if (plan.size() > plan_quota) plan.resize(plan_quota);
-    for (std::size_t i = 0; i < num_random; ++i) {
-      Config c = space.sample(rng);
-      if (!measured_flats.contains(c.flat)) plan.push_back(std::move(c));
-    }
-    if (plan.empty()) {
-      // Model found nothing new (tiny space): fall back to random.
-      plan.push_back(space.sample(rng));
-    }
-
-    if (!state.measure_all(plan)) break;
-    AAL_LOG_DEBUG << name_ << " round " << round << ": best "
-                  << state.best_gflops() << " GFLOPS after "
-                  << state.history().size() << " configs";
   }
 
-  TuneResult result = state.finish(name_);
+  AAL_LOG_DEBUG << name_ << " round " << round_ << ": best " << best
+                << " GFLOPS after " << measured.size() << " configs";
+  (void)k;  // the session trims overshoot; a round never exceeds batch_size
+  return plan;
+}
+
+void XgbTuner::finalize(const Measurer& measurer) {
   if (xgb_options_.transfer != nullptr) {
-    xgb_options_.transfer->absorb(task, measurer.all_results());
+    xgb_options_.transfer->absorb(measurer.task(), measurer.all_results());
   }
-  return result;
 }
 
 }  // namespace aal

@@ -1,18 +1,20 @@
 // AutoTVM's model-based tuner (the paper's baseline).
 //
 // Reproduces the XGBTuner pipeline from "Learning to Optimize Tensor
-// Programs" as shipped in TVM v0.6:
-//   1. measure `num_initial` (64) seed configurations — uniform random by
-//      default; the initial sampler is pluggable, which is exactly where
-//      the paper's BTED slots in ("Embed BTED initialization algorithm
-//      into AutoTVM");
-//   2. each round, fit the cost model (GBDT standing in for XGBoost) on all
-//      measurements so far — optionally warm-started with transfer-learning
-//      rows from previously tuned tasks of the same kind;
-//   3. run parallel simulated annealing on the cost model to harvest the
-//      next `batch_size` most promising unmeasured configurations,
+// Programs" as shipped in TVM v0.6, restructured as an ask/tell policy:
+//   1. the first propose() returns `num_initial` (64) seed configurations —
+//      uniform random by default; the initial sampler is pluggable, which is
+//      exactly where the paper's BTED slots in ("Embed BTED initialization
+//      algorithm into AutoTVM");
+//   2. each later propose() fits the cost model (GBDT standing in for
+//      XGBoost) on all measurements so far — optionally warm-started with
+//      transfer-learning rows from previously tuned tasks of the same kind —
+//      and runs parallel simulated annealing on it to harvest the next
+//      `batch_size` most promising unmeasured configurations,
 //      ε-greedy-mixed with random exploration;
-//   4. measure the batch; repeat until budget or early stopping (400).
+//   3. the TuningSession measures each batch and enforces budget / early
+//      stopping (400); finalize() absorbs the task into the transfer
+//      context.
 #pragma once
 
 #include <memory>
@@ -41,7 +43,10 @@ class XgbTuner final : public Tuner {
                     XgbTunerOptions options = {});
 
   std::string name() const override { return name_; }
-  TuneResult tune(Measurer& measurer, const TuneOptions& options) override;
+
+  void begin(const Measurer& measurer, const TuneOptions& options) override;
+  std::vector<Config> propose(std::int64_t k) override;
+  void finalize(const Measurer& measurer) override;
 
   /// Overrides the displayed name (used when BTED is plugged in, so results
   /// report "bted" rather than "xgb").
@@ -52,6 +57,13 @@ class XgbTuner final : public Tuner {
   InitSampler init_sampler_;
   XgbTunerOptions xgb_options_;
   std::string name_ = "autotvm";
+
+  const Measurer* measurer_ = nullptr;
+  TuneOptions tune_options_;
+  Rng rng_;
+  std::unique_ptr<SaOptimizer> sa_;
+  std::uint64_t round_ = 0;
+  bool initialized_ = false;
 };
 
 }  // namespace aal

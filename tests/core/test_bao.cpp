@@ -4,7 +4,6 @@
 
 #include "core/advanced_tuner.hpp"
 #include "test_util.hpp"
-#include "tuner/random_tuner.hpp"
 
 namespace aal {
 namespace {
@@ -13,34 +12,44 @@ class BaoTest : public ::testing::Test {
  protected:
   GpuSpec spec_ = GpuSpec::gtx1080ti();
   TuningTask task_{testing::small_conv_workload(), spec_};
+
+  // Drives BaoSearch the way a session does: propose one config, measure
+  // it, tell the search. Stops at `budget` distinct measured configs or
+  // when the search is exhausted.
+  static void drive_to_budget(BaoSearch& bao, Measurer& measurer,
+                              const SurrogateFactory& factory, Rng& rng,
+                              std::int64_t budget) {
+    while (measurer.num_measured() < budget) {
+      const std::optional<Config> pick = bao.next(measurer, factory, rng);
+      if (!pick) break;
+      bao.observe(measurer.measure(*pick), measurer);
+    }
+  }
 };
 
 TEST_F(BaoTest, RequiresInitializedState) {
   SimulatedDevice device(spec_, 1);
   Measurer measurer(task_, device);
-  TuneOptions options;
-  TuneLoopState state(measurer, options);
   Rng rng(1);
   const GbdtSurrogateFactory factory;
-  EXPECT_THROW(run_bao(state, factory, BaoParams{}, rng), InvalidArgument);
+  BaoSearch bao{BaoParams{}};
+  EXPECT_THROW(bao.next(measurer, factory, rng), InvalidArgument);
 }
 
-TEST_F(BaoTest, RespectsBudget) {
+TEST_F(BaoTest, MeasuresOneFreshConfigPerIteration) {
   SimulatedDevice device(spec_, 2);
   Measurer measurer(task_, device);
-  TuneOptions options;
-  options.budget = 40;
-  options.early_stopping = 0;  // disabled
-  options.num_initial = 16;
-  TuneLoopState state(measurer, options);
   Rng rng(2);
-  state.measure_all(task_.space().sample_distinct(16, rng));
+  for (const Config& c : task_.space().sample_distinct(16, rng)) {
+    measurer.measure(c);
+  }
 
   const GbdtSurrogateFactory factory(
       AdvancedActiveLearningTuner::default_bootstrap_gbdt_params());
-  const int iters = run_bao(state, factory, BaoParams{}, rng);
-  EXPECT_EQ(static_cast<std::int64_t>(state.history().size()), 40);
-  EXPECT_EQ(iters, 24);  // one measurement per iteration
+  BaoSearch bao{BaoParams{}};
+  drive_to_budget(bao, measurer, factory, rng, 40);
+  EXPECT_EQ(measurer.num_measured(), 40);
+  EXPECT_EQ(bao.iterations(), 24);  // one fresh measurement per iteration
 }
 
 TEST_F(BaoTest, ImprovesOverInitialization) {
@@ -50,43 +59,38 @@ TEST_F(BaoTest, ImprovesOverInitialization) {
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     SimulatedDevice device(spec_, seed * 11);
     Measurer measurer(task_, device);
-    TuneOptions options;
-    options.budget = 150;
-    options.early_stopping = 0;
-    TuneLoopState state(measurer, options);
     Rng rng(seed);
-    state.measure_all(task_.space().sample_distinct(32, rng));
-    const double init_best = state.best_gflops();
+    for (const Config& c : task_.space().sample_distinct(32, rng)) {
+      measurer.measure(c);
+    }
+    const auto init_best = measurer.best();
+    const double init_gflops = init_best ? init_best->gflops : 0.0;
 
     const GbdtSurrogateFactory factory(
         AdvancedActiveLearningTuner::default_bootstrap_gbdt_params());
-    run_bao(state, factory, BaoParams{}, rng);
-    EXPECT_GE(state.best_gflops(), init_best);
-    init_total += init_best;
-    final_total += state.best_gflops();
+    BaoSearch bao{BaoParams{}};
+    drive_to_budget(bao, measurer, factory, rng, 150);
+    const auto final_best = measurer.best();
+    const double final_gflops = final_best ? final_best->gflops : 0.0;
+    EXPECT_GE(final_gflops, init_gflops);
+    init_total += init_gflops;
+    final_total += final_gflops;
   }
   EXPECT_GT(final_total, init_total);
 }
 
 TEST_F(BaoTest, ValidatesParams) {
-  SimulatedDevice device(spec_, 3);
-  Measurer measurer(task_, device);
-  TuneOptions options;
-  TuneLoopState state(measurer, options);
-  Rng rng(3);
-  state.measure_all(task_.space().sample_distinct(8, rng));
-  const GbdtSurrogateFactory factory;
   BaoParams bad;
   bad.tau = 1.0;
-  EXPECT_THROW(run_bao(state, factory, bad, rng), InvalidArgument);
+  EXPECT_THROW(BaoSearch{bad}, InvalidArgument);
   bad = BaoParams{};
   bad.radius = 0.0;
-  EXPECT_THROW(run_bao(state, factory, bad, rng), InvalidArgument);
+  EXPECT_THROW(BaoSearch{bad}, InvalidArgument);
 }
 
 TEST_F(BaoTest, TinySpaceTerminates) {
   // A dense workload with tiny dimensions has a space small enough to
-  // exhaust; BAO must stop instead of spinning.
+  // exhaust; next() must return nullopt instead of spinning.
   DenseWorkload d;
   d.in_features = 4;
   d.out_features = 4;
@@ -95,33 +99,32 @@ TEST_F(BaoTest, TinySpaceTerminates) {
 
   SimulatedDevice device(spec_, 4);
   Measurer measurer(task, device);
-  TuneOptions options;
-  options.budget = 10000;
-  options.early_stopping = 0;
-  TuneLoopState state(measurer, options);
   Rng rng(4);
-  state.measure_all(task.space().sample_distinct(8, rng));
+  for (const Config& c : task.space().sample_distinct(8, rng)) {
+    measurer.measure(c);
+  }
   const GbdtSurrogateFactory factory(
       AdvancedActiveLearningTuner::default_bootstrap_gbdt_params());
-  run_bao(state, factory, BaoParams{}, rng);
-  EXPECT_LE(static_cast<std::int64_t>(state.history().size()),
-            task.space().size());
+  BaoSearch bao{BaoParams{}};
+  drive_to_budget(bao, measurer, factory, rng, 10000);
+  EXPECT_LE(measurer.num_measured(), task.space().size());
 }
 
 TEST_F(BaoTest, RecentreOnBestVariantRuns) {
   SimulatedDevice device(spec_, 5);
   Measurer measurer(task_, device);
-  TuneOptions options;
-  options.budget = 60;
-  options.early_stopping = 0;
-  TuneLoopState state(measurer, options);
   Rng rng(5);
-  state.measure_all(task_.space().sample_distinct(16, rng));
+  for (const Config& c : task_.space().sample_distinct(16, rng)) {
+    measurer.measure(c);
+  }
   BaoParams params;
   params.recentre_on_best = true;
   const GbdtSurrogateFactory factory(
       AdvancedActiveLearningTuner::default_bootstrap_gbdt_params());
-  EXPECT_GT(run_bao(state, factory, params, rng), 0);
+  BaoSearch bao(params);
+  drive_to_budget(bao, measurer, factory, rng, 60);
+  EXPECT_GT(bao.iterations(), 0);
+  EXPECT_EQ(measurer.num_measured(), 60);
 }
 
 TEST_F(BaoTest, PaperDefaultsEncoded) {

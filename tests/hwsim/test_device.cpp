@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "support/stats.hpp"
 #include "test_util.hpp"
 
@@ -30,16 +33,51 @@ class DeviceTest : public ::testing::Test {
 
 TEST_F(DeviceTest, SamplesAreReproducibleBySeed) {
   SimulatedDevice a(spec_, 42), b(spec_, 42);
-  for (int i = 0; i < 20; ++i) {
-    EXPECT_DOUBLE_EQ(a.sample_time_us(profile_), b.sample_time_us(profile_));
+  for (int flat = 0; flat < 5; ++flat) {
+    for (int rep = 0; rep < 4; ++rep) {
+      EXPECT_DOUBLE_EQ(a.sample_time_us(profile_, flat, rep),
+                       b.sample_time_us(profile_, flat, rep));
+    }
   }
+}
+
+TEST_F(DeviceTest, SamplesAreOrderIndependent) {
+  // Counter-based noise: the draw for (flat, repeat) is the same whether it
+  // is the first call on a device or the millionth — this is the property
+  // that makes parallel measurement and resume deterministic.
+  SimulatedDevice fresh(spec_, 42), warm(spec_, 42);
+  for (int i = 0; i < 100; ++i) warm.sample_time_us(profile_, 9999 + i, 0);
+  EXPECT_DOUBLE_EQ(fresh.sample_time_us(profile_, 5, 2),
+                   warm.sample_time_us(profile_, 5, 2));
+
+  // Permuting the evaluation order leaves every sample unchanged.
+  SimulatedDevice c(spec_, 7), d(spec_, 7);
+  std::vector<double> forward, backward;
+  for (int flat = 0; flat < 16; ++flat) {
+    forward.push_back(c.sample_time_us(profile_, flat, 0));
+  }
+  for (int flat = 15; flat >= 0; --flat) {
+    backward.push_back(d.sample_time_us(profile_, flat, 0));
+  }
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(forward, backward);
+}
+
+TEST_F(DeviceTest, DistinctFlatsAndRepeatsDrawDistinctNoise) {
+  SimulatedDevice dev(spec_, 1);
+  EXPECT_NE(dev.sample_time_us(profile_, 1, 0),
+            dev.sample_time_us(profile_, 2, 0));
+  EXPECT_NE(dev.sample_time_us(profile_, 1, 0),
+            dev.sample_time_us(profile_, 1, 1));
 }
 
 TEST_F(DeviceTest, DifferentSeedsDiffer) {
   SimulatedDevice a(spec_, 1), b(spec_, 2);
   int equal = 0;
   for (int i = 0; i < 20; ++i) {
-    if (a.sample_time_us(profile_) == b.sample_time_us(profile_)) ++equal;
+    if (a.sample_time_us(profile_, i, 0) == b.sample_time_us(profile_, i, 0)) {
+      ++equal;
+    }
   }
   EXPECT_EQ(equal, 0);
 }
@@ -47,7 +85,7 @@ TEST_F(DeviceTest, DifferentSeedsDiffer) {
 TEST_F(DeviceTest, MeanNearBaseTime) {
   SimulatedDevice dev(spec_, 7);
   RunningStats stats;
-  for (int i = 0; i < 3000; ++i) stats.add(dev.sample_time_us(profile_));
+  for (int i = 0; i < 3000; ++i) stats.add(dev.sample_time_us(profile_, i, 0));
   // Log-normal noise is mean-compensated; the absolute jitter adds a small
   // positive bias (~0.12us) on top of base time.
   EXPECT_NEAR(stats.mean(), profile_.base_time_us,
@@ -58,13 +96,13 @@ TEST_F(DeviceTest, MeanNearBaseTime) {
 TEST_F(DeviceTest, SamplesAlwaysPositive) {
   SimulatedDevice dev(spec_, 11);
   for (int i = 0; i < 2000; ++i) {
-    EXPECT_GT(dev.sample_time_us(profile_), 0.0);
+    EXPECT_GT(dev.sample_time_us(profile_, i, 0), 0.0);
   }
 }
 
 TEST_F(DeviceTest, RunAveragesRepeats) {
   SimulatedDevice dev(spec_, 13);
-  const MeasureOutcome out = dev.run(profile_, workload_.flops(), 5);
+  const MeasureOutcome out = dev.run(profile_, workload_.flops(), 5, 0);
   ASSERT_TRUE(out.ok);
   EXPECT_EQ(out.times_us.size(), 5u);
   double sum = 0.0;
@@ -75,30 +113,43 @@ TEST_F(DeviceTest, RunAveragesRepeats) {
               1e-9);
 }
 
+TEST_F(DeviceTest, RunIsDeterministicPerConfig) {
+  SimulatedDevice dev(spec_, 13);
+  const MeasureOutcome a = dev.run(profile_, workload_.flops(), 3, 77);
+  const MeasureOutcome b = dev.run(profile_, workload_.flops(), 3, 77);
+  EXPECT_EQ(a.times_us, b.times_us);
+  EXPECT_DOUBLE_EQ(a.mean_time_us, b.mean_time_us);
+  // The first repeats of a longer run are the same draws (a prefix).
+  const MeasureOutcome c = dev.run(profile_, workload_.flops(), 5, 77);
+  ASSERT_EQ(c.times_us.size(), 5u);
+  EXPECT_DOUBLE_EQ(c.times_us[0], a.times_us[0]);
+  EXPECT_DOUBLE_EQ(c.times_us[2], a.times_us[2]);
+}
+
 TEST_F(DeviceTest, InvalidProfileFailsGracefully) {
   SimulatedDevice dev(spec_, 17);
   const MeasureOutcome out =
       dev.run(KernelProfile::invalid_config("smem overflow"),
-              workload_.flops(), 3);
+              workload_.flops(), 3, 0);
   EXPECT_FALSE(out.ok);
   EXPECT_EQ(out.error, "smem overflow");
   EXPECT_DOUBLE_EQ(out.gflops, 0.0);
-  EXPECT_THROW(dev.sample_time_us(KernelProfile::invalid_config("x")),
+  EXPECT_THROW(dev.sample_time_us(KernelProfile::invalid_config("x"), 0, 0),
                InvalidArgument);
 }
 
 TEST_F(DeviceTest, RunCountsTotalRuns) {
   SimulatedDevice dev(spec_, 19);
   EXPECT_EQ(dev.total_runs(), 0);
-  dev.run(profile_, workload_.flops(), 3);
+  dev.run(profile_, workload_.flops(), 3, 0);
   EXPECT_EQ(dev.total_runs(), 3);
-  dev.run(profile_, workload_.flops(), 2);
+  dev.run(profile_, workload_.flops(), 2, 1);
   EXPECT_EQ(dev.total_runs(), 5);
 }
 
 TEST_F(DeviceTest, RejectsZeroRepeats) {
   SimulatedDevice dev(spec_, 23);
-  EXPECT_THROW(dev.run(profile_, workload_.flops(), 0), InvalidArgument);
+  EXPECT_THROW(dev.run(profile_, workload_.flops(), 0, 0), InvalidArgument);
 }
 
 TEST_F(DeviceTest, NoisierProfileHasWiderSpread) {
@@ -108,8 +159,12 @@ TEST_F(DeviceTest, NoisierProfileHasWiderSpread) {
   wild.noise_sigma = 0.15;
   SimulatedDevice dev(spec_, 29);
   RunningStats calm_stats, wild_stats;
-  for (int i = 0; i < 2000; ++i) calm_stats.add(dev.sample_time_us(calm));
-  for (int i = 0; i < 2000; ++i) wild_stats.add(dev.sample_time_us(wild));
+  for (int i = 0; i < 2000; ++i) {
+    calm_stats.add(dev.sample_time_us(calm, i, 0));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    wild_stats.add(dev.sample_time_us(wild, i, 0));
+  }
   EXPECT_GT(wild_stats.variance(), calm_stats.variance());
 }
 

@@ -58,18 +58,22 @@ TEST_F(PaperProtocolTest, BaoMeasuresOneConfigPerIteration) {
   TuningTask task(workload_, spec_);
   SimulatedDevice device(spec_, 7);
   Measurer measurer(task, device);
-  TuneOptions options;
-  options.num_initial = 16;
-  options.budget = 16 + 37;  // 37 BAO iterations
-  options.early_stopping = 0;
-  TuneLoopState state(measurer, options);
   Rng rng(3);
-  state.measure_all(bted_sample(task, quick_bted(), rng));
+  for (const Config& c : bted_sample(task, quick_bted(), rng)) {
+    measurer.measure(c);
+  }
+  ASSERT_EQ(measurer.num_measured(), 16);
+
   const GbdtSurrogateFactory factory(
       AdvancedActiveLearningTuner::default_bootstrap_gbdt_params());
-  const int iterations = run_bao(state, factory, BaoParams{}, rng);
-  EXPECT_EQ(iterations, 37);
-  EXPECT_EQ(state.history().size(), 16u + 37u);
+  BaoSearch bao{BaoParams{}};
+  while (measurer.num_measured() < 16 + 37) {  // 37 BAO iterations
+    const std::optional<Config> pick = bao.next(measurer, factory, rng);
+    ASSERT_TRUE(pick.has_value());
+    bao.observe(measurer.measure(*pick), measurer);
+  }
+  EXPECT_EQ(bao.iterations(), 37);
+  EXPECT_EQ(measurer.num_measured(), 16 + 37);
 }
 
 TEST_F(PaperProtocolTest, EarlyStoppingBoundsTheOvershoot) {

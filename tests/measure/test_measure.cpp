@@ -107,6 +107,140 @@ TEST_F(MeasureTest, PreloadIgnoresDuplicates) {
   EXPECT_EQ(measurer_.preload(records), 0u);  // live result wins
 }
 
+TEST_F(MeasureTest, IsCachedAndFind) {
+  Rng rng(8);
+  const Config c = task_.space().sample(rng);
+  EXPECT_FALSE(measurer_.is_cached(c.flat));
+  EXPECT_EQ(measurer_.find(c.flat), nullptr);
+  const MeasureResult& r = measurer_.measure(c);
+  EXPECT_TRUE(measurer_.is_cached(c.flat));
+  const MeasureResult* found = measurer_.find(c.flat);
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->gflops, r.gflops);
+}
+
+TEST_F(MeasureTest, AllResultsPreservesCommitOrder) {
+  Rng rng(9);
+  const auto configs = task_.space().sample_distinct(12, rng);
+  measurer_.measure_batch(configs);
+  const auto results = measurer_.all_results();
+  ASSERT_EQ(results.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(results[i].config.flat, configs[i].flat);
+  }
+}
+
+TEST_F(MeasureTest, BatchHandlesDuplicateInputs) {
+  Rng rng(10);
+  const Config c = task_.space().sample(rng);
+  const std::vector<Config> batch{c, c, c};
+  const auto results = measurer_.measure_batch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[0].gflops, results[1].gflops);
+  EXPECT_DOUBLE_EQ(results[0].gflops, results[2].gflops);
+  EXPECT_EQ(measurer_.num_measured(), 1);
+}
+
+TEST_F(MeasureTest, ParallelBackendMatchesSerialBitwise) {
+  Rng rng(11);
+  const auto configs = task_.space().sample_distinct(48, rng);
+
+  SimulatedDevice serial_device(spec_, 99);
+  Measurer serial_measurer(task_, serial_device, 3);
+  SerialBackend serial;
+  const auto serial_results = serial_measurer.measure_batch(configs, serial);
+
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    SimulatedDevice parallel_device(spec_, 99);
+    Measurer parallel_measurer(task_, parallel_device, 3);
+    ParallelBackend parallel(threads);
+    const auto parallel_results =
+        parallel_measurer.measure_batch(configs, parallel);
+
+    ASSERT_EQ(parallel_results.size(), serial_results.size());
+    for (std::size_t i = 0; i < serial_results.size(); ++i) {
+      EXPECT_EQ(parallel_results[i].config.flat, serial_results[i].config.flat);
+      EXPECT_EQ(parallel_results[i].ok, serial_results[i].ok);
+      EXPECT_DOUBLE_EQ(parallel_results[i].gflops, serial_results[i].gflops);
+      EXPECT_DOUBLE_EQ(parallel_results[i].mean_time_us,
+                       serial_results[i].mean_time_us);
+    }
+    // Commit order (and therefore all_results / best tracking) must match
+    // the serial path exactly.
+    const auto serial_all = serial_measurer.all_results();
+    const auto parallel_all = parallel_measurer.all_results();
+    ASSERT_EQ(parallel_all.size(), serial_all.size());
+    for (std::size_t i = 0; i < serial_all.size(); ++i) {
+      EXPECT_EQ(parallel_all[i].config.flat, serial_all[i].config.flat);
+    }
+  }
+}
+
+TEST_F(MeasureTest, ResumeThenMeasureEqualsFreshMeasure) {
+  // Regression: a measurer resumed from persisted records and then driven
+  // over new configs must produce exactly the values a fresh measurer
+  // produces — prior history cannot perturb later measurements (the device
+  // noise is a pure function of (seed, flat, repeat)).
+  Rng rng(12);
+  const auto first_half = task_.space().sample_distinct(10, rng);
+  const auto second_half = task_.space().sample_distinct(10, rng);
+
+  // Fresh run over both halves.
+  SimulatedDevice fresh_device(spec_, 321);
+  Measurer fresh(task_, fresh_device, 3);
+  fresh.measure_batch(first_half);
+  const auto fresh_second = fresh.measure_batch(second_half);
+
+  // Persist the first half, resume a new measurer from it, measure the rest.
+  std::vector<TuningRecord> records;
+  for (const auto& r : fresh.all_results()) {
+    if (static_cast<std::size_t>(records.size()) >= first_half.size()) break;
+    records.push_back(TuningRecord{task_.key(), r.config.flat, r.ok, r.gflops,
+                                   r.mean_time_us});
+  }
+  SimulatedDevice resumed_device(spec_, 321);
+  Measurer resumed(task_, resumed_device, 3);
+  EXPECT_EQ(resumed.preload(records), first_half.size());
+  const auto resumed_second = resumed.measure_batch(second_half);
+
+  ASSERT_EQ(resumed_second.size(), fresh_second.size());
+  for (std::size_t i = 0; i < fresh_second.size(); ++i) {
+    EXPECT_EQ(resumed_second[i].config.flat, fresh_second[i].config.flat);
+    EXPECT_DOUBLE_EQ(resumed_second[i].gflops, fresh_second[i].gflops);
+    EXPECT_DOUBLE_EQ(resumed_second[i].mean_time_us,
+                     fresh_second[i].mean_time_us);
+  }
+  // Revisits of preloaded configs return the historical values.
+  for (std::size_t i = 0; i < first_half.size(); ++i) {
+    const MeasureResult& replay = resumed.measure(first_half[i]);
+    EXPECT_DOUBLE_EQ(replay.gflops, records[i].gflops);
+  }
+  EXPECT_EQ(resumed.num_measured(), fresh.num_measured());
+}
+
+TEST(BackendTest, NamesAndThreadCounts) {
+  SerialBackend serial;
+  EXPECT_STREQ(serial.name(), "serial");
+  ParallelBackend four(4);
+  EXPECT_EQ(four.threads(), 4u);
+  EXPECT_STREQ(four.name(), "parallel");
+  ParallelBackend shared(0);  // borrows the process-wide pool
+  EXPECT_GE(shared.threads(), 1u);
+}
+
+TEST(BackendTest, DispatchCoversAllIndices) {
+  for (const bool parallel : {false, true}) {
+    SerialBackend serial;
+    ParallelBackend pooled(4);
+    MeasureBackend& backend =
+        parallel ? static_cast<MeasureBackend&>(pooled) : serial;
+    std::vector<int> hits(100, 0);
+    backend.dispatch(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+    for (const int h : hits) EXPECT_EQ(h, 1);
+    backend.dispatch(0, [&](std::size_t) { ADD_FAILURE() << "n=0 ran fn"; });
+  }
+}
+
 TEST(TuningTaskTest, KeyAndSpace) {
   const GpuSpec spec = GpuSpec::gtx1080ti();
   const TuningTask task(testing::small_conv_workload(), spec);

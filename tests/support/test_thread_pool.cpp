@@ -61,6 +61,62 @@ TEST(ThreadPool, SharedPoolIsUsable) {
   EXPECT_EQ(acc.load(), 64);
 }
 
+TEST(ThreadPool, SharedPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+}
+
+TEST(ThreadPool, SharedPoolSurvivesRepeatedUse) {
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> acc{0};
+    ThreadPool::shared().parallel_for(32, [&](std::size_t) { ++acc; });
+    EXPECT_EQ(acc.load(), 32);
+  }
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(
+          16, [&](std::size_t i) {
+            if (i == 3) throw std::runtime_error("first round fails");
+          }),
+      std::runtime_error);
+  // The pool must drain the failed round completely and accept new work.
+  std::atomic<int> acc{0};
+  pool.parallel_for(64, [&](std::size_t) { ++acc; });
+  EXPECT_EQ(acc.load(), 64);
+  auto fut = pool.submit([] { return 7; });
+  EXPECT_EQ(fut.get(), 7);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, SubmitVoidTask) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  auto fut = pool.submit([&] { ran = true; });
+  fut.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsEverything) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
 TEST(ThreadPool, ManyTasksComplete) {
   ThreadPool pool(4);
   std::vector<std::future<int>> futures;

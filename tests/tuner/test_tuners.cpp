@@ -8,10 +8,24 @@
 #include "tuner/ga_tuner.hpp"
 #include "tuner/grid_tuner.hpp"
 #include "tuner/random_tuner.hpp"
+#include "tuner/tuning_session.hpp"
 #include "tuner/xgb_tuner.hpp"
 
 namespace aal {
 namespace {
+
+/// Test policy that proposes the same fixed plan every round, including
+/// duplicates — the session must dedupe and stay within budget.
+class FixedProposalTuner final : public Tuner {
+ public:
+  explicit FixedProposalTuner(std::vector<Config> plan)
+      : plan_(std::move(plan)) {}
+  std::string name() const override { return "fixed"; }
+  std::vector<Config> propose(std::int64_t) override { return plan_; }
+
+ private:
+  std::vector<Config> plan_;
+};
 
 class TunerTest : public ::testing::Test {
  protected:
@@ -28,58 +42,87 @@ class TunerTest : public ::testing::Test {
   }
 };
 
-TEST_F(TunerTest, LoopStateEnforcesBudget) {
+TEST_F(TunerTest, SessionEnforcesBudget) {
   SimulatedDevice device(spec_, 1);
   Measurer measurer(task_, device);
   TuneOptions options;
   options.budget = 5;
   options.early_stopping = 0;
-  TuneLoopState state(measurer, options);
-  Rng rng(1);
-  int accepted = 0;
-  for (int i = 0; i < 20; ++i) {
-    if (!state.measure(task_.space().sample(rng))) break;
-    ++accepted;
-  }
-  EXPECT_EQ(state.history().size(), 5u);
-  EXPECT_TRUE(state.should_stop());
+  RandomTuner tuner;
+  TuningSession session(tuner, measurer, options);
+  const TuneResult r = session.run();
+  // Even though the policy proposes batch_size configs per round, the
+  // session trims the plan so exactly `budget` fresh configs are measured.
+  EXPECT_EQ(r.history.size(), 5u);
+  EXPECT_EQ(r.num_measured, 5);
+  EXPECT_TRUE(session.done());
 }
 
-TEST_F(TunerTest, LoopStateEarlyStopping) {
+TEST_F(TunerTest, SessionEarlyStopping) {
   SimulatedDevice device(spec_, 2);
   Measurer measurer(task_, device);
   TuneOptions options;
   options.budget = 100000;
   options.early_stopping = 30;
-  TuneLoopState state(measurer, options);
-  Rng rng(2);
-  while (!state.should_stop()) {
-    state.measure(task_.space().sample(rng));
-  }
+  RandomTuner tuner;
+  TuningSession session(tuner, measurer, options);
+  const TuneResult r = session.run();
   // The loop must have stopped well before the budget.
-  EXPECT_LT(state.history().size(), 10000u);
+  EXPECT_LT(r.history.size(), 10000u);
 }
 
-TEST_F(TunerTest, LoopStateMemoizedRevisitIsFree) {
+TEST_F(TunerTest, SessionMemoizedRevisitIsFree) {
   SimulatedDevice device(spec_, 3);
   Measurer measurer(task_, device);
   TuneOptions options;
   options.budget = 10;
-  TuneLoopState state(measurer, options);
   Rng rng(3);
   const Config c = task_.space().sample(rng);
-  state.measure(c);
-  state.measure(c);
-  state.measure(c);
-  EXPECT_EQ(state.history().size(), 1u);
+  FixedProposalTuner tuner({c, c, c});
+  TuningSession session(tuner, measurer, options);
+  const TuneResult r = session.run();
+  // The duplicate proposals collapse to one measurement; re-proposing an
+  // already-measured config never consumes budget, so the session ends by
+  // exhausting its barren-round allowance with exactly one history entry.
+  EXPECT_EQ(r.history.size(), 1u);
+  EXPECT_EQ(measurer.num_measured(), 1);
 }
 
-TEST_F(TunerTest, LoopStateValidatesOptions) {
+TEST_F(TunerTest, SessionValidatesOptions) {
   SimulatedDevice device(spec_, 4);
   Measurer measurer(task_, device);
+  RandomTuner tuner;
   TuneOptions bad;
   bad.budget = 0;
-  EXPECT_THROW(TuneLoopState(measurer, bad), InvalidArgument);
+  EXPECT_THROW(TuningSession(tuner, measurer, bad), InvalidArgument);
+  bad = TuneOptions{};
+  bad.batch_size = 0;
+  EXPECT_THROW(TuningSession(tuner, measurer, bad), InvalidArgument);
+}
+
+TEST_F(TunerTest, SessionStepwiseMatchesRun) {
+  TuneOptions options = quick_options();
+  options.budget = 48;
+
+  SimulatedDevice device_a(spec_, 6);
+  Measurer measurer_a(task_, device_a);
+  RandomTuner tuner_a;
+  TuningSession run_session(tuner_a, measurer_a, options);
+  const TuneResult via_run = run_session.run();
+
+  SimulatedDevice device_b(spec_, 6);
+  Measurer measurer_b(task_, device_b);
+  RandomTuner tuner_b;
+  TuningSession step_session(tuner_b, measurer_b, options);
+  while (step_session.step()) {
+  }
+  const TuneResult via_step = step_session.finish();
+
+  ASSERT_EQ(via_run.history.size(), via_step.history.size());
+  for (std::size_t i = 0; i < via_run.history.size(); ++i) {
+    EXPECT_EQ(via_run.history[i].flat, via_step.history[i].flat);
+    EXPECT_DOUBLE_EQ(via_run.history[i].gflops, via_step.history[i].gflops);
+  }
 }
 
 TEST_F(TunerTest, RandomTunerRunsToBudget) {

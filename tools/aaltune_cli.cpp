@@ -88,6 +88,10 @@ int cmd_tune(const ArgParser& args) {
   options.tune.early_stopping = args.get_int("early-stop");
   options.tune.seed = static_cast<std::uint64_t>(args.get_int("seed"));
   options.device_seed = options.tune.seed * 1009 + 7;
+  options.jobs = static_cast<int>(args.get_int("jobs"));
+  if (options.jobs < 1) {
+    throw InvalidArgument("--jobs must be >= 1");
+  }
 
   RecordDatabase resume_db;
   const std::string resume = args.get("resume");
@@ -182,6 +186,8 @@ int main(int argc, char** argv) {
       args.add_int_flag("seed", "random seed", 1);
       args.add_flag("records", "output record log path", "");
       args.add_flag("resume", "input record log to resume from", "");
+      args.add_int_flag("jobs", "concurrent tuning lanes (results are "
+                        "identical for any value)", 1);
     } else if (command == "deploy") {
       args.add_flag("records", "input record log path", "");
       args.add_int_flag("runs", "inference runs", 600);
