@@ -8,6 +8,7 @@
 //   AAL_BUDGET  measurement budget per task              (default 1024; paper ~1024)
 //   AAL_RUNS    inference runs per deployed model        (default 600; paper 600)
 //   AAL_JOBS    concurrent tuning lanes / grid cells     (default 1)
+//   AAL_METRICS set non-zero to print a metrics summary  (default off)
 //
 // Results are bitwise-identical for every AAL_JOBS value: seeds derive from
 // (task, arm, trial) positions and measurement noise is counter-based.
@@ -21,6 +22,7 @@
 
 #include "measure/backend.hpp"
 #include "measure/measure.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/model_tuner.hpp"
 #include "support/logging.hpp"
 #include "support/stats.hpp"
@@ -40,6 +42,21 @@ inline int latency_runs() { return static_cast<int>(env_int("AAL_RUNS", 600)); }
 inline int jobs() {
   const auto j = env_int("AAL_JOBS", 1);
   return j < 1 ? 1 : static_cast<int>(j);
+}
+inline bool metrics_enabled() { return env_int("AAL_METRICS", 0) != 0; }
+
+/// Process-wide registry the harnesses report into when AAL_METRICS is set
+/// (null otherwise, which keeps the hot paths metric-free).
+inline MetricsRegistry* shared_metrics() {
+  static MetricsRegistry registry;
+  return metrics_enabled() ? &registry : nullptr;
+}
+
+/// Prints the shared registry (no-op when AAL_METRICS is off).
+inline void print_metrics_summary() {
+  if (MetricsRegistry* m = shared_metrics()) {
+    std::printf("\nmetrics (AAL_METRICS=1):\n%s", m->to_text().c_str());
+  }
 }
 
 /// The paper's three experiment arms, in Table I column order.
@@ -82,6 +99,7 @@ inline TaskOutcome run_task(const Workload& workload, const GpuSpec& spec,
     auto tuner = factory(nullptr);
     TuneOptions options = base_options;
     options.seed = salt * 131 + static_cast<std::uint64_t>(trial) + 1;
+    options.obs.metrics = shared_metrics();
     SerialBackend serial;
     TuningSession session(*tuner, measurer, options,
                           backend != nullptr ? *backend : static_cast<MeasureBackend&>(serial));

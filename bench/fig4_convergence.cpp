@@ -33,6 +33,7 @@ std::vector<double> mean_curve(const Workload& workload, const GpuSpec& spec,
     options.budget = budget_points;
     options.early_stopping = 0;  // Fig. 4 plots the full budget
     options.seed = salt * 13 + static_cast<std::uint64_t>(trial) + 1;
+    options.obs.metrics = shared_metrics();
     const auto curve = tuner->tune(measurer, options).best_curve();
     for (std::size_t i = 0; i < acc.size(); ++i) {
       acc[i] += i < curve.size() ? curve[i] : curve.back();
@@ -86,5 +87,6 @@ int main() {
               "higher than AutoTVM;\nlayer 1 plateaus in the low thousands "
               "of GFLOPS, layer 2 (bandwidth-bound\ndepthwise) around an "
               "order of magnitude lower.\n");
+  print_metrics_summary();
   return 0;
 }

@@ -33,6 +33,7 @@ ArmResult evaluate_arm(const Graph& model, const GpuSpec& spec,
     options.tune.seed = salt * 100 + static_cast<std::uint64_t>(trial) + 1;
     options.device_seed = salt * 991 + static_cast<std::uint64_t>(trial);
     options.jobs = jobs();  // lane-parallel tuning; results jobs-invariant
+    options.metrics = shared_metrics();
     const ModelTuneReport report =
         tune_model(model, spec, factory, options);
     const LatencyReport latency =
@@ -108,5 +109,6 @@ int main() {
               "model (paper: up to\n-28.1%% on MobileNet-v1, -13.8%% average) "
               "and reduces variance strongly (paper:\nup to -92.7%%, -67.7%% "
               "average); BTED alone sits between AutoTVM and BTED+BAO.\n");
+  print_metrics_summary();
   return 0;
 }

@@ -15,10 +15,12 @@ AdvancedActiveLearningTuner::AdvancedActiveLearningTuner(
 
 void AdvancedActiveLearningTuner::begin(const Measurer& measurer,
                                         const TuneOptions& options) {
+  Tuner::begin(measurer, options);
   measurer_ = &measurer;
   tune_options_ = options;
   rng_.reseed(options.seed);
   bao_search_ = std::make_unique<BaoSearch>(bao_);
+  bao_search_->set_obs(obs_);
   initialized_ = false;
   bao_active_ = false;
 }
@@ -33,6 +35,8 @@ std::vector<Config> AdvancedActiveLearningTuner::propose(std::int64_t k) {
     BtedParams bted = bted_;
     bted.num_select = tune_options_.num_initial;
     std::vector<Config> initial = bted_sample(measurer_->task(), bted, rng_);
+    obs_.count("bted.initial_proposed",
+               static_cast<std::int64_t>(initial.size()));
     AAL_LOG_DEBUG << "bted+bao: proposing " << initial.size()
                   << " initialization configs";
     return initial;

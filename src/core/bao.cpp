@@ -48,6 +48,7 @@ std::optional<Config> BaoSearch::next(const Measurer& measurer,
   }
 
   ++iterations_;
+  obs_.count("bao.iterations");
 
   // --- Adaptive search scope (lines 3-9) -----------------------------
   double radius = params_.radius;
@@ -62,6 +63,16 @@ std::optional<Config> BaoSearch::next(const Measurer& measurer,
                               params_.radius *
                                   std::pow(params_.tau, stagnant_steps_))
                    : params_.tau * params_.radius;
+      obs_.count("bao.scope_changes");
+      obs_.emit(TraceEventType::kScopeChange,
+                {{"iter", TraceValue(iterations_)},
+                 {"cause", TraceValue("stagnation")},
+                 {"r_t", TraceValue(rt)},
+                 {"eta", TraceValue(params_.eta)},
+                 {"base_radius", TraceValue(params_.radius)},
+                 {"radius", TraceValue(radius)},
+                 {"tau", TraceValue(params_.tau)},
+                 {"stagnant_steps", TraceValue(stagnant_steps_)}});
     } else {
       stagnant_steps_ = 0;
     }
@@ -78,6 +89,15 @@ std::optional<Config> BaoSearch::next(const Measurer& measurer,
   std::vector<Config> candidates;
   double r = radius;
   for (int attempt = 0; attempt < 8 && candidates.empty(); ++attempt) {
+    if (attempt > 0) {
+      obs_.count("bao.scope_changes");
+      obs_.emit(TraceEventType::kScopeChange,
+                {{"iter", TraceValue(iterations_)},
+                 {"cause", TraceValue("exhausted")},
+                 {"radius", TraceValue(r)},
+                 {"tau", TraceValue(params_.tau)},
+                 {"attempt", TraceValue(attempt)}});
+    }
     std::vector<Config> ball =
         params_.metric == BaoMetric::kFeature
             ? space.feature_neighborhood(*center_, r, params_.neighborhood_cap,
@@ -100,6 +120,12 @@ std::optional<Config> BaoSearch::next(const Measurer& measurer,
   }
   const BootstrapEnsemble ensemble(data, surrogate_factory, params_.gamma,
                                    rng);
+  obs_.count("bao.surrogate_fits");
+  obs_.emit(TraceEventType::kSurrogateFit,
+            {{"model", TraceValue("bootstrap")},
+             {"gamma", TraceValue(params_.gamma)},
+             {"rows", TraceValue(data.num_rows())},
+             {"candidates", TraceValue(candidates.size())}});
   const std::size_t pick = bootstrap_select(ensemble, space, candidates);
   AAL_LOG_DEBUG << "BAO iter " << iterations_ << ": radius " << radius << ", "
                 << candidates.size() << " candidates";

@@ -70,6 +70,11 @@ class BaoSearch {
 
   const BaoParams& params() const { return params_; }
 
+  /// Attaches an observability handle: next() then emits scope_change
+  /// events whenever the radius adapts (R -> tau*R, with r_t and eta) and a
+  /// surrogate_fit event per bootstrap ensemble, plus bao.* counters.
+  void set_obs(Obs obs) { obs_ = std::move(obs); }
+
   /// Algorithm 4, one iteration: adapts the radius from the y* series,
   /// materializes the neighborhood C_t of the current center (widening
   /// geometrically while it contains no unmeasured point), fits the
@@ -88,6 +93,7 @@ class BaoSearch {
 
  private:
   BaoParams params_;
+  Obs obs_;
   std::optional<Config> center_;
   std::vector<double> y_series_;
   int stagnant_steps_ = 0;

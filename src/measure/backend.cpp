@@ -18,6 +18,10 @@ ParallelBackend::ParallelBackend(std::size_t threads) {
 
 std::size_t ParallelBackend::threads() const { return pool_->size(); }
 
+std::size_t ParallelBackend::queue_high_water() const {
+  return pool_->queue_high_water();
+}
+
 void ParallelBackend::dispatch(std::size_t n,
                                const std::function<void(std::size_t)>& fn) {
   pool_->parallel_for(n, fn);

@@ -27,6 +27,10 @@ class MeasureBackend {
   /// be safe to call concurrently; implementations choose the schedule.
   virtual void dispatch(std::size_t n,
                         const std::function<void(std::size_t)>& fn) = 0;
+
+  /// High-water mark of the underlying work queue, if any (feeds the
+  /// `pool.queue_high_water` gauge). 0 for backends without a queue.
+  virtual std::size_t queue_high_water() const { return 0; }
 };
 
 /// Runs every item in order on the calling thread.
@@ -47,6 +51,7 @@ class ParallelBackend final : public MeasureBackend {
   std::size_t threads() const;
   void dispatch(std::size_t n,
                 const std::function<void(std::size_t)>& fn) override;
+  std::size_t queue_high_water() const override;
 
  private:
   std::unique_ptr<ThreadPool> owned_;  // null when borrowing shared()

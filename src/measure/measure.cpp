@@ -42,7 +42,10 @@ const MeasureResult& Measurer::measure(const Config& config) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = cache_.find(config.flat);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+      obs_.count("measure.cache_hits");
+      return it->second;
+    }
   }
   // Compute outside the lock: the device draw is a pure function of
   // (seed, flat, repeat), so a concurrent racer would compute the identical
@@ -50,7 +53,12 @@ const MeasureResult& Measurer::measure(const Config& config) {
   MeasureResult result = compute(config);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = cache_.find(config.flat);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    obs_.count("measure.cache_hits");
+    return it->second;
+  }
+  obs_.count("measure.configs_measured");
+  if (!result.ok) obs_.count("measure.failures");
   return commit_locked(std::move(result));
 }
 
@@ -82,15 +90,19 @@ std::size_t Measurer::preload(const std::vector<TuningRecord>& records) {
     commit_locked(std::move(result));
     ++adopted;
   }
+  // Preloaded configs are budget-free: they count their own metric, not
+  // measure.configs_measured, and later revisits count as cache hits.
+  obs_.count("measure.preloaded", static_cast<std::int64_t>(adopted));
   return adopted;
 }
 
 std::vector<MeasureResult> Measurer::measure_batch(
     std::span<const Config> configs) {
-  std::vector<MeasureResult> out;
-  out.reserve(configs.size());
-  for (const Config& c : configs) out.push_back(measure(c));
-  return out;
+  // Route through a local SerialBackend so the serial path emits the same
+  // batch events and metrics as the parallel one — which is also what lets
+  // the golden-trace test compare them byte for byte.
+  SerialBackend backend;
+  return measure_batch(configs, backend);
 }
 
 std::vector<MeasureResult> Measurer::measure_batch(
@@ -110,21 +122,44 @@ std::vector<MeasureResult> Measurer::measure_batch(
     }
   }
 
+  const std::int64_t cached =
+      static_cast<std::int64_t>(configs.size() - fresh_index.size());
+  obs_.count("measure.batches");
+  obs_.count("measure.cache_hits", cached);
+  obs_.emit(TraceEventType::kMeasureBatchBegin,
+            {{"batch", TraceValue(configs.size())},
+             {"fresh", TraceValue(fresh_index.size())},
+             {"cached", TraceValue(cached)}},
+            {{"backend", TraceValue(backend.name())}});
+
   // Phase 2: compute fresh results, possibly concurrently. compute() is
   // pure, so the schedule cannot affect any value.
   std::vector<MeasureResult> fresh(fresh_index.size());
   backend.dispatch(fresh_index.size(), [&](std::size_t j) {
     fresh[j] = compute(configs[fresh_index[j]]);
   });
+  obs_.gauge_max("pool.queue_high_water",
+                 static_cast<std::int64_t>(backend.queue_high_water()));
 
   // Phase 3: serial commit in input order.
+  std::int64_t committed = 0;
+  std::int64_t failures = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (MeasureResult& r : fresh) {
       if (cache_.contains(r.config.flat)) continue;  // raced external caller
+      if (!r.ok) ++failures;
       commit_locked(std::move(r));
+      ++committed;
     }
   }
+  obs_.count("measure.configs_measured", committed);
+  obs_.count("measure.failures", failures);
+  obs_.emit(TraceEventType::kMeasureBatchEnd,
+            {{"batch", TraceValue(configs.size())},
+             {"measured", TraceValue(committed)},
+             {"cache_hits", TraceValue(cached)},
+             {"failures", TraceValue(failures)}});
 
   // Phase 4: aligned output from the cache.
   std::vector<MeasureResult> out;

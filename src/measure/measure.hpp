@@ -27,6 +27,7 @@
 #include "measure/backend.hpp"
 #include "measure/record.hpp"
 #include "measure/tuning_task.hpp"
+#include "obs/obs.hpp"
 
 namespace aal {
 
@@ -44,6 +45,14 @@ class Measurer {
   Measurer(const TuningTask& task, SimulatedDevice& device, int repeats = 3);
 
   const TuningTask& task() const { return task_; }
+
+  /// Attaches an observability handle. Batch measurement then emits
+  /// measure_batch_begin/end trace events and maintains the measure.*
+  /// counters (configs_measured, cache_hits, failures, batches, preloaded).
+  /// Preloaded records count `measure.preloaded`, never
+  /// `measure.configs_measured` — resuming a session is free.
+  void set_obs(Obs obs) { obs_ = std::move(obs); }
+  const Obs& obs() const { return obs_; }
 
   /// Measures one configuration (memoized by flat index). The returned
   /// reference stays valid for the measurer's lifetime (node-based cache).
@@ -94,6 +103,7 @@ class Measurer {
   const TuningTask& task_;
   SimulatedDevice& device_;
   int repeats_;
+  Obs obs_;
   mutable std::mutex mutex_;
   std::unordered_map<std::int64_t, MeasureResult> cache_;
   std::vector<std::int64_t> order_;  // flats in commit order

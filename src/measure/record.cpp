@@ -20,10 +20,12 @@ TuningRecord TuningRecord::from_line(const std::string& line) {
   AAL_CHECK(fields.size() == 5, "malformed record line: " << line);
   TuningRecord r;
   r.task_key = fields[0];
-  r.config_flat = std::stoll(fields[1]);
-  r.ok = fields[2] == "1";
-  r.gflops = std::stod(fields[3]);
-  r.mean_time_us = std::stod(fields[4]);
+  // Strict field parses: "12abc" or ok="2" means a corrupt or foreign log,
+  // better rejected at load time than adopted as silently-wrong history.
+  r.config_flat = parse_int64_strict(fields[1]);
+  r.ok = parse_bool01_strict(fields[2]);
+  r.gflops = parse_double_strict(fields[3]);
+  r.mean_time_us = parse_double_strict(fields[4]);
   return r;
 }
 

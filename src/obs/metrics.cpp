@@ -1,0 +1,123 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/string_util.hpp"
+
+namespace aal {
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (data_.count == 0) {
+    data_.min = v;
+    data_.max = v;
+  } else {
+    data_.min = std::min(data_.min, v);
+    data_.max = std::max(data_.max, v);
+  }
+  ++data_.count;
+  data_.sum += v;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::int64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TextTable table;
+  table.set_header({"metric", "kind", "value"});
+  for (const auto& [name, c] : counters_) {
+    table.add_row({name, "counter", std::to_string(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    table.add_row({name, "gauge", std::to_string(g->value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    std::ostringstream os;
+    os << "count=" << s.count << " mean=" << format_double(s.mean(), 4)
+       << " min=" << format_double(s.min, 4)
+       << " max=" << format_double(s.max, 4);
+    table.add_row({name, "histogram", os.str()});
+  }
+  return table.to_string();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    const Histogram::Snapshot s = h->snapshot();
+    out += '"' + json_escape(name) + "\":{\"count\":" +
+           std::to_string(s.count) +
+           ",\"sum\":" + format_double_roundtrip(s.sum) +
+           ",\"min\":" + format_double_roundtrip(s.min) +
+           ",\"max\":" + format_double_roundtrip(s.max) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace aal

@@ -1,0 +1,104 @@
+// Named counters, gauges and histograms for the tuning pipeline.
+//
+// A MetricsRegistry aggregates what a run *did* — configurations measured,
+// Measurer cache hits, surrogate fits, BAO scope changes, thread-pool queue
+// depth — without the per-event detail of a trace. Counters and gauges are
+// lock-free atomics so concurrent tuning lanes can share one registry;
+// metric handles returned by the registry stay valid for its lifetime.
+//
+// Logical-event metrics (counts of proposals, fits, cache hits) are as
+// deterministic as the traces; execution metrics (queue high-water) reflect
+// the actual schedule and may vary run to run — dumps label both the same
+// way and leave the interpretation to the reader.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace aal {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write or high-water integer metric.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `v` if it is larger (high-water semantics).
+  void max_of(std::int64_t v) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Streaming summary of a double-valued distribution (count/sum/min/max).
+class Histogram {
+ public:
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when empty
+    double max = 0.0;  // 0 when empty
+
+    double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  };
+
+  void record(double v);
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot data_;
+};
+
+/// Name -> metric registry with deterministic (name-sorted) dumps.
+class MetricsRegistry {
+ public:
+  /// Finds or creates a metric. Thread-safe; the reference stays valid for
+  /// the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Value of a counter/gauge, or 0 when it was never touched (test and
+  /// report convenience that avoids creating the metric).
+  std::int64_t counter_value(std::string_view name) const;
+  std::int64_t gauge_value(std::string_view name) const;
+
+  /// Fixed-width text table of every metric, sorted by name.
+  std::string to_text() const;
+
+  /// Single-line JSON dump ({"counters":{...},"gauges":{...},
+  /// "histograms":{...}}), name-sorted so output is deterministic.
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace aal

@@ -1,0 +1,21 @@
+#include "obs/obs.hpp"
+
+namespace aal {
+
+void Obs::emit(TraceEventType type, std::vector<TraceField> fields,
+               std::vector<TraceField> exec_fields) const {
+  if (trace == nullptr) return;
+  TraceEvent event;
+  event.type = type;
+  event.fields.reserve(fields.size() + exec_fields.size() + 1);
+  if (!lane.empty()) {
+    event.fields.push_back(TraceField{"lane", TraceValue(lane)});
+  }
+  for (TraceField& f : fields) event.fields.push_back(std::move(f));
+  if (trace->capture_execution()) {
+    for (TraceField& f : exec_fields) event.fields.push_back(std::move(f));
+  }
+  trace->emit(std::move(event));
+}
+
+}  // namespace aal

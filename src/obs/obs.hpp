@@ -1,0 +1,64 @@
+// Obs: the lightweight observability handle threaded through the pipeline.
+//
+// An Obs bundles an optional TraceSink, an optional MetricsRegistry and a
+// lane label, and is passed by value (three words) into sessions, tuners,
+// measurers and backends. Every helper is a no-op when the corresponding
+// receiver is absent, so instrumented code never branches on "is tracing
+// on" — it just calls emit()/count() unconditionally.
+//
+// The lane label identifies which model-tuning lane an event came from
+// (the task's workload key); single-task sessions leave it empty and the
+// field is omitted from emitted events.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace aal {
+
+struct Obs {
+  TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  std::string lane;
+
+  bool tracing() const { return trace != nullptr; }
+  bool active() const { return trace != nullptr || metrics != nullptr; }
+
+  /// Emits a trace event (no-op without a sink). A non-empty lane is
+  /// prepended as the first field; `exec_fields` carry execution-schedule
+  /// metadata (backend name, thread counts) and are appended only when the
+  /// sink opted in via set_capture_execution(true) — see trace.hpp.
+  void emit(TraceEventType type, std::vector<TraceField> fields,
+            std::vector<TraceField> exec_fields = {}) const;
+
+  /// Bumps a counter (no-op without a registry).
+  void count(std::string_view name, std::int64_t delta = 1) const {
+    if (metrics != nullptr) metrics->counter(name).add(delta);
+  }
+
+  void gauge_set(std::string_view name, std::int64_t v) const {
+    if (metrics != nullptr) metrics->gauge(name).set(v);
+  }
+
+  /// Raises a high-water gauge.
+  void gauge_max(std::string_view name, std::int64_t v) const {
+    if (metrics != nullptr) metrics->gauge(name).max_of(v);
+  }
+
+  void record(std::string_view name, double v) const {
+    if (metrics != nullptr) metrics->histogram(name).record(v);
+  }
+
+  /// Copy of this handle with a different lane label.
+  Obs with_lane(std::string lane_label) const {
+    Obs out = *this;
+    out.lane = std::move(lane_label);
+    return out;
+  }
+};
+
+}  // namespace aal

@@ -1,0 +1,309 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "support/common.hpp"
+#include "support/string_util.hpp"
+
+namespace aal {
+
+namespace {
+
+struct TypeName {
+  TraceEventType type;
+  const char* name;
+};
+
+constexpr TypeName kTypeNames[] = {
+    {TraceEventType::kSessionBegin, "session_begin"},
+    {TraceEventType::kSessionEnd, "session_end"},
+    {TraceEventType::kPropose, "propose"},
+    {TraceEventType::kMeasureBatchBegin, "measure_batch_begin"},
+    {TraceEventType::kMeasureBatchEnd, "measure_batch_end"},
+    {TraceEventType::kObserve, "observe"},
+    {TraceEventType::kSurrogateFit, "surrogate_fit"},
+    {TraceEventType::kScopeChange, "scope_change"},
+    {TraceEventType::kEarlyStop, "early_stop"},
+};
+
+}  // namespace
+
+const char* trace_event_type_name(TraceEventType type) {
+  for (const TypeName& t : kTypeNames) {
+    if (t.type == type) return t.name;
+  }
+  return "unknown";
+}
+
+std::optional<TraceEventType> trace_event_type_from_name(
+    std::string_view name) {
+  for (const TypeName& t : kTypeNames) {
+    if (name == t.name) return t.type;
+  }
+  return std::nullopt;
+}
+
+std::string TraceValue::to_json() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble:
+      return format_double_roundtrip(double_);
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kString:
+      return '"' + json_escape(string_) + '"';
+  }
+  return {};
+}
+
+bool TraceValue::operator==(const TraceValue& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kInt:
+      return int_ == other.int_;
+    case Kind::kDouble:
+      // NaN == NaN here: round-tripped events must compare equal.
+      return double_ == other.double_ ||
+             (std::isnan(double_) && std::isnan(other.double_));
+    case Kind::kBool:
+      return bool_ == other.bool_;
+    case Kind::kString:
+      return string_ == other.string_;
+  }
+  return false;
+}
+
+std::string to_jsonl_line(const TraceEvent& event) {
+  std::string out;
+  out.reserve(64 + event.fields.size() * 16);
+  out += "{\"step\":";
+  out += std::to_string(event.step);
+  out += ",\"type\":\"";
+  out += trace_event_type_name(event.type);
+  out += '"';
+  for (const TraceField& f : event.fields) {
+    out += ",\"";
+    out += json_escape(f.key);
+    out += "\":";
+    out += f.value.to_json();
+  }
+  out += '}';
+  return out;
+}
+
+namespace {
+
+/// Strict cursor-based parser for the flat single-line JSON objects
+/// to_jsonl_line produces (plus the nan/inf/-inf double extension).
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : s_(line) {}
+
+  TraceEvent parse() {
+    expect('{');
+    TraceEvent event;
+    bool first = true;
+    while (true) {
+      if (!first) {
+        if (peek() == '}') break;
+        expect(',');
+      } else if (peek() == '}') {
+        break;
+      }
+      std::string key = parse_string();
+      expect(':');
+      TraceValue value = parse_value();
+      if (first) {
+        AAL_CHECK(key == "step" && value.kind() == TraceValue::Kind::kInt,
+                  "trace line must start with an integer \"step\" field: "
+                      << s_);
+        event.step = value.as_int();
+        first = false;
+        // "type" must follow immediately.
+        expect(',');
+        std::string type_key = parse_string();
+        expect(':');
+        TraceValue type_value = parse_value();
+        AAL_CHECK(type_key == "type" &&
+                      type_value.kind() == TraceValue::Kind::kString,
+                  "trace line must carry a string \"type\" field: " << s_);
+        const auto type = trace_event_type_from_name(type_value.as_string());
+        AAL_CHECK(type.has_value(),
+                  "unknown trace event type '" << type_value.as_string()
+                                               << "'");
+        event.type = *type;
+        continue;
+      }
+      event.fields.push_back(TraceField{std::move(key), std::move(value)});
+    }
+    expect('}');
+    AAL_CHECK(pos_ == s_.size(), "trailing input after trace event: " << s_);
+    AAL_CHECK(!first, "empty trace event: " << s_);
+    return event;
+  }
+
+ private:
+  char peek() const {
+    AAL_CHECK(pos_ < s_.size(), "truncated trace event: " << s_);
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    AAL_CHECK(pos_ < s_.size() && s_[pos_] == c,
+              "malformed trace event (expected '" << c << "' at offset "
+                                                  << pos_ << "): " << s_);
+    ++pos_;
+  }
+
+  bool consume(std::string_view token) {
+    if (s_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      AAL_CHECK(pos_ < s_.size(), "unterminated string in trace event: " << s_);
+      const char c = s_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      AAL_CHECK(pos_ < s_.size(), "truncated escape in trace event: " << s_);
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          AAL_CHECK(pos_ + 4 <= s_.size(),
+                    "truncated \\u escape in trace event: " << s_);
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            int digit;
+            if (h >= '0' && h <= '9') digit = h - '0';
+            else if (h >= 'a' && h <= 'f') digit = h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') digit = h - 'A' + 10;
+            else { AAL_CHECK(false, "bad \\u escape in trace event: " << s_); }
+            code = code * 16 + digit;
+          }
+          AAL_CHECK(code < 0x80,
+                    "only ASCII \\u escapes are produced by this writer: "
+                        << s_);
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          AAL_CHECK(false, "unknown escape '\\" << esc
+                                                << "' in trace event: " << s_);
+      }
+    }
+    return out;
+  }
+
+  TraceValue parse_value() {
+    const char c = peek();
+    if (c == '"') return TraceValue(parse_string());
+    if (consume("true")) return TraceValue(true);
+    if (consume("false")) return TraceValue(false);
+    if (consume("nan")) return TraceValue(std::nan(""));
+    if (consume("inf")) {
+      return TraceValue(std::numeric_limits<double>::infinity());
+    }
+    if (consume("-inf")) {
+      return TraceValue(-std::numeric_limits<double>::infinity());
+    }
+    // Number: scan the maximal numeric token, then decide int vs double by
+    // the presence of '.'/'e' — matching the writer's ".0" convention.
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    const std::string_view token = s_.substr(start, pos_ - start);
+    AAL_CHECK(!token.empty(), "malformed value in trace event: " << s_);
+    if (token.find_first_of(".eE") != std::string_view::npos) {
+      return TraceValue(parse_double_strict(token));
+    }
+    return TraceValue(parse_int64_strict(token));
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+TraceEvent trace_event_from_jsonl_line(std::string_view line) {
+  return LineParser(line).parse();
+}
+
+void TraceSink::emit(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event.step = next_step_++;
+  write(event);
+}
+
+std::int64_t TraceSink::steps_emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_step_;
+}
+
+void NullTraceSink::write(const TraceEvent& event) { (void)event; }
+
+std::vector<TraceEvent> MemoryTraceSink::events() const {
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  return events_;
+}
+
+std::string MemoryTraceSink::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    out += to_jsonl_line(e);
+    out += '\n';
+  }
+  return out;
+}
+
+void MemoryTraceSink::replay_into(TraceSink& target) const {
+  for (const TraceEvent& e : events()) target.emit(e);
+}
+
+void MemoryTraceSink::write(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  events_.push_back(event);
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& os) : os_(&os) {}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path);
+  AAL_CHECK(file->good(), "cannot open trace file for writing: " << path);
+  owned_ = std::move(file);
+  os_ = owned_.get();
+}
+
+JsonlTraceSink::~JsonlTraceSink() { os_->flush(); }
+
+void JsonlTraceSink::flush() { os_->flush(); }
+
+void JsonlTraceSink::write(const TraceEvent& event) {
+  *os_ << to_jsonl_line(event) << '\n';
+}
+
+}  // namespace aal

@@ -1,0 +1,196 @@
+// Structured tracing for the tuning pipeline.
+//
+// A TraceSink receives typed events from every layer of a tuning run
+// (session lifecycle, proposals, measurement batches, surrogate fits, BAO
+// scope changes, early stops). Events are stamped with a *deterministic
+// monotonic step counter*, never wall-clock time: a trace is a pure function
+// of the run's seeds, so a serial run and a parallel run of the same task
+// serialize to byte-identical JSONL — which is what makes golden-trace
+// regression tests possible (tests/obs/test_golden_trace.cpp).
+//
+// Execution-schedule metadata (backend name, thread counts) is inherently
+// not seed-deterministic in meaning, so emitters pass it separately and
+// sinks drop it unless set_capture_execution(true) opted in. Default traces
+// stay bitwise-reproducible; debugging traces can carry the extra context.
+//
+// Serialization is line-oriented JSON ("JSONL"): one flat object per event,
+// keys in emission order, doubles in shortest round-trip form ("nan"/"inf"/
+// "-inf" for non-finite values — a deliberate JSON5-style extension so
+// failed-measurement latencies survive a round trip).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aal {
+
+/// The event vocabulary of the tuning pipeline. One enumerator per row of
+/// the schema table in DESIGN.md §4.
+enum class TraceEventType : int {
+  kSessionBegin,       // a TuningSession starts (tuner, budget, space size)
+  kSessionEnd,         // ...and finishes (reason, best)
+  kPropose,            // one policy proposal round (requested/proposed/fresh)
+  kMeasureBatchBegin,  // a measurement batch enters the backend
+  kMeasureBatchEnd,    // ...and leaves it (measured/cache hits/failures)
+  kObserve,            // fresh results fed back to the policy
+  kSurrogateFit,       // a cost model or bootstrap ensemble was (re)fitted
+  kScopeChange,        // BAO adapted its neighborhood radius (R -> tau*R)
+  kEarlyStop,          // the early-stopping patience tripped
+};
+
+/// Stable wire name of an event type ("session_begin", ...).
+const char* trace_event_type_name(TraceEventType type);
+
+/// Inverse of trace_event_type_name; nullopt for unknown names.
+std::optional<TraceEventType> trace_event_type_from_name(std::string_view name);
+
+/// A typed field value: int64, double, bool or string. Doubles preserve
+/// NaN/inf through serialization, and equality treats NaN == NaN so parsed
+/// events compare equal to the originals in round-trip tests.
+class TraceValue {
+ public:
+  enum class Kind : int { kInt, kDouble, kBool, kString };
+
+  TraceValue() : kind_(Kind::kInt) {}
+  TraceValue(std::int64_t v) : kind_(Kind::kInt), int_(v) {}
+  TraceValue(int v) : TraceValue(static_cast<std::int64_t>(v)) {}
+  TraceValue(std::size_t v) : TraceValue(static_cast<std::int64_t>(v)) {}
+  TraceValue(double v) : kind_(Kind::kDouble), double_(v) {}
+  TraceValue(bool v) : kind_(Kind::kBool), bool_(v) {}
+  TraceValue(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+  TraceValue(const char* v) : TraceValue(std::string(v)) {}
+
+  Kind kind() const { return kind_; }
+  std::int64_t as_int() const { return int_; }
+  double as_double() const { return double_; }
+  bool as_bool() const { return bool_; }
+  const std::string& as_string() const { return string_; }
+
+  /// Serialized JSON form ("12", "3.5", "nan", "true", "\"text\"").
+  std::string to_json() const;
+
+  bool operator==(const TraceValue& other) const;
+
+ private:
+  Kind kind_;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  bool bool_ = false;
+  std::string string_;
+};
+
+struct TraceField {
+  std::string key;
+  TraceValue value;
+
+  bool operator==(const TraceField& other) const {
+    return key == other.key && value == other.value;
+  }
+};
+
+struct TraceEvent {
+  /// Monotonic per-sink step index, assigned by TraceSink::emit(). This is
+  /// the event's only timestamp — see the determinism argument above.
+  std::int64_t step = -1;
+  TraceEventType type = TraceEventType::kSessionBegin;
+  std::vector<TraceField> fields;  // serialized in this order
+
+  bool operator==(const TraceEvent& other) const {
+    return step == other.step && type == other.type && fields == other.fields;
+  }
+};
+
+/// One JSONL line (no trailing newline), e.g.
+/// {"step":3,"type":"propose","lane":"conv2d/...","round":1,"fresh":8}
+std::string to_jsonl_line(const TraceEvent& event);
+
+/// Strict inverse of to_jsonl_line: rejects trailing input, missing
+/// step/type, unknown event types and malformed JSON (InvalidArgument).
+TraceEvent trace_event_from_jsonl_line(std::string_view line);
+
+/// Receives events from the pipeline. emit() is thread-safe; the step
+/// counter and the write are updated under one lock so steps appear in
+/// order even when lanes share a sink.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// Stamps `event.step` with the next step index and records the event.
+  void emit(TraceEvent event);
+
+  /// Number of events emitted so far.
+  std::int64_t steps_emitted() const;
+
+  /// Opt into execution-schedule metadata (backend names, thread counts).
+  /// Off by default so traces stay byte-identical across backends.
+  void set_capture_execution(bool on) { capture_execution_ = on; }
+  bool capture_execution() const { return capture_execution_; }
+
+ protected:
+  /// Called under the sink lock, with `event.step` already assigned.
+  virtual void write(const TraceEvent& event) = 0;
+
+ private:
+  mutable std::mutex mutex_;
+  std::int64_t next_step_ = 0;
+  bool capture_execution_ = false;
+};
+
+/// Discards every event (but still counts steps). Useful as an explicit
+/// "tracing off" sink and for measuring instrumentation overhead.
+class NullTraceSink final : public TraceSink {
+ protected:
+  void write(const TraceEvent& event) override;
+};
+
+/// Buffers events in memory. tune_model gives each task lane one of these
+/// and replays them into the final sink in model order after the lanes
+/// join, which is what makes multi-lane traces jobs-invariant.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  /// Snapshot of the buffered events.
+  std::vector<TraceEvent> events() const;
+
+  /// Serializes the buffer as JSONL (one line per event, '\n'-terminated).
+  std::string to_jsonl() const;
+
+  /// Re-emits every buffered event into `target`, which re-stamps the step
+  /// indices in its own sequence.
+  void replay_into(TraceSink& target) const;
+
+ protected:
+  void write(const TraceEvent& event) override;
+
+ private:
+  mutable std::mutex events_mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Streams JSONL lines to an ostream or file as events arrive.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Writes to a borrowed stream (must outlive the sink).
+  explicit JsonlTraceSink(std::ostream& os);
+
+  /// Opens `path` for writing; throws InvalidArgument on failure.
+  explicit JsonlTraceSink(const std::string& path);
+
+  ~JsonlTraceSink() override;
+
+  void flush();
+
+ protected:
+  void write(const TraceEvent& event) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+};
+
+}  // namespace aal

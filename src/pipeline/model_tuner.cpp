@@ -84,6 +84,20 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
                                           task.count(), TuneResult{}});
   }
 
+  // Per-task trace buffers: lanes may interleave arbitrarily, so each task
+  // writes to its own MemoryTraceSink and the buffers are replayed into
+  // options.trace in model order after the lanes join — the final trace is
+  // the same bytes at any jobs value.
+  std::vector<std::unique_ptr<MemoryTraceSink>> task_traces;
+  if (options.trace != nullptr) {
+    task_traces.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      auto sink = std::make_unique<MemoryTraceSink>();
+      sink->set_capture_execution(options.trace->capture_execution());
+      task_traces.push_back(std::move(sink));
+    }
+  }
+
   // Tunes the task at position `i` (0-based model order) and writes its
   // report slot. Seeds depend only on the position, never on the schedule.
   const auto tune_one = [&](std::size_t i, TransferContext* transfer_ptr) {
@@ -92,6 +106,12 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
     TuningTask tuning_task(task.workload, spec);
     SimulatedDevice device(spec, options.device_seed * 1000003 + task_index);
     Measurer measurer(tuning_task, device);
+    Obs obs;
+    obs.trace = options.trace != nullptr ? task_traces[i].get() : nullptr;
+    obs.metrics = options.metrics;
+    obs.lane = task.workload.key();
+    // Attach before preload so resumed records count measure.preloaded.
+    if (obs.active()) measurer.set_obs(obs);
     if (options.resume_from != nullptr) {
       const std::size_t adopted =
           measurer.preload(options.resume_from->records_for(tuning_task.key()));
@@ -104,6 +124,7 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
     auto tuner = factory(transfer_ptr);
     TuneOptions tune_options = options.tune;
     tune_options.seed = options.tune.seed * 7907 + task_index;
+    tune_options.obs = obs;
     TuneResult result = tuner->tune(measurer, tune_options);
 
     AAL_LOG_INFO << graph.name() << " [" << task_index << '/' << tasks.size()
@@ -153,6 +174,12 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
       futures.push_back(pool.submit([&run_lane, &lane] { run_lane(lane); }));
     }
     for (auto& f : futures) f.get();  // rethrows lane failures
+  }
+
+  // Replay per-task buffers into the model sink in model order; the target
+  // re-stamps the step counters into one consecutive sequence.
+  if (options.trace != nullptr) {
+    for (const auto& sink : task_traces) sink->replay_into(*options.trace);
   }
 
   for (const auto& t : report.tasks) {

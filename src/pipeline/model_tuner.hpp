@@ -27,6 +27,7 @@
 #include "measure/record.hpp"
 #include "measure/tuning_task.hpp"
 #include "ml/transfer.hpp"
+#include "obs/obs.hpp"
 #include "tuner/tuner.hpp"
 
 namespace aal {
@@ -73,6 +74,14 @@ struct ModelTuneOptions {
   /// chain within a kind is preserved — results are bitwise-identical for
   /// every jobs value (see DESIGN.md). 1 = serial (default).
   int jobs = 1;
+  /// Optional trace sink for the whole model run. Each task buffers its
+  /// events in a private MemoryTraceSink; after the lanes join, the buffers
+  /// are replayed into this sink in model order — so the trace is
+  /// byte-identical for every jobs value. Non-owning; may be null.
+  TraceSink* trace = nullptr;
+  /// Optional metrics registry shared by every task. Non-owning; may be
+  /// null.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Tunes every task of `graph` with tuners from `factory`.

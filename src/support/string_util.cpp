@@ -2,8 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
+
+#include "support/common.hpp"
 
 namespace aal {
 
@@ -40,6 +46,72 @@ std::string format_double(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   return buf;
+}
+
+std::string format_double_roundtrip(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value < 0.0 ? "-inf" : "inf";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  std::string out(buf, res.ptr);
+  // Keep doubles visually distinct from integers ("1" -> "1.0") so parsers
+  // can recover the original value type without a schema.
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::int64_t parse_int64_strict(std::string_view s) {
+  std::int64_t value = 0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), value);
+  AAL_CHECK(res.ec == std::errc{} && res.ptr == s.data() + s.size(),
+            "not a valid integer: '" << s << "'");
+  return value;
+}
+
+double parse_double_strict(std::string_view s) {
+  // std::from_chars for doubles does not accept "nan"/"inf" uniformly across
+  // standard libraries; strtod does, and the end-pointer check restores the
+  // whole-string strictness from_chars would give.
+  AAL_CHECK(!s.empty() && !std::isspace(static_cast<unsigned char>(s.front())),
+            "not a valid double: '" << s << "'");
+  const std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  // ERANGE on a finite result is subnormal underflow (e.g. "5e-324"), which
+  // strtod still parses exactly; only overflow to +/-HUGE_VAL is an error.
+  const bool overflow = errno == ERANGE && std::isinf(value);
+  AAL_CHECK(end == buf.c_str() + buf.size() && end != buf.c_str() && !overflow,
+            "not a valid double: '" << s << "'");
+  return value;
+}
+
+bool parse_bool01_strict(std::string_view s) {
+  AAL_CHECK(s == "0" || s == "1", "not a valid 0/1 boolean: '" << s << "'");
+  return s == "1";
 }
 
 std::string format_percent(double fraction, int precision) {

@@ -21,6 +21,28 @@ std::string_view trim(std::string_view s);
 /// Fixed-precision double formatting ("%.4f" style) without locale issues.
 std::string format_double(double value, int precision = 4);
 
+/// Shortest decimal form that parses back to the exact same double (via
+/// std::to_chars). Non-finite values render as "nan", "inf" and "-inf";
+/// integral values keep a ".0" suffix so readers can tell doubles from
+/// integers. Used by the trace/metrics JSON serializers, whose byte-exact
+/// reproducibility golden tests rely on.
+std::string format_double_roundtrip(double value);
+
+/// Escapes a string for use inside a JSON string literal (the surrounding
+/// quotes are not added): backslash, double quote and control characters.
+std::string json_escape(std::string_view s);
+
+/// Strict whole-string integer parse; throws InvalidArgument on empty input,
+/// trailing characters or overflow (std::stoll silently accepts "12abc").
+std::int64_t parse_int64_strict(std::string_view s);
+
+/// Strict whole-string double parse; accepts "nan"/"inf"/"-inf". Throws
+/// InvalidArgument on empty input or trailing characters.
+double parse_double_strict(std::string_view s);
+
+/// Strict "0"/"1" boolean field parse; throws InvalidArgument otherwise.
+bool parse_bool01_strict(std::string_view s);
+
 /// Formats a fraction as a signed percentage string, e.g. -0.1384 -> "-13.84%".
 std::string format_percent(double fraction, int precision = 2);
 

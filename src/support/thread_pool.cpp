@@ -15,6 +15,16 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::queue_high_water() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_water_;
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);

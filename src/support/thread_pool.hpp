@@ -6,6 +6,7 @@
 // boundary: exceptions are captured and rethrown from wait points.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -29,6 +30,14 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Number of tasks currently waiting in the queue (diagnostic; the value
+  /// is stale the moment it is read).
+  std::size_t queue_depth() const;
+
+  /// Largest queue depth observed since construction; feeds the
+  /// `pool.queue_high_water` gauge of the observability layer.
+  std::size_t queue_high_water() const;
+
   /// Enqueues a task; the returned future rethrows any exception.
   template <typename F>
   std::future<std::invoke_result_t<F>> submit(F&& fn) {
@@ -38,6 +47,7 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       queue_.emplace([task] { (*task)(); });
+      high_water_ = std::max(high_water_, queue_.size());
     }
     cv_.notify_one();
     return fut;
@@ -56,9 +66,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace aal

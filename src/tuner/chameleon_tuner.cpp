@@ -18,6 +18,7 @@ ChameleonTuner::ChameleonTuner(
 
 void ChameleonTuner::begin(const Measurer& measurer,
                            const TuneOptions& options) {
+  Tuner::begin(measurer, options);
   measurer_ = &measurer;
   tune_options_ = options;
   rng_.reseed(options.seed);
@@ -47,6 +48,11 @@ std::vector<Config> ChameleonTuner::propose(std::int64_t k) {
   }
   auto model = surrogate_factory_->create(tune_options_.seed * 6151 + ++round_);
   model->fit(data);
+  obs_.count("tuner.surrogate_fits");
+  obs_.emit(TraceEventType::kSurrogateFit,
+            {{"model", TraceValue("gbdt")},
+             {"round", TraceValue(round_)},
+             {"rows", TraceValue(data.num_rows())}});
 
   std::unordered_set<std::int64_t> measured_flats;
   for (const auto& r : measured) measured_flats.insert(r.config.flat);

@@ -7,6 +7,7 @@
 namespace aal {
 
 void GaTuner::begin(const Measurer& measurer, const TuneOptions& options) {
+  Tuner::begin(measurer, options);
   measurer_ = &measurer;
   rng_.reseed(options.seed);
   batch_size_ = options.batch_size;
@@ -23,6 +24,7 @@ void GaTuner::breed() {
     dead_ = true;
     return;
   }
+  obs_.count("ga.generations");
   std::sort(population_.begin(), population_.end(),
             [](const Individual& a, const Individual& b) {
               return a.fitness > b.fitness;

@@ -6,6 +6,7 @@
 namespace aal {
 
 void GridTuner::begin(const Measurer& measurer, const TuneOptions& options) {
+  Tuner::begin(measurer, options);
   measurer_ = &measurer;
   batch_size_ = options.batch_size;
   const std::int64_t size = measurer.task().space().size();
@@ -38,6 +39,7 @@ std::vector<Config> GridTuner::propose(std::int64_t k) {
     if (measurer_->is_cached(flat)) continue;  // resumed/revisited: free
     plan.push_back(space.at(flat));
   }
+  obs_.count("grid.proposed", static_cast<std::int64_t>(plan.size()));
   return plan;  // empty once the walk has covered the whole space
 }
 

@@ -6,6 +6,7 @@
 namespace aal {
 
 void RandomTuner::begin(const Measurer& measurer, const TuneOptions& options) {
+  Tuner::begin(measurer, options);
   measurer_ = &measurer;
   rng_.reseed(options.seed);
   batch_size_ = options.batch_size;
@@ -43,6 +44,7 @@ std::vector<Config> RandomTuner::propose(std::int64_t k) {
       plan.push_back(space.at(flat));
     }
   }
+  obs_.count("random.proposed", static_cast<std::int64_t>(plan.size()));
   return plan;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "measure/measure.hpp"
+#include "obs/obs.hpp"
 #include "support/rng.hpp"
 
 namespace aal {
@@ -33,6 +34,11 @@ struct TuneOptions {
 
   /// Number of initial samples (AutoTVM default: 64).
   int num_initial = 64;
+
+  /// Observability handle (trace sink + metrics registry + lane label).
+  /// Inactive by default; the session forwards it to the measurer and the
+  /// policy, so every layer of the run reports through one handle.
+  Obs obs;
 };
 
 struct TunePoint {
@@ -79,6 +85,11 @@ class Tuner {
 
   /// Compatibility driver: runs a serial TuningSession to completion.
   TuneResult tune(Measurer& measurer, const TuneOptions& options);
+
+ protected:
+  /// Copied from options by the base begin(); subclasses that override
+  /// begin() must call Tuner::begin() first to pick it up.
+  Obs obs_;
 };
 
 /// Initial-set sampler signature: produces `m` distinct configurations to

@@ -27,29 +27,71 @@ TuningSession::TuningSession(Tuner& tuner, Measurer& measurer,
                              const TuneOptions& options)
     : TuningSession(tuner, measurer, options, serial_) {}
 
-bool TuningSession::should_stop() const {
+const char* TuningSession::stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kBudget: return "budget";
+    case StopReason::kEarlyStop: return "early_stop";
+    case StopReason::kSpaceExhausted: return "space_exhausted";
+    case StopReason::kPolicyExhausted: return "policy_exhausted";
+    case StopReason::kBarren: return "barren";
+  }
+  return "unknown";
+}
+
+TuningSession::StopReason TuningSession::check_stop() const {
   if (static_cast<std::int64_t>(history_.size()) >= options_.budget) {
-    return true;
+    return StopReason::kBudget;
   }
   if (options_.early_stopping > 0 &&
       since_improvement_ >= options_.early_stopping) {
-    return true;
+    return StopReason::kEarlyStop;
   }
   if (measurer_.num_measured() >= measurer_.task().space().size()) {
-    return true;  // space exhausted
+    return StopReason::kSpaceExhausted;
+  }
+  return StopReason::kNone;
+}
+
+void TuningSession::ensure_begun() {
+  if (begun_) return;
+  obs_ = options_.obs;
+  // Hand the shared handle to the measurer so batch events and measure.*
+  // counters carry the session's lane. Left alone when observability is off
+  // so an externally attached handle survives.
+  if (obs_.active()) measurer_.set_obs(obs_);
+  tuner_.begin(measurer_, options_);
+  begun_ = true;
+  obs_.emit(TraceEventType::kSessionBegin,
+            {{"tuner", TraceValue(tuner_.name())},
+             {"budget", TraceValue(options_.budget)},
+             {"early_stopping", TraceValue(options_.early_stopping)},
+             {"batch_size", TraceValue(options_.batch_size)},
+             {"num_initial", TraceValue(options_.num_initial)},
+             {"seed", TraceValue(static_cast<std::int64_t>(options_.seed))},
+             {"space_size", TraceValue(measurer_.task().space().size())},
+             {"preloaded", TraceValue(measurer_.num_measured())}},
+            {{"backend", TraceValue(backend_->name())}});
+}
+
+bool TuningSession::stop(StopReason reason) {
+  done_ = true;
+  if (stop_reason_ == StopReason::kNone) stop_reason_ = reason;
+  if (reason == StopReason::kEarlyStop) {
+    obs_.count("session.early_stops");
+    obs_.emit(TraceEventType::kEarlyStop,
+              {{"measured", TraceValue(num_measured())},
+               {"since_improvement", TraceValue(since_improvement_)},
+               {"patience", TraceValue(options_.early_stopping)}});
   }
   return false;
 }
 
 bool TuningSession::step() {
   if (done_) return false;
-  if (!begun_) {
-    tuner_.begin(measurer_, options_);
-    begun_ = true;
-  }
-  if (should_stop()) {
-    done_ = true;
-    return false;
+  ensure_begun();
+  if (const StopReason reason = check_stop(); reason != StopReason::kNone) {
+    return stop(reason);
   }
 
   const std::int64_t remaining =
@@ -60,9 +102,9 @@ bool TuningSession::step() {
 
   std::vector<Config> plan = tuner_.propose(k);
   if (plan.empty()) {
-    done_ = true;
-    return false;
+    return stop(StopReason::kPolicyExhausted);
   }
+  const std::int64_t proposed = static_cast<std::int64_t>(plan.size());
 
   // Trim the plan so at most k configurations are fresh; revisits stay (they
   // are free) but everything past the k-th fresh candidate is dropped.
@@ -84,9 +126,17 @@ bool TuningSession::step() {
     plan.resize(keep);
   }
   if (plan.empty()) {
-    done_ = true;
-    return false;
+    return stop(StopReason::kPolicyExhausted);
   }
+
+  ++round_;
+  obs_.count("session.rounds");
+  obs_.count("session.proposed", proposed);
+  obs_.emit(TraceEventType::kPropose,
+            {{"round", TraceValue(round_)},
+             {"requested", TraceValue(k)},
+             {"proposed", TraceValue(proposed)},
+             {"fresh", TraceValue(fresh_flats.size())}});
 
   const std::vector<MeasureResult> batch =
       measurer_.measure_batch(plan, *backend_);
@@ -116,15 +166,21 @@ bool TuningSession::step() {
 
   if (!fresh.empty()) {
     barren_rounds_ = 0;
+    obs_.count("session.fresh_measured",
+               static_cast<std::int64_t>(fresh.size()));
     tuner_.observe(std::span<const MeasureResult>(fresh));
+    obs_.emit(TraceEventType::kObserve,
+              {{"round", TraceValue(round_)},
+               {"fresh", TraceValue(fresh.size())},
+               {"best_gflops", TraceValue(best_gflops_)},
+               {"best_flat", TraceValue(best_flat_)},
+               {"since_improvement", TraceValue(since_improvement_)}});
   } else if (++barren_rounds_ >= kMaxBarrenRounds) {
-    done_ = true;
-    return false;
+    return stop(StopReason::kBarren);
   }
 
-  if (should_stop()) {
-    done_ = true;
-    return false;
+  if (const StopReason reason = check_stop(); reason != StopReason::kNone) {
+    return stop(reason);
   }
   return true;
 }
@@ -138,12 +194,17 @@ TuneResult TuningSession::run() {
 TuneResult TuningSession::finish() {
   done_ = true;
   if (!finalized_) {
-    if (!begun_) {
-      tuner_.begin(measurer_, options_);
-      begun_ = true;
-    }
+    ensure_begun();
     tuner_.finalize(measurer_);
     finalized_ = true;
+  }
+  if (!end_emitted_) {
+    end_emitted_ = true;
+    obs_.emit(TraceEventType::kSessionEnd,
+              {{"reason", TraceValue(stop_reason_name(stop_reason_))},
+               {"measured", TraceValue(num_measured())},
+               {"best_flat", TraceValue(best_flat_)},
+               {"best_gflops", TraceValue(best_gflops_)}});
   }
   TuneResult result;
   result.tuner_name = tuner_.name();

@@ -21,6 +21,20 @@ namespace aal {
 
 class TuningSession {
  public:
+  /// Why the session stopped. kNone until done() turns true.
+  enum class StopReason : int {
+    kNone,             // still running (or finish() called mid-run)
+    kBudget,           // measured-config budget spent
+    kEarlyStop,        // early-stopping patience tripped
+    kSpaceExhausted,   // every configuration in the space measured
+    kPolicyExhausted,  // the policy proposed nothing fresh
+    kBarren,           // too many consecutive zero-fresh rounds
+  };
+
+  /// Stable wire name ("budget", "early_stop", ...), used in the
+  /// session_end trace event.
+  static const char* stop_reason_name(StopReason reason);
+
   /// Validates options (budget >= 1, batch_size >= 1; throws
   /// InvalidArgument). The session serializes all policy interaction; only
   /// the per-config measurement work inside a batch runs on `backend`.
@@ -42,6 +56,7 @@ class TuningSession {
   TuneResult finish();
 
   bool done() const { return done_; }
+  StopReason stop_reason() const { return stop_reason_; }
   const std::vector<TunePoint>& history() const { return history_; }
   std::int64_t num_measured() const {
     return static_cast<std::int64_t>(history_.size());
@@ -50,21 +65,29 @@ class TuningSession {
   std::int64_t best_flat() const { return best_flat_; }
 
  private:
-  bool should_stop() const;
+  StopReason check_stop() const;
+  void ensure_begun();
+  /// Marks the session done with `reason`, emitting the early_stop trace
+  /// event when the patience tripped. Always returns false (step()'s "over").
+  bool stop(StopReason reason);
 
   Tuner& tuner_;
   Measurer& measurer_;
   TuneOptions options_;
+  Obs obs_;
   SerialBackend serial_;  // fallback when no backend is supplied
   MeasureBackend* backend_;
   std::vector<TunePoint> history_;
   double best_gflops_ = 0.0;
   std::int64_t best_flat_ = -1;
   std::int64_t since_improvement_ = 0;
+  std::int64_t round_ = 0;  // propose/measure/observe rounds so far
   int barren_rounds_ = 0;  // consecutive rounds with zero fresh measurements
+  StopReason stop_reason_ = StopReason::kNone;
   bool begun_ = false;
   bool done_ = false;
   bool finalized_ = false;
+  bool end_emitted_ = false;
 };
 
 }  // namespace aal

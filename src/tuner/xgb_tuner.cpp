@@ -14,6 +14,7 @@ XgbTuner::XgbTuner(std::shared_ptr<const SurrogateFactory> surrogate_factory,
       xgb_options_(options) {}
 
 void XgbTuner::begin(const Measurer& measurer, const TuneOptions& options) {
+  Tuner::begin(measurer, options);
   measurer_ = &measurer;
   tune_options_ = options;
   rng_.reseed(options.seed);
@@ -45,9 +46,11 @@ std::vector<Config> XgbTuner::propose(std::int64_t k) {
   for (const auto& r : measured) {
     data.add_row(space.features(r.config), r.ok ? r.gflops : 0.0);
   }
+  std::size_t transfer_rows = 0;
   if (xgb_options_.transfer != nullptr && best > 0.0) {
     const Dataset seed =
         xgb_options_.transfer->seed_for(task, xgb_options_.max_transfer_rows);
+    transfer_rows = seed.num_rows();
     for (std::size_t i = 0; i < seed.num_rows(); ++i) {
       // Normalized [0,1] transfer scores rescaled into this task's GFLOPS
       // range so they blend with native rows.
@@ -57,6 +60,12 @@ std::vector<Config> XgbTuner::propose(std::int64_t k) {
 
   auto model = surrogate_factory_->create(tune_options_.seed * 7919 + ++round_);
   model->fit(data);
+  obs_.count("tuner.surrogate_fits");
+  obs_.emit(TraceEventType::kSurrogateFit,
+            {{"model", TraceValue("gbdt")},
+             {"round", TraceValue(round_)},
+             {"rows", TraceValue(data.num_rows())},
+             {"transfer_rows", TraceValue(transfer_rows)}});
 
   std::unordered_set<std::int64_t> measured_flats;
   measured_flats.reserve(measured.size());

@@ -256,5 +256,70 @@ TEST(TuningTaskTest, KeyAndSpace) {
   if (a.valid) EXPECT_DOUBLE_EQ(a.base_time_us, b.base_time_us);
 }
 
+
+TEST_F(MeasureTest, PreloadCountsAsCacheHitsNotMeasurements) {
+  // Resume semantics, pinned via the metrics registry: preloaded records
+  // must count measure.preloaded, and revisiting them must count cache
+  // hits — never measure.configs_measured (budget is not re-spent).
+  MetricsRegistry metrics;
+  Obs obs;
+  obs.metrics = &metrics;
+  measurer_.set_obs(obs);
+
+  Rng rng(11);
+  const Config a = task_.space().sample(rng);
+  const Config b = task_.space().sample(rng);
+  std::vector<TuningRecord> records;
+  records.push_back(TuningRecord{task_.key(), a.flat, true, 1000.0, 1.0});
+  records.push_back(TuningRecord{task_.key(), b.flat, true, 2000.0, 1.0});
+  ASSERT_EQ(measurer_.preload(records), 2u);
+
+  EXPECT_EQ(metrics.counter_value("measure.preloaded"), 2);
+  EXPECT_EQ(metrics.counter_value("measure.configs_measured"), 0);
+  EXPECT_EQ(metrics.counter_value("measure.cache_hits"), 0);
+
+  // Revisits of preloaded configs are cache hits, through both the single
+  // and the batch path.
+  measurer_.measure(a);
+  EXPECT_EQ(metrics.counter_value("measure.cache_hits"), 1);
+  const std::vector<Config> batch = {a, b};
+  measurer_.measure_batch(batch);
+  EXPECT_EQ(metrics.counter_value("measure.cache_hits"), 3);
+  EXPECT_EQ(metrics.counter_value("measure.configs_measured"), 0);
+
+  // A genuinely fresh config does consume budget.
+  Config fresh = task_.space().sample(rng);
+  while (measurer_.is_cached(fresh.flat)) fresh = task_.space().sample(rng);
+  measurer_.measure(fresh);
+  EXPECT_EQ(metrics.counter_value("measure.configs_measured"), 1);
+}
+
+TEST_F(MeasureTest, BatchEmitsMeasureBatchEvents) {
+  MemoryTraceSink sink;
+  Obs obs;
+  obs.trace = &sink;
+  measurer_.set_obs(obs);
+
+  Rng rng(12);
+  const Config a = task_.space().sample(rng);
+  measurer_.measure(a);  // single-config path: no batch events
+  EXPECT_EQ(sink.steps_emitted(), 0);
+
+  Config b = task_.space().sample(rng);
+  while (b.flat == a.flat) b = task_.space().sample(rng);
+  const std::vector<Config> batch = {a, b};
+  measurer_.measure_batch(batch);
+
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, TraceEventType::kMeasureBatchBegin);
+  EXPECT_EQ(events[1].type, TraceEventType::kMeasureBatchEnd);
+  // {batch, fresh, cached} on begin: one revisit, one fresh.
+  ASSERT_EQ(events[0].fields.size(), 3u);
+  EXPECT_EQ(events[0].fields[0].value.as_int(), 2);
+  EXPECT_EQ(events[0].fields[1].value.as_int(), 1);
+  EXPECT_EQ(events[0].fields[2].value.as_int(), 1);
+}
+
 }  // namespace
 }  // namespace aal

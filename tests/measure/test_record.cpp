@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 
 #include "support/common.hpp"
+#include "support/string_util.hpp"
 
 namespace aal {
 namespace {
@@ -126,6 +129,48 @@ TEST(RecordDatabase, FileRoundTrip) {
 
   EXPECT_THROW(loaded.load_file("/nonexistent/dir/records.log"),
                InvalidArgument);
+}
+
+
+TEST(TuningRecord, NonFiniteValuesRoundTrip) {
+  // A crashed measurement can legitimately record nan/inf timing; the lax
+  // pre-strict parser happened to accept these via stod, and the strict one
+  // must keep doing so — and the serialized form must be re-parse stable.
+  TuningRecord r = sample_record();
+  r.gflops = std::numeric_limits<double>::quiet_NaN();
+  r.mean_time_us = std::numeric_limits<double>::infinity();
+  const std::string line1 = r.to_line();
+  const TuningRecord back = TuningRecord::from_line(line1);
+  EXPECT_TRUE(std::isnan(back.gflops));
+  EXPECT_TRUE(std::isinf(back.mean_time_us));
+  const std::string line2 = back.to_line();
+  EXPECT_EQ(line1, line2);
+}
+
+TEST(TuningRecord, FromLineRejectsCorruptFields) {
+  const std::string good = sample_record().to_line();
+  // Baseline sanity: the untampered line parses.
+  (void)TuningRecord::from_line(good);
+
+  const auto tamper = [&](int field, const std::string& value) {
+    auto fields = split(good, '\t');
+    fields[static_cast<std::size_t>(field)] = value;
+    return join(fields, "\t");
+  };
+  // Trailing garbage in the flat index ("12abc" parsed as 12 pre-strict).
+  EXPECT_THROW((void)TuningRecord::from_line(tamper(1, "12abc")),
+               InvalidArgument);
+  // ok must be exactly "0"/"1" ("2" silently meant false pre-strict).
+  EXPECT_THROW((void)TuningRecord::from_line(tamper(2, "2")), InvalidArgument);
+  EXPECT_THROW((void)TuningRecord::from_line(tamper(2, "")), InvalidArgument);
+  // Doubles with trailing junk or nothing at all.
+  EXPECT_THROW((void)TuningRecord::from_line(tamper(3, "3.5x")),
+               InvalidArgument);
+  EXPECT_THROW((void)TuningRecord::from_line(tamper(4, "")), InvalidArgument);
+  // Wrong field count.
+  EXPECT_THROW((void)TuningRecord::from_line(good + "\textra"),
+               InvalidArgument);
+  EXPECT_THROW((void)TuningRecord::from_line("just_a_key"), InvalidArgument);
 }
 
 }  // namespace

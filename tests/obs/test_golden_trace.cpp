@@ -1,0 +1,159 @@
+// Golden-trace regression suite.
+//
+// A small BTED+BAO session over the dense test workload is traced and the
+// JSONL output is pinned three ways:
+//   1. a serial run and a --jobs 4 style ParallelBackend run must be
+//      byte-identical (trace determinism across schedules);
+//   2. the trace must contain every one of the nine event types (the
+//      session is sized so budget, init, fits, scope changes and the
+//      early-stop all occur);
+//   3. the bytes must equal the checked-in golden file — any change to
+//      event schemas, emission points or serialization shows up as a diff.
+//
+// To regenerate the golden file after an *intentional* schema change:
+//
+//   AAL_REGEN_GOLDEN=1 ./build/tests/aaltune_tests \
+//       --gtest_filter='ObsGoldenTrace.*'
+//
+// then review the diff of tests/obs/golden/dense_bao_trace.jsonl like any
+// other source change.
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/advanced_tuner.hpp"
+#include "obs/trace.hpp"
+#include "pipeline/model_tuner.hpp"
+#include "support/logging.hpp"
+#include "test_util.hpp"
+#include "tuner/tuning_session.hpp"
+
+namespace aal {
+namespace {
+
+constexpr const char* kGoldenRelPath = "tests/obs/golden/dense_bao_trace.jsonl";
+
+TuneOptions golden_options() {
+  TuneOptions options;
+  // Sized so the run exercises every event type: a BTED init batch, ~20 BAO
+  // iterations with bootstrap fits and stagnation-driven scope changes, and
+  // an early stop well before the budget.
+  options.budget = 48;
+  options.early_stopping = 6;
+  options.batch_size = 16;
+  options.num_initial = 8;
+  options.seed = 11;
+  return options;
+}
+
+std::string run_traced_session(MeasureBackend* backend) {
+  TuningTask task(testing::small_dense_workload(), GpuSpec::gtx1080ti());
+  SimulatedDevice device(GpuSpec::gtx1080ti(), 2024);
+  Measurer measurer(task, device);
+  AdvancedActiveLearningTuner tuner;
+  MemoryTraceSink sink;
+  TuneOptions options = golden_options();
+  options.obs.trace = &sink;
+  if (backend == nullptr) {
+    TuningSession session(tuner, measurer, options);
+    session.run();
+  } else {
+    TuningSession session(tuner, measurer, options, *backend);
+    session.run();
+  }
+  return sink.to_jsonl();
+}
+
+class ObsGoldenTrace : public ::testing::Test {
+ protected:
+  void SetUp() override { set_log_threshold(LogLevel::kWarn); }
+  void TearDown() override { set_log_threshold(LogLevel::kInfo); }
+};
+
+TEST_F(ObsGoldenTrace, SerialAndParallelTracesAreByteIdentical) {
+  const std::string serial = run_traced_session(nullptr);
+  ParallelBackend parallel(4);
+  const std::string jobs4 = run_traced_session(&parallel);
+  EXPECT_EQ(serial, jobs4);
+  ASSERT_FALSE(serial.empty());
+}
+
+TEST_F(ObsGoldenTrace, TraceContainsAllNineEventTypes) {
+  const std::string trace = run_traced_session(nullptr);
+  std::set<TraceEventType> seen;
+  std::istringstream is(trace);
+  std::string line;
+  std::int64_t expected_step = 0;
+  while (std::getline(is, line)) {
+    const TraceEvent event = trace_event_from_jsonl_line(line);
+    EXPECT_EQ(event.step, expected_step) << line;
+    ++expected_step;
+    seen.insert(event.type);
+  }
+  for (int t = 0; t <= static_cast<int>(TraceEventType::kEarlyStop); ++t) {
+    const auto type = static_cast<TraceEventType>(t);
+    EXPECT_TRUE(seen.contains(type))
+        << "missing event type: " << trace_event_type_name(type);
+  }
+}
+
+TEST_F(ObsGoldenTrace, MatchesGoldenFile) {
+  const std::string trace = run_traced_session(nullptr);
+  const std::string path = std::string(AALTUNE_SOURCE_DIR) + "/" +
+                           kGoldenRelPath;
+  if (std::getenv("AAL_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good()) << "cannot write golden file " << path;
+    os << trace;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good())
+      << "missing golden file " << path
+      << " — regenerate with AAL_REGEN_GOLDEN=1 (see file header)";
+  std::ostringstream golden;
+  golden << is.rdbuf();
+  EXPECT_EQ(trace, golden.str())
+      << "trace diverged from the golden file; if the change is intentional, "
+         "regenerate with AAL_REGEN_GOLDEN=1 (see file header)";
+}
+
+TEST_F(ObsGoldenTrace, ModelTraceIsInvariantAcrossJobs) {
+  // tune_model buffers each task's events and replays them in model order,
+  // so the whole-model trace must not depend on the lane schedule.
+  const auto run = [](int jobs) {
+    MemoryTraceSink sink;
+    ModelTuneOptions options;
+    options.tune.budget = 24;
+    options.tune.early_stopping = 0;
+    options.tune.num_initial = 8;
+    options.tune.batch_size = 8;
+    options.tune.seed = 3;
+    options.device_seed = 99;
+    options.use_transfer = false;  // every task its own lane
+    options.jobs = jobs;
+    options.trace = &sink;
+    tune_model(testing::tiny_cnn(), GpuSpec::gtx1080ti(),
+               random_tuner_factory(), options);
+    return sink.to_jsonl();
+  };
+  const std::string serial = run(1);
+  const std::string parallel = run(4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  // Every event must carry its lane label so interleaved-lane traces stay
+  // attributable.
+  std::istringstream is(serial);
+  std::string line;
+  while (std::getline(is, line)) {
+    const TraceEvent event = trace_event_from_jsonl_line(line);
+    ASSERT_FALSE(event.fields.empty());
+    EXPECT_EQ(event.fields[0].key, "lane") << line;
+  }
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,115 @@
+// Unit tests for the metrics registry: counter/gauge/histogram semantics,
+// thread safety under concurrent updates, and deterministic (name-sorted)
+// text/JSON dumps.
+#include "obs/metrics.hpp"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aal {
+namespace {
+
+TEST(ObsMetrics, CounterAccumulates) {
+  MetricsRegistry registry;
+  registry.counter("a").add();
+  registry.counter("a").add(41);
+  EXPECT_EQ(registry.counter_value("a"), 42);
+  EXPECT_EQ(registry.counter_value("never_touched"), 0);
+}
+
+TEST(ObsMetrics, GaugeSetAndHighWater) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("depth");
+  g.set(5);
+  g.max_of(3);  // lower: ignored
+  EXPECT_EQ(g.value(), 5);
+  g.max_of(9);
+  EXPECT_EQ(registry.gauge_value("depth"), 9);
+  EXPECT_EQ(registry.gauge_value("missing"), 0);
+}
+
+TEST(ObsMetrics, HistogramTracksCountSumMinMax) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat");
+  EXPECT_EQ(h.snapshot().count, 0);
+  EXPECT_EQ(h.snapshot().mean(), 0.0);
+  h.record(2.0);
+  h.record(-1.0);
+  h.record(5.0);
+  const Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+  EXPECT_DOUBLE_EQ(s.min, -1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(ObsMetrics, HandlesAreStableAcrossLookups) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("x");
+  first.add(7);
+  // Creating other metrics must not invalidate or reset the handle.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("other_" + std::to_string(i));
+  }
+  EXPECT_EQ(&first, &registry.counter("x"));
+  EXPECT_EQ(first.value(), 7);
+}
+
+TEST(ObsMetrics, ConcurrentUpdatesAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.counter("shared").add();
+        registry.gauge("high").max_of(t * kPerThread + i);
+        registry.histogram("h").record(1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(registry.counter_value("shared"), kThreads * kPerThread);
+  EXPECT_EQ(registry.gauge_value("high"), kThreads * kPerThread - 1);
+  EXPECT_EQ(registry.histogram("h").snapshot().count, kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, TextDumpIsNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("zebra").add(1);
+  registry.counter("apple").add(2);
+  registry.gauge("mid").set(3);
+  const std::string text = registry.to_text();
+  const std::size_t apple = text.find("apple");
+  const std::size_t zebra = text.find("zebra");
+  ASSERT_NE(apple, std::string::npos);
+  ASSERT_NE(zebra, std::string::npos);
+  EXPECT_LT(apple, zebra);
+  EXPECT_NE(text.find("mid"), std::string::npos);
+}
+
+TEST(ObsMetrics, JsonDumpIsDeterministic) {
+  const auto build = [] {
+    MetricsRegistry registry;
+    registry.counter("b").add(2);
+    registry.counter("a").add(1);
+    registry.gauge("g").set(7);
+    registry.histogram("h").record(0.5);
+    return registry.to_json();
+  };
+  const std::string first = build();
+  EXPECT_EQ(first, build());
+  EXPECT_EQ(first.find("\"a\":1"), first.find("\"a\":1"));
+  EXPECT_NE(first.find("\"counters\":{\"a\":1,\"b\":2}"), std::string::npos)
+      << first;
+  EXPECT_NE(first.find("\"g\":7"), std::string::npos);
+  EXPECT_NE(first.find("\"count\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aal

@@ -1,0 +1,230 @@
+// Unit tests for the trace layer: deterministic step stamping, JSONL
+// round-trips for every event type (including NaN/inf doubles and escaped
+// strings), strict-parser rejections, execution-metadata capture and
+// MemoryTraceSink replay.
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hpp"
+#include "support/common.hpp"
+
+namespace aal {
+namespace {
+
+TEST(ObsTrace, EventTypeNamesRoundTrip) {
+  const TraceEventType all[] = {
+      TraceEventType::kSessionBegin,      TraceEventType::kSessionEnd,
+      TraceEventType::kPropose,           TraceEventType::kMeasureBatchBegin,
+      TraceEventType::kMeasureBatchEnd,   TraceEventType::kObserve,
+      TraceEventType::kSurrogateFit,      TraceEventType::kScopeChange,
+      TraceEventType::kEarlyStop,
+  };
+  for (const TraceEventType type : all) {
+    const char* name = trace_event_type_name(type);
+    ASSERT_STRNE(name, "unknown");
+    const auto back = trace_event_type_from_name(name);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, type);
+  }
+  EXPECT_FALSE(trace_event_type_from_name("bogus").has_value());
+}
+
+TEST(ObsTrace, SinkStampsMonotonicSteps) {
+  MemoryTraceSink sink;
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent e;
+    e.type = TraceEventType::kPropose;
+    e.step = 999;  // ignored: the sink owns the counter
+    sink.emit(std::move(e));
+  }
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::int64_t i = 0; i < 5; ++i) EXPECT_EQ(events[i].step, i);
+  EXPECT_EQ(sink.steps_emitted(), 5);
+}
+
+TraceEvent sample_event(TraceEventType type) {
+  TraceEvent e;
+  e.type = type;
+  e.fields = {
+      {"an_int", TraceValue(std::int64_t{-42})},
+      {"a_double", TraceValue(3.5)},
+      {"integral_double", TraceValue(2.0)},
+      {"a_bool", TraceValue(true)},
+      {"a_string", TraceValue("plain")},
+  };
+  return e;
+}
+
+TEST(ObsTrace, AllNineEventTypesRoundTripThroughJsonl) {
+  MemoryTraceSink sink;
+  for (int t = 0; t <= static_cast<int>(TraceEventType::kEarlyStop); ++t) {
+    sink.emit(sample_event(static_cast<TraceEventType>(t)));
+  }
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 9u);
+  for (const TraceEvent& e : events) {
+    const std::string line = to_jsonl_line(e);
+    const TraceEvent parsed = trace_event_from_jsonl_line(line);
+    EXPECT_EQ(parsed, e) << line;
+    // Serialization is a fixed point: line -> event -> the same line.
+    EXPECT_EQ(to_jsonl_line(parsed), line);
+  }
+}
+
+TEST(ObsTrace, NonFiniteAndSignedZeroDoublesRoundTrip) {
+  TraceEvent e;
+  e.step = 0;
+  e.type = TraceEventType::kObserve;
+  e.fields = {
+      {"nan", TraceValue(std::nan(""))},
+      {"inf", TraceValue(std::numeric_limits<double>::infinity())},
+      {"ninf", TraceValue(-std::numeric_limits<double>::infinity())},
+      {"nzero", TraceValue(-0.0)},
+      {"tiny", TraceValue(5e-324)},
+      {"big", TraceValue(1.7976931348623157e308)},
+  };
+  const std::string line = to_jsonl_line(e);
+  const TraceEvent parsed = trace_event_from_jsonl_line(line);
+  EXPECT_EQ(parsed, e) << line;
+  ASSERT_EQ(parsed.fields.size(), 6u);
+  EXPECT_TRUE(std::isnan(parsed.fields[0].value.as_double()));
+  EXPECT_TRUE(std::isinf(parsed.fields[1].value.as_double()));
+  EXPECT_LT(parsed.fields[2].value.as_double(), 0.0);
+  EXPECT_TRUE(std::signbit(parsed.fields[3].value.as_double()));
+  EXPECT_EQ(to_jsonl_line(parsed), line);
+}
+
+TEST(ObsTrace, EscapedStringsRoundTrip) {
+  TraceEvent e;
+  e.step = 7;
+  e.type = TraceEventType::kSessionBegin;
+  e.fields = {
+      {"quote", TraceValue("he said \"hi\"")},
+      {"back\\slash", TraceValue("a\\b")},
+      {"control", TraceValue(std::string("tab\there\nline\rret\x01") + "end")},
+  };
+  const std::string line = to_jsonl_line(e);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "JSONL must stay one line";
+  const TraceEvent parsed = trace_event_from_jsonl_line(line);
+  EXPECT_EQ(parsed, e) << line;
+}
+
+TEST(ObsTrace, ParserDistinguishesIntFromIntegralDouble) {
+  const TraceEvent parsed = trace_event_from_jsonl_line(
+      R"({"step":0,"type":"observe","i":2,"d":2.0})");
+  ASSERT_EQ(parsed.fields.size(), 2u);
+  EXPECT_EQ(parsed.fields[0].value.kind(), TraceValue::Kind::kInt);
+  EXPECT_EQ(parsed.fields[1].value.kind(), TraceValue::Kind::kDouble);
+}
+
+TEST(ObsTrace, ParserRejectsMalformedLines) {
+  // Trailing garbage, missing step/type, unknown type, bad escapes, bad
+  // numbers: all must throw, never silently truncate.
+  const char* bad[] = {
+      "",
+      "{}",
+      "not json",
+      R"({"step":0,"type":"observe"} trailing)",
+      R"({"type":"observe","step":0})",
+      R"({"step":0})",
+      R"({"step":0,"type":"no_such_event"})",
+      R"({"step":0.5,"type":"observe"})",
+      R"({"step":0,"type":"observe","x":12abc})",
+      R"({"step":0,"type":"observe","x":"unterminated)",
+      R"({"step":0,"type":"observe","x":"bad\qescape"})",
+      R"({"step":0,"type":"observe","x":--3})",
+  };
+  for (const char* line : bad) {
+    EXPECT_THROW((void)trace_event_from_jsonl_line(line), InvalidArgument)
+        << "accepted: " << line;
+  }
+}
+
+TEST(ObsTrace, ExecutionFieldsDroppedUnlessCaptured) {
+  MemoryTraceSink plain;
+  MemoryTraceSink capturing;
+  capturing.set_capture_execution(true);
+  for (TraceSink* sink : {static_cast<TraceSink*>(&plain),
+                          static_cast<TraceSink*>(&capturing)}) {
+    Obs obs;
+    obs.trace = sink;
+    obs.emit(TraceEventType::kMeasureBatchBegin,
+             {{"batch", TraceValue(std::int64_t{8})}},
+             {{"backend", TraceValue("parallel")}});
+  }
+  ASSERT_EQ(plain.events().size(), 1u);
+  ASSERT_EQ(capturing.events().size(), 1u);
+  EXPECT_EQ(plain.events()[0].fields.size(), 1u);
+  ASSERT_EQ(capturing.events()[0].fields.size(), 2u);
+  EXPECT_EQ(capturing.events()[0].fields[1].key, "backend");
+}
+
+TEST(ObsTrace, LanePrependedWhenSet) {
+  MemoryTraceSink sink;
+  Obs obs;
+  obs.trace = &sink;
+  obs.emit(TraceEventType::kPropose, {{"round", TraceValue(std::int64_t{1})}});
+  Obs laned = obs.with_lane("conv2d/x");
+  laned.emit(TraceEventType::kPropose,
+             {{"round", TraceValue(std::int64_t{2})}});
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].fields[0].key, "round");
+  ASSERT_EQ(events[1].fields.size(), 2u);
+  EXPECT_EQ(events[1].fields[0].key, "lane");
+  EXPECT_EQ(events[1].fields[0].value.as_string(), "conv2d/x");
+}
+
+TEST(ObsTrace, InactiveObsEmitsNothing) {
+  Obs obs;  // no sink, no registry
+  EXPECT_FALSE(obs.active());
+  obs.emit(TraceEventType::kPropose, {{"round", TraceValue(std::int64_t{1})}});
+  obs.count("x");
+  obs.gauge_max("y", 3);
+  obs.record("z", 1.0);  // all no-ops, must not crash
+}
+
+TEST(ObsTrace, ReplayRestampsSteps) {
+  MemoryTraceSink buffer_a;
+  MemoryTraceSink buffer_b;
+  buffer_a.emit(sample_event(TraceEventType::kSessionBegin));
+  buffer_a.emit(sample_event(TraceEventType::kSessionEnd));
+  buffer_b.emit(sample_event(TraceEventType::kPropose));
+
+  MemoryTraceSink target;
+  buffer_a.replay_into(target);
+  buffer_b.replay_into(target);
+  const auto events = target.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].step, 0);
+  EXPECT_EQ(events[1].step, 1);
+  EXPECT_EQ(events[2].step, 2);  // restamped from buffer_b's local 0
+  EXPECT_EQ(events[2].type, TraceEventType::kPropose);
+}
+
+TEST(ObsTrace, JsonlSinkWritesParsableLines) {
+  std::ostringstream os;
+  {
+    JsonlTraceSink sink(os);
+    sink.emit(sample_event(TraceEventType::kSurrogateFit));
+    sink.emit(sample_event(TraceEventType::kScopeChange));
+  }
+  std::istringstream is(os.str());
+  std::string line;
+  int n = 0;
+  while (std::getline(is, line)) {
+    const TraceEvent parsed = trace_event_from_jsonl_line(line);
+    EXPECT_EQ(parsed.step, n);
+    ++n;
+  }
+  EXPECT_EQ(n, 2);
+}
+
+}  // namespace
+}  // namespace aal

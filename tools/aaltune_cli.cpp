@@ -3,6 +3,7 @@
 //   aaltune_cli zoo
 //   aaltune_cli inspect <model>
 //   aaltune_cli tune    <model> [--tuner bted+bao] [--budget N] [--records f]
+//                               [--trace f.jsonl] [--metrics]
 //   aaltune_cli deploy  <model> [--records f] [--runs N]
 //
 // <model> is either a zoo name (alexnet, resnet18, vgg16, mobilenet_v1,
@@ -19,6 +20,8 @@
 #include "graph/model_parser.hpp"
 #include "graph/models.hpp"
 #include "measure/record.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/latency.hpp"
 #include "pipeline/model_tuner.hpp"
 #include "support/arg_parser.hpp"
@@ -102,6 +105,15 @@ int cmd_tune(const ArgParser& args) {
                 resume.c_str());
   }
 
+  std::unique_ptr<JsonlTraceSink> trace;
+  const std::string trace_path = args.get("trace");
+  if (!trace_path.empty()) {
+    trace = std::make_unique<JsonlTraceSink>(trace_path);
+    options.trace = trace.get();
+  }
+  MetricsRegistry metrics;
+  if (args.get_switch("metrics")) options.metrics = &metrics;
+
   std::printf("tuning %s on %s with '%s' (budget %lld/task)...\n",
               g.name().c_str(), gpu.name, args.get("tuner").c_str(),
               static_cast<long long>(options.tune.budget));
@@ -126,6 +138,15 @@ int cmd_tune(const ArgParser& args) {
     }
     db.save_file(records);
     std::printf("wrote %zu records to %s\n", db.size(), records.c_str());
+  }
+  if (trace) {
+    trace->flush();
+    std::printf("wrote %lld trace events to %s\n",
+                static_cast<long long>(trace->steps_emitted()),
+                trace_path.c_str());
+  }
+  if (options.metrics != nullptr) {
+    std::printf("\n%s", metrics.to_text().c_str());
   }
   return 0;
 }
@@ -188,6 +209,10 @@ int main(int argc, char** argv) {
       args.add_flag("resume", "input record log to resume from", "");
       args.add_int_flag("jobs", "concurrent tuning lanes (results are "
                         "identical for any value)", 1);
+      args.add_flag("trace", "write a JSONL trace of the run (byte-identical "
+                    "for any --jobs value)", "");
+      args.add_switch("metrics", "print the metrics summary table after "
+                      "tuning");
     } else if (command == "deploy") {
       args.add_flag("records", "input record log path", "");
       args.add_int_flag("runs", "inference runs", 600);
