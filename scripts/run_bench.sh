@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in benchmark baselines (BENCH_kernels.json and
+# BENCH_tuner.json) from a Release build of bench/micro_kernels, then
+# validates them against the aaltune-bench/v1 schema. See docs/PERF.md for
+# methodology and the schema definition.
+#
+# Environment knobs:
+#   BUILD_DIR          build tree to (re)configure    (default: <repo>/build)
+#   AAL_BENCH_REPEATS  median-of-N repeat count        (default: 9)
+#   AAL_BENCH_SCALE    full | smoke                    (default: full)
+#   AAL_BENCH_OUT_DIR  where BENCH_*.json land         (default: repo root)
+#
+# CI's bench-smoke job runs: AAL_BENCH_SCALE=smoke AAL_BENCH_REPEATS=3
+# AAL_BENCH_OUT_DIR=/tmp scripts/run_bench.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+REPEATS="${AAL_BENCH_REPEATS:-9}"
+SCALE="${AAL_BENCH_SCALE:-full}"
+OUT_DIR="${AAL_BENCH_OUT_DIR:-$ROOT}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target micro_kernels -j >/dev/null
+
+for suite in kernels tuner; do
+  out="$OUT_DIR/BENCH_${suite}.json"
+  echo "bench: suite=$suite scale=$SCALE repeats=$REPEATS -> $out"
+  "$BUILD_DIR/bench/micro_kernels" \
+    --suite "$suite" --repeats "$REPEATS" --scale "$SCALE" --out "$out"
+done
+
+python3 "$ROOT/scripts/validate_bench.py" \
+  "$OUT_DIR/BENCH_kernels.json" "$OUT_DIR/BENCH_tuner.json"
+echo "bench: OK"

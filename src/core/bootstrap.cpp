@@ -1,24 +1,53 @@
 #include "core/bootstrap.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "support/common.hpp"
+#include "support/thread_pool.hpp"
 
 namespace aal {
 
+namespace {
+
+/// Below this many (rows x models) prediction calls the pool's queueing
+/// overhead outweighs the fan-out; thresholds affect wall-clock only, never
+/// results.
+constexpr std::size_t kParallelScoreMinWork = 256;
+
+}  // namespace
+
 BootstrapEnsemble::BootstrapEnsemble(const Dataset& data,
                                      const SurrogateFactory& factory,
-                                     int gamma, Rng& rng) {
+                                     int gamma, Rng& rng, bool parallel_fit) {
   AAL_CHECK(gamma >= 1, "bootstrap gamma must be >= 1");
   AAL_CHECK(!data.empty(), "bootstrap ensemble needs measured data");
-  models_.reserve(static_cast<std::size_t>(gamma));
-  for (int g = 0; g < gamma; ++g) {
-    const auto rows =
-        rng.sample_with_replacement(data.num_rows(), data.num_rows());
-    const Dataset resample = data.subset(rows);
-    auto model = factory.create(rng());
+
+  // Each resample's stochastic inputs — its row indices and its model seed —
+  // are drawn serially from the caller's stream in exactly the order a
+  // serial fit would draw them, so the Rng end-state and every model are
+  // independent of the execution schedule below.
+  struct Draw {
+    std::vector<std::size_t> rows;
+    std::uint64_t seed = 0;
+  };
+  std::vector<Draw> draws(static_cast<std::size_t>(gamma));
+  for (auto& draw : draws) {
+    draw.rows = rng.sample_with_replacement(data.num_rows(), data.num_rows());
+    draw.seed = rng();
+  }
+
+  models_.resize(static_cast<std::size_t>(gamma));
+  const auto fit_one = [&](std::size_t g) {
+    const Dataset resample = data.subset(draws[g].rows);
+    auto model = factory.create(draws[g].seed);
     model->fit(resample);
-    models_.push_back(std::move(model));
+    models_[g] = std::move(model);  // fixed slot: reduction order is static
+  };
+  if (parallel_fit && gamma > 1 && ThreadPool::shared().size() > 1) {
+    ThreadPool::shared().parallel_for(models_.size(), fit_one);
+  } else {
+    for (std::size_t g = 0; g < models_.size(); ++g) fit_one(g);
   }
 }
 
@@ -28,16 +57,41 @@ double BootstrapEnsemble::score(std::span<const double> features) const {
   return acc;
 }
 
+std::vector<double> BootstrapEnsemble::score_all(
+    const dense::Matrix& features) const {
+  std::vector<double> out(features.rows, 0.0);
+  const auto score_row = [&](std::size_t i) {
+    const std::span<const double> row{features.row(i), features.cols};
+    double acc = 0.0;
+    for (const auto& model : models_) acc += model->predict(row);
+    out[i] = acc;
+  };
+  const std::size_t work = features.rows * models_.size();
+  if (work >= kParallelScoreMinWork && ThreadPool::shared().size() > 1) {
+    ThreadPool::shared().parallel_for(features.rows, score_row);
+  } else {
+    for (std::size_t i = 0; i < features.rows; ++i) score_row(i);
+  }
+  return out;
+}
+
 std::size_t bootstrap_select(const BootstrapEnsemble& ensemble,
                              const ConfigSpace& space,
                              const std::vector<Config>& candidates) {
   AAL_CHECK(!candidates.empty(), "bootstrap_select needs candidates");
+  dense::Matrix features(candidates.size(),
+                         static_cast<std::size_t>(space.feature_dim()));
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto f = space.features(candidates[i]);
+    std::copy(f.begin(), f.end(), features.row(i));
+  }
+  const std::vector<double> scores = ensemble.score_all(features);
+
   std::size_t best = 0;
   double best_score = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const double s = ensemble.score(space.features(candidates[i]));
-    if (s > best_score) {
-      best_score = s;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] > best_score) {
+      best_score = scores[i];
       best = i;
     }
   }

@@ -6,6 +6,14 @@
 // ensemble's predictions. The surrogate family is pluggable (the paper:
 // "our sampling algorithm is general enough to handle various types of
 // evaluation function f").
+//
+// The Gamma fits are independent once each resample's rows and model seed
+// are fixed, so they run across the shared thread pool: every resample's
+// row indices and seed are drawn *serially* from the caller's Rng in the
+// same order a serial fit would draw them, then the fits execute on any
+// schedule and land in fixed slots. The ensemble — and the caller's Rng
+// state — is therefore bitwise-identical to a serial construction (pinned
+// by tests/core/test_bootstrap.cpp and the golden-trace suite).
 #pragma once
 
 #include <memory>
@@ -14,6 +22,7 @@
 #include "ml/dataset.hpp"
 #include "ml/surrogate.hpp"
 #include "space/config_space.hpp"
+#include "support/dense.hpp"
 #include "support/rng.hpp"
 
 namespace aal {
@@ -28,12 +37,19 @@ struct BootstrapParams {
 class BootstrapEnsemble {
  public:
   /// Fits Gamma models on resamples of `data`. Each model gets an
-  /// independent seed derived from `rng`.
+  /// independent seed derived from `rng`. With `parallel_fit` (the default)
+  /// the fits fan out over ThreadPool::shared(); results are
+  /// bitwise-identical to a serial construction either way.
   BootstrapEnsemble(const Dataset& data, const SurrogateFactory& factory,
-                    int gamma, Rng& rng);
+                    int gamma, Rng& rng, bool parallel_fit = true);
 
   /// Sum of the Gamma models' predictions (the BS acquisition value).
   double score(std::span<const double> features) const;
+
+  /// Batched acquisition: out[i] = score(features.row(i)) for every row,
+  /// each row's sum accumulated in model order (bitwise equal to score()).
+  /// Large batches are scored across the shared thread pool.
+  std::vector<double> score_all(const dense::Matrix& features) const;
 
   int gamma() const { return static_cast<int>(models_.size()); }
 
@@ -43,7 +59,8 @@ class BootstrapEnsemble {
 
 /// Algorithm 3: returns the index into `candidates` of the configuration
 /// maximizing the ensemble score (ties break toward the lower index; the
-/// candidate list must be non-empty).
+/// candidate list must be non-empty). Candidates are featurized once into a
+/// dense::Matrix and scored in a batch.
 std::size_t bootstrap_select(const BootstrapEnsemble& ensemble,
                              const ConfigSpace& space,
                              const std::vector<Config>& candidates);

@@ -1,18 +1,22 @@
 #include "core/bted.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
+#include "support/dense.hpp"
 #include "support/thread_pool.hpp"
 
 namespace aal {
 
 namespace {
 
-std::vector<std::vector<double>> featurize(const ConfigSpace& space,
-                                           const std::vector<Config>& configs) {
-  std::vector<std::vector<double>> out;
-  out.reserve(configs.size());
-  for (const Config& c : configs) out.push_back(space.features(c));
+dense::Matrix featurize(const ConfigSpace& space,
+                        const std::vector<Config>& configs) {
+  dense::Matrix out(configs.size(), static_cast<std::size_t>(space.feature_dim()));
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto f = space.features(configs[i]);
+    std::copy(f.begin(), f.end(), out.row(i));
+  }
   return out;
 }
 

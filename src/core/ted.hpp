@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "support/dense.hpp"
+
 namespace aal {
 
 enum class TedKernel {
@@ -36,6 +38,18 @@ struct TedParams {
 
 /// Returns indices (into `features`) of the m selected rows, in selection
 /// order. If m >= |V| all indices are returned. All rows must share width.
+///
+/// The selection runs on the shared dense-kernel layer
+/// (`support/dense.hpp`): a blocked pairwise squared-distance build, cached
+/// row norms, and either materialized rank-one deflation (small n) or a
+/// lazy read-only formulation (large n) — see docs/PERF.md for the
+/// crossover and measured speedups.
+std::vector<std::size_t> ted_select(const dense::Matrix& features,
+                                    std::size_t m,
+                                    const TedParams& params = {});
+
+/// Convenience adapter for vector-of-rows callers (copies into a
+/// dense::Matrix). All rows must share width.
 std::vector<std::size_t> ted_select(
     const std::vector<std::vector<double>>& features, std::size_t m,
     const TedParams& params = {});

@@ -5,51 +5,49 @@
 #include <limits>
 
 #include "support/common.hpp"
+#include "support/dense.hpp"
 
 namespace aal {
 
 namespace {
 
-double distance_sq(const std::vector<double>& a, const std::vector<double>& b) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
-}
-
 /// k-means++ seeding: first center uniform, then proportional to D^2.
-std::vector<std::vector<double>> seed_centers(
-    const std::vector<std::vector<double>>& points, std::size_t k, Rng& rng) {
-  std::vector<std::vector<double>> centers;
-  centers.reserve(k);
-  centers.push_back(points[rng.next_index(points.size())]);
-  std::vector<double> dist(points.size(),
+/// Operates on the flattened point matrix; centers land in the row-major
+/// `centers` (k x d).
+void seed_centers(const dense::Matrix& points, dense::Matrix& centers,
+                  Rng& rng) {
+  const std::size_t d = points.cols;
+  std::size_t filled = 0;
+  std::copy_n(points.row(rng.next_index(points.rows)), d, centers.row(0));
+  ++filled;
+  std::vector<double> dist(points.rows,
                            std::numeric_limits<double>::infinity());
-  while (centers.size() < k) {
+  while (filled < centers.rows) {
+    const double* last = centers.row(filled - 1);
     double total = 0.0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      dist[i] = std::min(dist[i], distance_sq(points[i], centers.back()));
+    for (std::size_t i = 0; i < points.rows; ++i) {
+      dist[i] = std::min(dist[i], dense::sq_dist(points.row(i), last, d));
       total += dist[i];
     }
     if (total <= 0.0) {
       // All remaining points coincide with a center; duplicate one.
-      centers.push_back(points[rng.next_index(points.size())]);
+      std::copy_n(points.row(rng.next_index(points.rows)), d,
+                  centers.row(filled));
+      ++filled;
       continue;
     }
     double target = rng.next_double() * total;
-    std::size_t chosen = points.size() - 1;
-    for (std::size_t i = 0; i < points.size(); ++i) {
+    std::size_t chosen = points.rows - 1;
+    for (std::size_t i = 0; i < points.rows; ++i) {
       target -= dist[i];
       if (target <= 0.0) {
         chosen = i;
         break;
       }
     }
-    centers.push_back(points[chosen]);
+    std::copy_n(points.row(chosen), d, centers.row(filled));
+    ++filled;
   }
-  return centers;
 }
 
 }  // namespace
@@ -64,17 +62,27 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points,
   k = std::min(k, points.size());
   AAL_CHECK(k >= 1, "kmeans needs k >= 1");
 
-  KMeansResult result;
-  result.centers = seed_centers(points, k, rng);
-  result.assignment.assign(points.size(), 0);
+  // Flatten once: the assignment step sweeps points x centers every
+  // iteration, and the contiguous layout keeps it streaming instead of
+  // pointer-chasing vector<vector> rows.
+  const dense::Matrix x = dense::from_rows(points);
+  const std::size_t n = x.rows;
 
+  KMeansResult result;
+  dense::Matrix centers(k, dim);
+  seed_centers(x, centers, rng);
+  result.assignment.assign(n, 0);
+
+  dense::Matrix next(k, dim);
+  std::vector<std::size_t> counts(k);
   for (int iter = 0; iter < params.max_iterations; ++iter) {
     ++result.iterations;
     // Assignment step.
-    for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* xi = x.row(i);
       double best = std::numeric_limits<double>::infinity();
       for (std::size_t c = 0; c < k; ++c) {
-        const double d = distance_sq(points[i], result.centers[c]);
+        const double d = dense::sq_dist(xi, centers.row(c), dim);
         if (d < best) {
           best = d;
           result.assignment[i] = static_cast<int>(c);
@@ -82,11 +90,11 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points,
       }
     }
     // Update step.
-    std::vector<std::vector<double>> next(k, std::vector<double>(dim, 0.0));
-    std::vector<std::size_t> counts(k, 0);
-    for (std::size_t i = 0; i < points.size(); ++i) {
+    std::fill(next.data.begin(), next.data.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    for (std::size_t i = 0; i < n; ++i) {
       const auto c = static_cast<std::size_t>(result.assignment[i]);
-      for (std::size_t d = 0; d < dim; ++d) next[c][d] += points[i][d];
+      dense::axpy(1.0, x.row(i), next.row(c), dim);
       ++counts[c];
     }
     double movement = 0.0;
@@ -95,23 +103,24 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points,
         // Re-seed an empty cluster on the point farthest from its center.
         std::size_t farthest = 0;
         double worst = -1.0;
-        for (std::size_t i = 0; i < points.size(); ++i) {
-          const double d = distance_sq(
-              points[i],
-              result.centers[static_cast<std::size_t>(result.assignment[i])]);
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = dense::sq_dist(
+              x.row(i),
+              centers.row(static_cast<std::size_t>(result.assignment[i])),
+              dim);
           if (d > worst) {
             worst = d;
             farthest = i;
           }
         }
-        next[c] = points[farthest];
+        std::copy_n(x.row(farthest), dim, next.row(c));
       } else {
         for (std::size_t d = 0; d < dim; ++d) {
-          next[c][d] /= static_cast<double>(counts[c]);
+          next.row(c)[d] /= static_cast<double>(counts[c]);
         }
       }
-      movement += distance_sq(next[c], result.centers[c]);
-      result.centers[c] = std::move(next[c]);
+      movement += dense::sq_dist(next.row(c), centers.row(c), dim);
+      std::copy_n(next.row(c), dim, centers.row(c));
     }
     if (movement < params.tolerance) break;
   }
@@ -119,13 +128,17 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points,
   // Medoids: nearest input point per center.
   result.medoids.assign(k, 0);
   std::vector<double> best(k, std::numeric_limits<double>::infinity());
-  for (std::size_t i = 0; i < points.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const auto c = static_cast<std::size_t>(result.assignment[i]);
-    const double d = distance_sq(points[i], result.centers[c]);
+    const double d = dense::sq_dist(x.row(i), centers.row(c), dim);
     if (d < best[c]) {
       best[c] = d;
       result.medoids[c] = i;
     }
+  }
+  result.centers.assign(k, std::vector<double>(dim));
+  for (std::size_t c = 0; c < k; ++c) {
+    std::copy_n(centers.row(c), dim, result.centers[c].begin());
   }
   return result;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "support/dense.hpp"
+
 namespace aal {
 
 namespace {
@@ -123,10 +125,12 @@ void Mlp::fit(const Dataset& data, const MlpParams& params) {
           const Layer& layer = layers_[l];
           act[l + 1].assign(static_cast<std::size_t>(layer.out), 0.0);
           for (int o = 0; o < layer.out; ++o) {
-            double acc = layer.bias[static_cast<std::size_t>(o)];
             const double* w =
                 &layer.weights[static_cast<std::size_t>(o) * layer.in];
-            for (int c = 0; c < layer.in; ++c) acc += w[c] * act[l][static_cast<std::size_t>(c)];
+            const double acc =
+                layer.bias[static_cast<std::size_t>(o)] +
+                dense::dot(w, act[l].data(),
+                           static_cast<std::size_t>(layer.in));
             const bool is_output = l + 1 == layers_.size();
             act[l + 1][static_cast<std::size_t>(o)] =
                 is_output ? acc : std::max(0.0, acc);
@@ -142,7 +146,8 @@ void Mlp::fit(const Dataset& data, const MlpParams& params) {
             const double dv = delta[l][static_cast<std::size_t>(o)];
             if (dv == 0.0) continue;
             double* gw = &grad_w[l][static_cast<std::size_t>(o) * layer.in];
-            for (int c = 0; c < layer.in; ++c) gw[c] += dv * act[l][static_cast<std::size_t>(c)];
+            dense::axpy(dv, act[l].data(), gw,
+                        static_cast<std::size_t>(layer.in));
             grad_b[l][static_cast<std::size_t>(o)] += dv;
           }
           if (l == 0) break;
@@ -203,9 +208,10 @@ double Mlp::predict(std::span<const double> features) const {
     const Layer& layer = layers_[l];
     next.assign(static_cast<std::size_t>(layer.out), 0.0);
     for (int o = 0; o < layer.out; ++o) {
-      double acc = layer.bias[static_cast<std::size_t>(o)];
       const double* w = &layer.weights[static_cast<std::size_t>(o) * layer.in];
-      for (int c = 0; c < layer.in; ++c) acc += w[c] * current[static_cast<std::size_t>(c)];
+      const double acc =
+          layer.bias[static_cast<std::size_t>(o)] +
+          dense::dot(w, current.data(), static_cast<std::size_t>(layer.in));
       const bool is_output = l + 1 == layers_.size();
       next[static_cast<std::size_t>(o)] = is_output ? acc : std::max(0.0, acc);
     }

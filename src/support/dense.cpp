@@ -1,0 +1,191 @@
+#include "support/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aal::dense {
+
+namespace {
+
+/// Row-tile edge for the blocked builders: two 48-row tiles of a d<=32
+/// feature matrix stay comfortably inside L1 while the inner loops sweep
+/// their cross product.
+constexpr std::size_t kRowTile = 48;
+
+}  // namespace
+
+Matrix from_rows(const std::vector<std::vector<double>>& rows) {
+  Matrix out;
+  if (rows.empty()) return out;
+  out.rows = rows.size();
+  out.cols = rows[0].size();
+  out.data.reserve(out.rows * out.cols);
+  for (const auto& row : rows) {
+    AAL_CHECK(row.size() == out.cols, "dense::from_rows: ragged rows ("
+                                          << row.size() << " vs " << out.cols
+                                          << ")");
+    out.data.insert(out.data.end(), row.begin(), row.end());
+  }
+  return out;
+}
+
+double dot(const double* a, const double* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+void axpy(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double sq_dist(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void gram_naive(const Matrix& x, std::vector<double>& out) {
+  const std::size_t n = x.rows;
+  out.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < x.cols; ++c) acc += x.at(i, c) * x.at(j, c);
+      out[i * n + j] = acc;
+    }
+  }
+}
+
+void gram(const Matrix& x, std::vector<double>& out) {
+  const std::size_t n = x.rows;
+  const std::size_t d = x.cols;
+  out.resize(n * n);
+  // Raw restrict-qualified pointers: the compiler cannot otherwise prove the
+  // result stores don't alias the feature loads, and keeps reloading them.
+  double* __restrict o = out.data();
+  const double* __restrict xd = x.data.data();
+  for (std::size_t ib = 0; ib < n; ib += kRowTile) {
+    const std::size_t ie = std::min(n, ib + kRowTile);
+    for (std::size_t jb = ib; jb < n; jb += kRowTile) {
+      const std::size_t je = std::min(n, jb + kRowTile);
+      for (std::size_t i = ib; i < ie; ++i) {
+        const double* xi = xd + i * d;
+        for (std::size_t j = std::max(i, jb); j < je; ++j) {
+          // Mirror inside the tile while its lines are cache-hot; a separate
+          // mirror pass would re-stream the whole matrix.
+          const double v = dot(xi, xd + j * d, d);
+          o[i * n + j] = v;
+          o[j * n + i] = v;
+        }
+      }
+    }
+  }
+}
+
+void pairwise_sq_dist_naive(const Matrix& x, std::vector<double>& out) {
+  const std::size_t n = x.rows;
+  out.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = sq_dist(x.row(i), x.row(j), x.cols);
+      out[i * n + j] = d;
+      out[j * n + i] = d;
+    }
+  }
+}
+
+void pairwise_sq_dist(const Matrix& x, std::vector<double>& out) {
+  const std::size_t n = x.rows;
+  const std::size_t d = x.cols;
+  out.resize(n * n);
+  std::vector<double> norms(n);
+  const double* __restrict xd = x.data.data();
+  for (std::size_t i = 0; i < n; ++i) norms[i] = dot(xd + i * d, xd + i * d, d);
+  double* __restrict o = out.data();
+  const double* __restrict nrm = norms.data();
+  for (std::size_t ib = 0; ib < n; ib += kRowTile) {
+    const std::size_t ie = std::min(n, ib + kRowTile);
+    for (std::size_t jb = ib; jb < n; jb += kRowTile) {
+      const std::size_t je = std::min(n, jb + kRowTile);
+      for (std::size_t i = ib; i < ie; ++i) {
+        if (jb <= i) o[i * n + i] = 0.0;  // exact-zero diagonal by fiat
+        const double* xi = xd + i * d;
+        for (std::size_t j = std::max(i + 1, jb); j < je; ++j) {
+          const double sq = nrm[i] + nrm[j] - 2.0 * dot(xi, xd + j * d, d);
+          const double clamped = std::max(sq, 0.0);
+          o[i * n + j] = clamped;
+          o[j * n + i] = clamped;
+        }
+      }
+    }
+  }
+}
+
+ColumnMoments standardize_columns(Matrix& x, double min_stddev) {
+  ColumnMoments moments;
+  moments.mean.assign(x.cols, 0.0);
+  moments.stddev.assign(x.cols, 0.0);
+  if (x.rows == 0 || x.cols == 0) return moments;
+
+  // One Welford pass, row-major so the matrix streams through cache once.
+  std::vector<double> m2(x.cols, 0.0);
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    const double* row = x.row(r);
+    const double inv_count = 1.0 / static_cast<double>(r + 1);
+    for (std::size_t c = 0; c < x.cols; ++c) {
+      const double delta = row[c] - moments.mean[c];
+      moments.mean[c] += delta * inv_count;
+      m2[c] += delta * (row[c] - moments.mean[c]);
+    }
+  }
+  std::vector<double> scale(x.cols, 0.0);
+  for (std::size_t c = 0; c < x.cols; ++c) {
+    moments.stddev[c] = std::sqrt(m2[c] / static_cast<double>(x.rows));
+    scale[c] = moments.stddev[c] < min_stddev ? 0.0 : 1.0 / moments.stddev[c];
+  }
+  for (std::size_t r = 0; r < x.rows; ++r) {
+    double* row = x.row(r);
+    for (std::size_t c = 0; c < x.cols; ++c) {
+      row[c] = scale[c] == 0.0 ? 0.0 : (row[c] - moments.mean[c]) * scale[c];
+    }
+  }
+  return moments;
+}
+
+void row_sq_norms(const double* k, std::size_t n, double* norm_sq) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = k + i * n;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += row[j] * row[j];
+    norm_sq[i] = acc;
+  }
+}
+
+void deflate_rank_one(double* k, std::size_t n, const double* col,
+                      double denom, double* norm_sq) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ci = col[i] / denom;
+    if (ci == 0.0) continue;  // row untouched; its cached norm stays valid
+    double* row = k + i * n;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] -= ci * col[j];
+      acc += row[j] * row[j];
+    }
+    norm_sq[i] = acc;
+  }
+}
+
+}  // namespace aal::dense

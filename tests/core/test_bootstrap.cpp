@@ -129,5 +129,52 @@ TEST(BootstrapParams, PaperDefaultGamma) {
   EXPECT_EQ(BootstrapParams{}.gamma, 2);
 }
 
+TEST(BootstrapEnsemble, ParallelFitsMatchSerialBitwise) {
+  // The determinism contract of the parallel fit path: resample rows and
+  // model seeds are drawn serially before the fan-out, so the ensemble and
+  // the caller's Rng stream position must be bitwise-identical to a serial
+  // construction at any pool size.
+  Rng rng_serial(42), rng_parallel(42), probe_rng(7);
+  Dataset d(2);
+  for (int i = 0; i < 80; ++i) {
+    const double a = probe_rng.next_double();
+    const double b = probe_rng.next_double();
+    d.add_row(std::vector<double>{a, b},
+              3.0 * a - b + probe_rng.next_gaussian(0.0, 0.2));
+  }
+  const GbdtSurrogateFactory factory;
+  const BootstrapEnsemble serial(d, factory, 8, rng_serial,
+                                 /*parallel_fit=*/false);
+  const BootstrapEnsemble parallel(d, factory, 8, rng_parallel,
+                                   /*parallel_fit=*/true);
+  for (int i = 0; i < 64; ++i) {
+    const std::vector<double> x{probe_rng.next_double(),
+                                probe_rng.next_double()};
+    const double a = serial.score(x);
+    const double b = parallel.score(x);
+    EXPECT_EQ(a, b) << "prediction diverged at probe " << i;  // exact
+  }
+  // Both constructions must consume the same number of Rng draws.
+  EXPECT_EQ(rng_serial(), rng_parallel());
+}
+
+TEST(BootstrapEnsemble, ScoreAllMatchesPerCandidateScore) {
+  Rng rng(9), probe_rng(10);
+  const Dataset d = linear_dataset(50, rng);
+  const GbdtSurrogateFactory factory;
+  const BootstrapEnsemble ensemble(d, factory, 3, rng);
+  dense::Matrix batch(40, 2);
+  for (std::size_t i = 0; i < batch.rows; ++i) {
+    batch.at(i, 0) = probe_rng.next_double();
+    batch.at(i, 1) = probe_rng.next_double();
+  }
+  const std::vector<double> scores = ensemble.score_all(batch);
+  ASSERT_EQ(scores.size(), batch.rows);
+  for (std::size_t i = 0; i < batch.rows; ++i) {
+    const std::span<const double> row{batch.row(i), batch.cols};
+    EXPECT_EQ(scores[i], ensemble.score(row)) << i;  // exact, not approximate
+  }
+}
+
 }  // namespace
 }  // namespace aal
