@@ -34,8 +34,12 @@ double SimulatedDevice::sample_time_us(const KernelProfile& profile,
 
 MeasureOutcome SimulatedDevice::run(const KernelProfile& profile,
                                     std::int64_t flops, int repeats,
-                                    std::int64_t config_flat) const {
+                                    std::int64_t config_flat,
+                                    int attempt) const {
   AAL_CHECK(repeats >= 1, "repeats must be >= 1");
+  // The timing stream is attempt-invariant by contract (see Device::run):
+  // a retry after a transient fault reproduces the fault-free values.
+  (void)attempt;
   MeasureOutcome out;
   if (!profile.valid) {
     out.ok = false;

@@ -13,6 +13,13 @@
 // the same seed therefore agree on every sample regardless of the order in
 // which configurations are measured — the property that makes parallel
 // measurement (and resume-from-records) bitwise-deterministic.
+//
+// Measurement consumers program against the abstract Device interface so
+// decorators can be layered on top; FaultyDevice (hwsim/fault.hpp) wraps any
+// Device with deterministic transient-fault injection. run() takes an
+// `attempt` index for that purpose: the underlying timing stream ignores it
+// (a retried measurement reproduces the fault-free values bitwise), while
+// fault decorators key their injection decision on it.
 #pragma once
 
 #include <atomic>
@@ -30,20 +37,51 @@ struct MeasureOutcome {
   double mean_time_us = 0.0;   // average over the repeats
   double gflops = 0.0;         // derived from mean_time_us
   std::vector<double> times_us;  // individual repeats
+
+  /// A transient failure is worth retrying (injected timeout, flaky launch,
+  /// dead worker, ...); permanent failures (invalid build) are not.
+  bool transient = false;
+  /// Short fault-kind name when transient ("timeout", "launch_error", ...).
+  std::string fault;
 };
 
-class SimulatedDevice {
+/// Abstract measurement device: the seam the Measurer programs against.
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual const GpuSpec& spec() const = 0;
+
+  /// Simulates `repeats` timed runs of the profiled kernel identified by its
+  /// flat config index. `attempt` is the zero-based retry ordinal of this
+  /// measurement; implementations must keep the *timing* outcome independent
+  /// of it so retries after transient faults reproduce the fault-free values
+  /// bitwise. Thread-safe and pure in (seed, config_flat, repeat, attempt).
+  virtual MeasureOutcome run(const KernelProfile& profile, std::int64_t flops,
+                             int repeats, std::int64_t config_flat,
+                             int attempt) const = 0;
+
+  /// Convenience: the first attempt.
+  MeasureOutcome run(const KernelProfile& profile, std::int64_t flops,
+                     int repeats, std::int64_t config_flat) const {
+    return run(profile, flops, repeats, config_flat, 0);
+  }
+};
+
+class SimulatedDevice : public Device {
  public:
   explicit SimulatedDevice(GpuSpec spec, std::uint64_t seed = 1);
 
-  const GpuSpec& spec() const { return spec_; }
+  using Device::run;
 
-  /// Simulates `repeats` timed runs of the profiled kernel identified by its
-  /// flat config index. Invalid profiles yield ok == false with gflops == 0
-  /// (AutoTVM error records). Thread-safe; the outcome depends only on
-  /// (seed, config_flat, repeat index), never on other calls.
+  const GpuSpec& spec() const override { return spec_; }
+
+  /// Invalid profiles yield ok == false with gflops == 0 (AutoTVM error
+  /// records). The outcome depends only on (seed, config_flat, repeat
+  /// index) — never on other calls, and never on `attempt`.
   MeasureOutcome run(const KernelProfile& profile, std::int64_t flops,
-                     int repeats, std::int64_t config_flat) const;
+                     int repeats, std::int64_t config_flat,
+                     int attempt) const override;
 
   /// One noisy timing sample for an already-validated profile; `repeat`
   /// selects which independent draw of the (seed, flat) stream to return.

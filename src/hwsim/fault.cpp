@@ -1,0 +1,153 @@
+#include "hwsim/fault.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "support/common.hpp"
+#include "support/string_util.hpp"
+
+namespace aal {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kLaunchError: return "launch_error";
+    case FaultKind::kWrongResult: return "wrong_result";
+    case FaultKind::kWorkerDeath: return "worker_death";
+  }
+  return "unknown";
+}
+
+bool FaultPlan::active() const { return total_rate() > 0.0; }
+
+double FaultPlan::total_rate() const {
+  return timeout_rate + launch_error_rate + wrong_result_rate +
+         worker_death_rate;
+}
+
+void FaultPlan::validate() const {
+  for (const double rate : {timeout_rate, launch_error_rate, wrong_result_rate,
+                            worker_death_rate}) {
+    AAL_CHECK(rate >= 0.0 && rate <= 1.0,
+              "fault rate must be in [0, 1], got " << rate);
+  }
+  AAL_CHECK(total_rate() <= 1.0,
+            "fault rates must sum to <= 1, got " << total_rate());
+  AAL_CHECK(max_faults_per_config >= 0,
+            "fault cap must be >= 0, got " << max_faults_per_config);
+}
+
+FaultKind FaultPlan::draw(std::int64_t flat, int attempt) const {
+  if (!active()) return FaultKind::kNone;
+  if (max_faults_per_config > 0 && attempt >= max_faults_per_config) {
+    return FaultKind::kNone;
+  }
+  // Counter-based draw, same discipline as the device timing noise: a
+  // bijective mix of (flat, attempt) folded into the plan seed. The salt
+  // decorrelates this stream from the timing stream even when the plan and
+  // device share a seed.
+  constexpr std::uint64_t kFaultSalt = 0x6A09E667F3BCC909ULL;
+  const std::uint64_t key = splitmix64(
+      static_cast<std::uint64_t>(flat) * 0x9E3779B97F4A7C15ULL +
+      static_cast<std::uint64_t>(attempt) + kFaultSalt);
+  const std::uint64_t mixed = splitmix64(seed ^ key);
+  const double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  double acc = timeout_rate;
+  if (u < acc) return FaultKind::kTimeout;
+  acc += launch_error_rate;
+  if (u < acc) return FaultKind::kLaunchError;
+  acc += wrong_result_rate;
+  if (u < acc) return FaultKind::kWrongResult;
+  acc += worker_death_rate;
+  if (u < acc) return FaultKind::kWorkerDeath;
+  return FaultKind::kNone;
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (const std::string& part : split(spec, ',')) {
+    const std::string_view item = trim(part);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    AAL_CHECK(eq != std::string_view::npos,
+              "fault spec entry must be key=value: '" << item << "'");
+    const std::string_view key = trim(item.substr(0, eq));
+    const std::string_view value = trim(item.substr(eq + 1));
+    if (key == "timeout") {
+      plan.timeout_rate = parse_double_strict(value);
+    } else if (key == "launch") {
+      plan.launch_error_rate = parse_double_strict(value);
+    } else if (key == "wrong") {
+      plan.wrong_result_rate = parse_double_strict(value);
+    } else if (key == "death") {
+      plan.worker_death_rate = parse_double_strict(value);
+    } else if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_int64_strict(value));
+    } else if (key == "cap") {
+      plan.max_faults_per_config =
+          static_cast<int>(parse_int64_strict(value));
+    } else {
+      AAL_CHECK(false, "unknown fault spec key '"
+                           << key
+                           << "' (expected timeout, launch, wrong, death, "
+                              "seed or cap)");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::string out;
+  const auto append = [&out](std::string_view key, const std::string& value) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  if (timeout_rate > 0.0) append("timeout", format_double(timeout_rate, 4));
+  if (launch_error_rate > 0.0) {
+    append("launch", format_double(launch_error_rate, 4));
+  }
+  if (wrong_result_rate > 0.0) {
+    append("wrong", format_double(wrong_result_rate, 4));
+  }
+  if (worker_death_rate > 0.0) {
+    append("death", format_double(worker_death_rate, 4));
+  }
+  append("seed", std::to_string(seed));
+  if (max_faults_per_config > 0) {
+    append("cap", std::to_string(max_faults_per_config));
+  }
+  return out;
+}
+
+FaultyDevice::FaultyDevice(const Device& inner, FaultPlan plan)
+    : inner_(inner), plan_(std::move(plan)) {
+  plan_.validate();
+}
+
+MeasureOutcome FaultyDevice::run(const KernelProfile& profile,
+                                 std::int64_t flops, int repeats,
+                                 std::int64_t config_flat, int attempt) const {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+  // Build errors never reach the device, so they cannot be struck by a
+  // device-side fault: forward them untouched (they stay permanent).
+  if (profile.valid) {
+    const FaultKind kind = plan_.draw(config_flat, attempt);
+    if (kind != FaultKind::kNone) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      MeasureOutcome out;
+      out.ok = false;
+      out.transient = true;
+      out.fault = fault_kind_name(kind);
+      out.error = std::string("transient ") + fault_kind_name(kind) +
+                  " (injected, attempt " + std::to_string(attempt) + ")";
+      return out;
+    }
+  }
+  return inner_.run(profile, flops, repeats, config_flat, attempt);
+}
+
+}  // namespace aal

@@ -1,0 +1,114 @@
+// Deterministic fault injection for the measurement pipeline.
+//
+// Real tuning runs see transient device failures on top of the deterministic
+// build errors the analytical model produces: AutoTVM's measurement loop
+// routinely retries RPC timeouts, flaky kernel launches, wrong-answer
+// correctness checks and dead worker processes. FaultyDevice reproduces that
+// misbehavior *deterministically*: whether a given measurement attempt faults
+// is a pure function of (plan seed, config flat index, attempt index), drawn
+// through a splitmix64 mix exactly like the device's timing noise. No thread
+// schedule, batch shape or call order can change which attempts fault, so
+// serial and parallel chaos runs stay bitwise-identical — which is what lets
+// the chaos test suite pin retry semantics with golden traces.
+//
+// All injected faults are *transient*: the faulted attempt fails, but the
+// underlying device outcome is untouched, so a retry that draws no fault
+// returns the fault-free timing values bitwise. Permanent failures (invalid
+// profiles, i.e. build errors) pass through uninjected — the build never
+// reaches the device.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "hwsim/device.hpp"
+
+namespace aal {
+
+/// The transient-fault taxonomy, mirroring AutoTVM's MeasureErrorNo
+/// categories that are retryable in practice.
+enum class FaultKind : int {
+  kNone,         // attempt proceeds normally
+  kTimeout,      // measurement timed out (RPC or kernel hang)
+  kLaunchError,  // kernel launch failed transiently
+  kWrongResult,  // output failed the correctness check (dirty memory)
+  kWorkerDeath,  // the measurement worker process died
+};
+
+/// Stable wire name of a fault kind ("timeout", "launch_error", ...).
+const char* fault_kind_name(FaultKind kind);
+
+/// Declarative fault schedule. Rates are per-attempt probabilities; the
+/// draw for (flat, attempt) is pure in (seed, flat, attempt).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double timeout_rate = 0.0;
+  double launch_error_rate = 0.0;
+  double wrong_result_rate = 0.0;
+  double worker_death_rate = 0.0;
+  /// Deterministic chaos bound: with cap > 0, attempts at index >= cap never
+  /// fault. Every attempt consumes one retry, so a config can suffer at most
+  /// `cap` injected faults — and a retry budget of cap+1 attempts is
+  /// *guaranteed* to reach the clean measurement. 0 = unbounded.
+  int max_faults_per_config = 0;
+
+  /// True when any fault rate is non-zero.
+  bool active() const;
+
+  /// Sum of the four rates (must be <= 1).
+  double total_rate() const;
+
+  /// The fault (or kNone) injected into measurement attempt `attempt` of
+  /// config `flat`. Pure in (seed, flat, attempt); thread-safe.
+  FaultKind draw(std::int64_t flat, int attempt) const;
+
+  /// Throws InvalidArgument when rates are outside [0, 1], their sum
+  /// exceeds 1, or the cap is negative.
+  void validate() const;
+
+  /// Parses a comma-separated spec, e.g.
+  ///   "timeout=0.05,launch=0.02,wrong=0.01,death=0.01,seed=7,cap=2"
+  /// Keys: timeout, launch, wrong, death (rates), seed, cap. Unknown keys,
+  /// malformed numbers and invalid rates throw InvalidArgument.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Canonical spec string (parse round-trips it).
+  std::string to_spec() const;
+};
+
+/// Decorator injecting the plan's faults into any Device. The wrapped
+/// device is borrowed and must outlive the decorator.
+class FaultyDevice final : public Device {
+ public:
+  FaultyDevice(const Device& inner, FaultPlan plan);
+
+  using Device::run;
+
+  const GpuSpec& spec() const override { return inner_.spec(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  MeasureOutcome run(const KernelProfile& profile, std::int64_t flops,
+                     int repeats, std::int64_t config_flat,
+                     int attempt) const override;
+
+  /// Total run() calls (diagnostics; pins never-re-dispatch guarantees).
+  std::int64_t attempts() const {
+    return attempts_.load(std::memory_order_relaxed);
+  }
+
+  /// Total faults injected so far (diagnostics).
+  std::int64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const Device& inner_;
+  FaultPlan plan_;
+  mutable std::atomic<std::int64_t> attempts_{0};
+  mutable std::atomic<std::int64_t> injected_{0};
+};
+
+}  // namespace aal

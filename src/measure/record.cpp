@@ -8,16 +8,64 @@
 
 namespace aal {
 
+namespace {
+
+// The error column rides in a tab-separated line, so the three separators
+// (tab, newline, carriage return) and the escape character itself are
+// backslash-escaped.
+std::string escape_error(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_error(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    AAL_CHECK(i + 1 < text.size(),
+              "dangling escape in record error column: " << text);
+    const char next = text[++i];
+    switch (next) {
+      case '\\': out += '\\'; break;
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default:
+        AAL_CHECK(false, "unknown escape '\\" << next
+                                              << "' in record error column");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string TuningRecord::to_line() const {
   std::ostringstream os;
   os << task_key << '\t' << config_flat << '\t' << (ok ? 1 : 0) << '\t'
      << format_double(gflops, 6) << '\t' << format_double(mean_time_us, 6);
+  if (!error.empty()) os << '\t' << escape_error(error);
   return os.str();
 }
 
 TuningRecord TuningRecord::from_line(const std::string& line) {
   const auto fields = split(line, '\t');
-  AAL_CHECK(fields.size() == 5, "malformed record line: " << line);
+  AAL_CHECK(fields.size() == 5 || fields.size() == 6,
+            "malformed record line: " << line);
   TuningRecord r;
   r.task_key = fields[0];
   // Strict field parses: "12abc" or ok="2" means a corrupt or foreign log,
@@ -26,6 +74,7 @@ TuningRecord TuningRecord::from_line(const std::string& line) {
   r.ok = parse_bool01_strict(fields[2]);
   r.gflops = parse_double_strict(fields[3]);
   r.mean_time_us = parse_double_strict(fields[4]);
+  if (fields.size() == 6) r.error = unescape_error(fields[5]);
   return r;
 }
 

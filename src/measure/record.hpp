@@ -23,10 +23,17 @@ struct TuningRecord {
   bool ok = false;
   double gflops = 0.0;
   double mean_time_us = 0.0;
+  /// Failure diagnostic for ok=0 records (empty for successes). Persisted,
+  /// so a resumed session reports the original error instead of a generic
+  /// placeholder.
+  std::string error;
 
   /// Serialized single-line form:
-  /// "task_key<TAB>flat<TAB>ok<TAB>gflops<TAB>time_us"
+  /// "task_key<TAB>flat<TAB>ok<TAB>gflops<TAB>time_us<TAB>error"
+  /// The error column is backslash-escaped (\\, \t, \n, \r) and omitted
+  /// when empty, so success lines match the historical 5-column format.
   std::string to_line() const;
+  /// Accepts both 5-column (legacy) and 6-column lines.
   static TuningRecord from_line(const std::string& line);
 };
 

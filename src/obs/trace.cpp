@@ -28,6 +28,9 @@ constexpr TypeName kTypeNames[] = {
     {TraceEventType::kSurrogateFit, "surrogate_fit"},
     {TraceEventType::kScopeChange, "scope_change"},
     {TraceEventType::kEarlyStop, "early_stop"},
+    {TraceEventType::kMeasureRetry, "measure_retry"},
+    {TraceEventType::kFaultInjected, "fault_injected"},
+    {TraceEventType::kQuarantine, "quarantine"},
 };
 
 }  // namespace

@@ -42,6 +42,9 @@ enum class TraceEventType : int {
   kSurrogateFit,       // a cost model or bootstrap ensemble was (re)fitted
   kScopeChange,        // BAO adapted its neighborhood radius (R -> tau*R)
   kEarlyStop,          // the early-stopping patience tripped
+  kMeasureRetry,       // a config needed more than one device attempt
+  kFaultInjected,      // a transient fault struck a measurement attempt
+  kQuarantine,         // a config's retry budget ran dry
 };
 
 /// Stable wire name of an event type ("session_begin", ...).

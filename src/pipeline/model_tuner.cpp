@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <optional>
 
 #include "core/advanced_tuner.hpp"
 #include "core/bted.hpp"
@@ -105,7 +106,18 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
     const std::uint64_t task_index = static_cast<std::uint64_t>(i) + 1;
     TuningTask tuning_task(task.workload, spec);
     SimulatedDevice device(spec, options.device_seed * 1000003 + task_index);
-    Measurer measurer(tuning_task, device);
+    // The fault plan gets a per-task seed the same way the device does, so
+    // fault draws are pure in (plan seed, task position, flat, attempt) and
+    // the chaos schedule is identical at any jobs value.
+    std::optional<FaultyDevice> faulty;
+    if (options.faults.active()) {
+      FaultPlan task_plan = options.faults;
+      task_plan.seed = splitmix64(options.faults.seed * 1000003 + task_index);
+      faulty.emplace(device, task_plan);
+    }
+    const Device& measured_device =
+        faulty.has_value() ? static_cast<const Device&>(*faulty) : device;
+    Measurer measurer(tuning_task, measured_device, options.measure);
     Obs obs;
     obs.trace = options.trace != nullptr ? task_traces[i].get() : nullptr;
     obs.metrics = options.metrics;

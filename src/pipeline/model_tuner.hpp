@@ -24,6 +24,8 @@
 #include "graph/fusion.hpp"
 #include "graph/graph.hpp"
 #include "hwsim/device.hpp"
+#include "hwsim/fault.hpp"
+#include "measure/measure.hpp"
 #include "measure/record.hpp"
 #include "measure/tuning_task.hpp"
 #include "ml/transfer.hpp"
@@ -82,6 +84,14 @@ struct ModelTuneOptions {
   /// Optional metrics registry shared by every task. Non-owning; may be
   /// null.
   MetricsRegistry* metrics = nullptr;
+  /// Per-task measurement options (timing repeats, retry policy). The
+  /// defaults reproduce the historical single-attempt behavior.
+  MeasureOptions measure;
+  /// Fault-injection plan. When active, every task's device is wrapped in a
+  /// FaultyDevice with a per-task seed derived from plan.seed and the task's
+  /// model-order position — deterministic at any jobs value. Inactive (all
+  /// rates zero) by default.
+  FaultPlan faults;
 };
 
 /// Tunes every task of `graph` with tuners from `factory`.

@@ -45,6 +45,9 @@ struct TunePoint {
   std::int64_t flat = -1;
   bool ok = false;
   double gflops = 0.0;
+  /// Failure diagnostic for ok=false points (empty for successes); carried
+  /// into persisted records so error causes survive save/resume.
+  std::string error;
 };
 
 struct TuneResult {

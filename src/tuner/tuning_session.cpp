@@ -154,7 +154,7 @@ bool TuningSession::step() {
   }
 
   for (const MeasureResult& r : fresh) {
-    history_.push_back(TunePoint{r.config.flat, r.ok, r.gflops});
+    history_.push_back(TunePoint{r.config.flat, r.ok, r.gflops, r.error});
     if (r.ok && r.gflops > best_gflops_) {
       best_gflops_ = r.gflops;
       best_flat_ = r.config.flat;

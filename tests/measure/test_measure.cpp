@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "test_util.hpp"
 
 namespace aal {
@@ -216,6 +220,93 @@ TEST_F(MeasureTest, ResumeThenMeasureEqualsFreshMeasure) {
     EXPECT_DOUBLE_EQ(replay.gflops, records[i].gflops);
   }
   EXPECT_EQ(resumed.num_measured(), fresh.num_measured());
+}
+
+TEST_F(MeasureTest, FailedConfigKeepsErrorThroughCacheHits) {
+  // Regression: the error string of a failed config must survive later
+  // visits served from the memo cache, through both the single-config and
+  // the batch path.
+  std::optional<Config> failing;
+  for (std::int64_t flat = 0; flat < task_.space().size(); ++flat) {
+    const Config c = task_.space().at(flat);
+    if (!task_.profile(c).valid) {
+      failing = c;
+      break;
+    }
+  }
+  ASSERT_TRUE(failing.has_value()) << "space has no invalid config";
+
+  const auto first = measurer_.measure_batch(std::vector<Config>{*failing});
+  ASSERT_FALSE(first.at(0).ok);
+  ASSERT_FALSE(first.at(0).error.empty());
+
+  const MeasureResult& single_revisit = measurer_.measure(*failing);
+  EXPECT_EQ(single_revisit.error, first.at(0).error);
+  const auto batch_revisit =
+      measurer_.measure_batch(std::vector<Config>{*failing});
+  EXPECT_EQ(batch_revisit.at(0).error, first.at(0).error);
+  EXPECT_EQ(measurer_.num_measured(), 1);
+}
+
+TEST_F(MeasureTest, PreloadKeepsPersistedErrorString) {
+  Rng rng(13);
+  const Config a = task_.space().sample(rng);
+  const Config b = task_.space().sample(rng);
+  std::vector<TuningRecord> records;
+  records.push_back(TuningRecord{task_.key(), a.flat, false, 0.0, 0.0,
+                                 "transient timeout (injected, attempt 0)"});
+  // Legacy record without an error column falls back to the placeholder.
+  records.push_back(TuningRecord{task_.key(), b.flat, false, 0.0, 0.0});
+  ASSERT_EQ(measurer_.preload(records), 2u);
+  EXPECT_EQ(measurer_.measure(a).error,
+            "transient timeout (injected, attempt 0)");
+  EXPECT_EQ(measurer_.measure(b).error, "failed in a previous session");
+}
+
+TEST(BackendTest, SerialBackendDispatchesInOrderOnCallingThread) {
+  SerialBackend serial;
+  std::vector<std::size_t> order;
+  const std::thread::id caller = std::this_thread::get_id();
+  serial.dispatch(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  // No queue behind the serial backend.
+  EXPECT_EQ(serial.queue_high_water(), 0u);
+}
+
+TEST(BackendTest, ParallelBackendTracksQueueHighWater) {
+  // Two workers, eight items: parallel_for enqueues eight chunk tasks, the
+  // two workers block inside fn, so at least six tasks must sit in the
+  // queue at once. Polling the high-water mark until it reaches that bound
+  // keeps the test schedule-independent.
+  ParallelBackend backend(2);
+  EXPECT_EQ(backend.queue_high_water(), 0u);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> calls{0};
+  std::thread driver([&] {
+    backend.dispatch(8, [&](std::size_t) {
+      calls.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (backend.queue_high_water() < 6 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  const std::size_t high_water = backend.queue_high_water();
+  release.store(true);
+  driver.join();
+
+  EXPECT_GE(high_water, 6u);
+  EXPECT_LE(backend.queue_high_water(), 8u);
+  EXPECT_EQ(calls.load(), 8);
 }
 
 TEST(BackendTest, NamesAndThreadCounts) {

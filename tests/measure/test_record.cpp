@@ -167,10 +167,71 @@ TEST(TuningRecord, FromLineRejectsCorruptFields) {
   EXPECT_THROW((void)TuningRecord::from_line(tamper(3, "3.5x")),
                InvalidArgument);
   EXPECT_THROW((void)TuningRecord::from_line(tamper(4, "")), InvalidArgument);
-  // Wrong field count.
-  EXPECT_THROW((void)TuningRecord::from_line(good + "\textra"),
+  // Wrong field count: a sixth column is the (valid) error column, so the
+  // first rejected shape is seven columns.
+  EXPECT_THROW((void)TuningRecord::from_line(good + "\terr\textra"),
                InvalidArgument);
   EXPECT_THROW((void)TuningRecord::from_line("just_a_key"), InvalidArgument);
+  // Corrupt escapes in the error column.
+  EXPECT_THROW((void)TuningRecord::from_line(good + "\tbad\\escape"),
+               InvalidArgument);
+  EXPECT_THROW((void)TuningRecord::from_line(good + "\tdangling\\"),
+               InvalidArgument);
+}
+
+TEST(TuningRecord, ErrorStringRoundTrip) {
+  TuningRecord r = sample_record();
+  r.ok = false;
+  r.gflops = 0.0;
+  r.error = "shared memory over budget: 49152 > 48000";
+  const std::string line = r.to_line();
+  EXPECT_EQ(split(line, '\t').size(), 6u);
+  const TuningRecord back = TuningRecord::from_line(line);
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, r.error);
+}
+
+TEST(TuningRecord, ErrorEscapesSeparatorsAndBackslashes) {
+  TuningRecord r = sample_record();
+  r.ok = false;
+  r.error = "tab\there\nnewline\rreturn\\backslash";
+  const std::string line = r.to_line();
+  // The escaped error must not add tab or newline bytes to the line.
+  EXPECT_EQ(split(line, '\t').size(), 6u);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.find('\r'), std::string::npos);
+  const TuningRecord back = TuningRecord::from_line(line);
+  EXPECT_EQ(back.error, r.error);
+}
+
+TEST(TuningRecord, SuccessLineKeepsLegacyFiveColumnShape) {
+  // Successful records have no error, so logs full of successes stay
+  // byte-compatible with the pre-error-column format.
+  EXPECT_EQ(split(sample_record().to_line(), '\t').size(), 5u);
+}
+
+TEST(TuningRecord, LegacyFiveColumnLineLoadsWithEmptyError) {
+  TuningRecord r = sample_record();
+  r.ok = false;
+  const TuningRecord back = TuningRecord::from_line(r.to_line());
+  EXPECT_FALSE(back.ok);
+  EXPECT_TRUE(back.error.empty());
+}
+
+TEST(RecordDatabase, ErrorRecordSurvivesStreamRoundTrip) {
+  RecordDatabase db;
+  TuningRecord r = sample_record();
+  r.ok = false;
+  r.gflops = 0.0;
+  r.error = "transient timeout (injected, attempt 0)";
+  db.add(r);
+
+  std::stringstream buffer;
+  db.save(buffer);
+  RecordDatabase loaded;
+  loaded.load(buffer);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.records_for(r.task_key).at(0).error, r.error);
 }
 
 }  // namespace

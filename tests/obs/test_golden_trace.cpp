@@ -19,12 +19,14 @@
 // other source change.
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "core/advanced_tuner.hpp"
+#include "hwsim/fault.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/model_tuner.hpp"
 #include "support/logging.hpp"
@@ -35,6 +37,8 @@ namespace aal {
 namespace {
 
 constexpr const char* kGoldenRelPath = "tests/obs/golden/dense_bao_trace.jsonl";
+constexpr const char* kFaultGoldenRelPath =
+    "tests/obs/golden/dense_bao_fault_trace.jsonl";
 
 TuneOptions golden_options() {
   TuneOptions options;
@@ -49,21 +53,48 @@ TuneOptions golden_options() {
   return options;
 }
 
-std::string run_traced_session(MeasureBackend* backend) {
+/// The fault-enabled golden run's chaos schedule: cap-bounded transient
+/// faults, retried with one attempt of headroom, so the tuning decisions
+/// (and every non-retry event) replicate the fault-free golden run exactly.
+FaultPlan golden_fault_plan() {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.timeout_rate = 0.08;
+  plan.launch_error_rate = 0.04;
+  plan.wrong_result_rate = 0.02;
+  plan.worker_death_rate = 0.02;
+  plan.max_faults_per_config = 2;
+  return plan;
+}
+
+std::string run_traced_session(MeasureBackend* backend,
+                               const FaultPlan* faults = nullptr,
+                               std::vector<TunePoint>* history_out = nullptr) {
   TuningTask task(testing::small_dense_workload(), GpuSpec::gtx1080ti());
   SimulatedDevice device(GpuSpec::gtx1080ti(), 2024);
-  Measurer measurer(task, device);
+  std::optional<FaultyDevice> faulty;
+  if (faults != nullptr) faulty.emplace(device, *faults);
+  MeasureOptions measure_options;
+  if (faults != nullptr) {
+    measure_options.retry.max_attempts = faults->max_faults_per_config + 2;
+  }
+  Measurer measurer(
+      task,
+      faulty.has_value() ? static_cast<const Device&>(*faulty) : device,
+      measure_options);
   AdvancedActiveLearningTuner tuner;
   MemoryTraceSink sink;
   TuneOptions options = golden_options();
   options.obs.trace = &sink;
+  TuneResult result;
   if (backend == nullptr) {
     TuningSession session(tuner, measurer, options);
-    session.run();
+    result = session.run();
   } else {
     TuningSession session(tuner, measurer, options, *backend);
-    session.run();
+    result = session.run();
   }
+  if (history_out != nullptr) *history_out = result.history;
   return sink.to_jsonl();
 }
 
@@ -119,6 +150,66 @@ TEST_F(ObsGoldenTrace, MatchesGoldenFile) {
   EXPECT_EQ(trace, golden.str())
       << "trace diverged from the golden file; if the change is intentional, "
          "regenerate with AAL_REGEN_GOLDEN=1 (see file header)";
+}
+
+TEST_F(ObsGoldenTrace, FaultTraceSerialAndParallelAreByteIdentical) {
+  const FaultPlan plan = golden_fault_plan();
+  const std::string serial = run_traced_session(nullptr, &plan);
+  ParallelBackend parallel(4);
+  const std::string jobs4 = run_traced_session(&parallel, &plan);
+  EXPECT_EQ(serial, jobs4);
+  ASSERT_FALSE(serial.empty());
+}
+
+TEST_F(ObsGoldenTrace, FaultRunReplaysCleanHistoryAndAddsRetryEvents) {
+  // The chaos plan is cap-bounded and the retry budget exceeds the cap, so
+  // every injected fault is survived: the tuning history is bitwise the
+  // fault-free run's, and the trace gains only retry-machinery events.
+  std::vector<TunePoint> clean_history;
+  run_traced_session(nullptr, nullptr, &clean_history);
+  const FaultPlan plan = golden_fault_plan();
+  std::vector<TunePoint> fault_history;
+  const std::string trace = run_traced_session(nullptr, &plan, &fault_history);
+
+  ASSERT_EQ(fault_history.size(), clean_history.size());
+  for (std::size_t i = 0; i < clean_history.size(); ++i) {
+    EXPECT_EQ(fault_history[i].flat, clean_history[i].flat);
+    EXPECT_EQ(fault_history[i].ok, clean_history[i].ok);
+    EXPECT_EQ(fault_history[i].gflops, clean_history[i].gflops);
+  }
+
+  std::set<TraceEventType> seen;
+  std::istringstream is(trace);
+  std::string line;
+  while (std::getline(is, line)) {
+    seen.insert(trace_event_from_jsonl_line(line).type);
+  }
+  EXPECT_TRUE(seen.contains(TraceEventType::kFaultInjected));
+  EXPECT_TRUE(seen.contains(TraceEventType::kMeasureRetry));
+  // Recovery is guaranteed by the cap, so nothing may be quarantined.
+  EXPECT_FALSE(seen.contains(TraceEventType::kQuarantine));
+}
+
+TEST_F(ObsGoldenTrace, MatchesFaultGoldenFile) {
+  const FaultPlan plan = golden_fault_plan();
+  const std::string trace = run_traced_session(nullptr, &plan);
+  const std::string path =
+      std::string(AALTUNE_SOURCE_DIR) + "/" + kFaultGoldenRelPath;
+  if (std::getenv("AAL_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good()) << "cannot write golden file " << path;
+    os << trace;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good())
+      << "missing golden file " << path
+      << " — regenerate with AAL_REGEN_GOLDEN=1 (see file header)";
+  std::ostringstream golden;
+  golden << is.rdbuf();
+  EXPECT_EQ(trace, golden.str())
+      << "fault trace diverged from the golden file; if the change is "
+         "intentional, regenerate with AAL_REGEN_GOLDEN=1 (see file header)";
 }
 
 TEST_F(ObsGoldenTrace, ModelTraceIsInvariantAcrossJobs) {

@@ -22,7 +22,8 @@ TEST(ObsTrace, EventTypeNamesRoundTrip) {
       TraceEventType::kPropose,           TraceEventType::kMeasureBatchBegin,
       TraceEventType::kMeasureBatchEnd,   TraceEventType::kObserve,
       TraceEventType::kSurrogateFit,      TraceEventType::kScopeChange,
-      TraceEventType::kEarlyStop,
+      TraceEventType::kEarlyStop,         TraceEventType::kMeasureRetry,
+      TraceEventType::kFaultInjected,     TraceEventType::kQuarantine,
   };
   for (const TraceEventType type : all) {
     const char* name = trace_event_type_name(type);
@@ -61,13 +62,13 @@ TraceEvent sample_event(TraceEventType type) {
   return e;
 }
 
-TEST(ObsTrace, AllNineEventTypesRoundTripThroughJsonl) {
+TEST(ObsTrace, AllTwelveEventTypesRoundTripThroughJsonl) {
   MemoryTraceSink sink;
-  for (int t = 0; t <= static_cast<int>(TraceEventType::kEarlyStop); ++t) {
+  for (int t = 0; t <= static_cast<int>(TraceEventType::kQuarantine); ++t) {
     sink.emit(sample_event(static_cast<TraceEventType>(t)));
   }
   const auto events = sink.events();
-  ASSERT_EQ(events.size(), 9u);
+  ASSERT_EQ(events.size(), 12u);
   for (const TraceEvent& e : events) {
     const std::string line = to_jsonl_line(e);
     const TraceEvent parsed = trace_event_from_jsonl_line(line);

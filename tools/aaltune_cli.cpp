@@ -96,6 +96,14 @@ int cmd_tune(const ArgParser& args) {
     throw InvalidArgument("--jobs must be >= 1");
   }
 
+  const std::string faults_spec = args.get("faults");
+  if (!faults_spec.empty()) options.faults = FaultPlan::parse(faults_spec);
+  const int max_retries = static_cast<int>(args.get_int("max-retries"));
+  if (max_retries < 0) {
+    throw InvalidArgument("--max-retries must be >= 0");
+  }
+  options.measure.retry.max_attempts = 1 + max_retries;
+
   RecordDatabase resume_db;
   const std::string resume = args.get("resume");
   if (!resume.empty()) {
@@ -117,6 +125,11 @@ int cmd_tune(const ArgParser& args) {
   std::printf("tuning %s on %s with '%s' (budget %lld/task)...\n",
               g.name().c_str(), gpu.name, args.get("tuner").c_str(),
               static_cast<long long>(options.tune.budget));
+  if (options.faults.active()) {
+    std::printf("fault injection on: %s (max %d attempts/config)\n",
+                options.faults.to_spec().c_str(),
+                options.measure.retry.max_attempts);
+  }
   const ModelTuneReport report =
       tune_model(g, gpu, load_tuner(args.get("tuner")), options);
 
@@ -133,7 +146,7 @@ int cmd_tune(const ArgParser& args) {
     RecordDatabase db;
     for (const auto& t : report.tasks) {
       for (const auto& p : t.result.history) {
-        db.add(TuningRecord{t.task_key, p.flat, p.ok, p.gflops, 0.0});
+        db.add(TuningRecord{t.task_key, p.flat, p.ok, p.gflops, 0.0, p.error});
       }
     }
     db.save_file(records);
@@ -213,6 +226,10 @@ int main(int argc, char** argv) {
                     "for any --jobs value)", "");
       args.add_switch("metrics", "print the metrics summary table after "
                       "tuning");
+      args.add_flag("faults", "inject deterministic transient faults, e.g. "
+                    "timeout=0.05,launch=0.02,seed=7,cap=2", "");
+      args.add_int_flag("max-retries", "extra measurement attempts after a "
+                        "transient fault", 0);
     } else if (command == "deploy") {
       args.add_flag("records", "input record log path", "");
       args.add_int_flag("runs", "inference runs", 600);
