@@ -17,8 +17,18 @@ Measurer::Measurer(const TuningTask& task, const Device& device,
             "backoff_base_us must be >= 0");
 }
 
+namespace {
+
+MeasureOptions repeats_only(int repeats) {
+  MeasureOptions options;
+  options.repeats = repeats;
+  return options;
+}
+
+}  // namespace
+
 Measurer::Measurer(const TuningTask& task, const Device& device, int repeats)
-    : Measurer(task, device, MeasureOptions{repeats, RetryPolicy{}}) {}
+    : Measurer(task, device, repeats_only(repeats)) {}
 
 MeasureResult Measurer::compute(const Config& config) const {
   const KernelProfile profile = task_.profile(config);
@@ -162,32 +172,68 @@ const MeasureResult* Measurer::find(std::int64_t flat) const {
   return it == cache_.end() ? nullptr : &it->second;
 }
 
-std::size_t Measurer::preload(const std::vector<TuningRecord>& records) {
+std::size_t Measurer::preload(const std::vector<TuningRecord>& records,
+                              PreloadSource source) {
   const std::string key = task_.key();
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t adopted = 0;
-  for (const TuningRecord& r : records) {
-    if (r.task_key != key) continue;
-    if (r.config_flat < 0 || r.config_flat >= task_.space().size()) continue;
-    if (cache_.contains(r.config_flat)) continue;
-    MeasureResult result;
-    result.config = task_.space().at(r.config_flat);
-    result.ok = r.ok;
-    result.gflops = r.gflops;
-    result.mean_time_us = r.mean_time_us;
-    if (!r.ok) {
-      // Records written before the error column existed load with an empty
-      // error string; keep the historical placeholder for those.
-      result.error =
-          r.error.empty() ? "failed in a previous session" : r.error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const TuningRecord& r : records) {
+      if (r.task_key != key) continue;
+      if (r.config_flat < 0 || r.config_flat >= task_.space().size()) continue;
+      if (cache_.contains(r.config_flat)) continue;
+      MeasureResult result;
+      result.config = task_.space().at(r.config_flat);
+      result.ok = r.ok;
+      result.gflops = r.gflops;
+      result.mean_time_us = r.mean_time_us;
+      result.preloaded = true;
+      if (!r.ok) {
+        // Records written before the error column existed load with an empty
+        // error string; keep the historical placeholder for those.
+        result.error =
+            r.error.empty() ? "failed in a previous session" : r.error;
+      }
+      commit_locked(std::move(result));
+      ++adopted;
     }
-    commit_locked(std::move(result));
-    ++adopted;
   }
   // Preloaded configs are budget-free: they count their own metric, not
   // measure.configs_measured, and later revisits count as cache hits.
-  obs_.count("measure.preloaded", static_cast<std::int64_t>(adopted));
+  if (source == PreloadSource::kStore) {
+    // Counted and emitted only when the store actually contributed, so a run
+    // against an empty store stays byte-identical (trace and metrics) to a
+    // storeless run.
+    if (adopted > 0) {
+      obs_.count("store.hits", static_cast<std::int64_t>(adopted));
+      obs_.emit(TraceEventType::kStoreHit,
+                {{"offered", TraceValue(records.size())},
+                 {"hits", TraceValue(adopted)}});
+    }
+  } else {
+    obs_.count("measure.preloaded", static_cast<std::int64_t>(adopted));
+  }
   return adopted;
+}
+
+std::vector<MeasureResult> Measurer::fresh_results() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MeasureResult> out;
+  for (const std::int64_t flat : order_) {
+    const MeasureResult& r = cache_.at(flat);
+    if (!r.preloaded) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<MeasureResult> Measurer::preloaded_results() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MeasureResult> out;
+  for (const std::int64_t flat : order_) {
+    const MeasureResult& r = cache_.at(flat);
+    if (r.preloaded) out.push_back(r);
+  }
+  return out;
 }
 
 std::vector<MeasureResult> Measurer::measure_batch(

@@ -41,40 +41,18 @@
 #include "hwsim/device.hpp"
 #include "measure/backend.hpp"
 #include "measure/record.hpp"
+#include "measure/session_options.hpp"
 #include "measure/tuning_task.hpp"
 #include "obs/obs.hpp"
 
 namespace aal {
 
-/// How many device attempts a single configuration's measurement may
-/// consume, and how failures are classified along the way.
-struct RetryPolicy {
-  /// Total device attempts per config (1 = no retries, the historical
-  /// behavior). Transient failures retry until this cap.
-  int max_attempts = 1;
-  /// How many *permanent* failures (build errors) are observed before the
-  /// config is given up. 1 = trust the permanent classification (default);
-  /// larger values re-check — a config failing permanently that many times
-  /// is quarantined ("repeated permanents").
-  int permanent_tolerance = 1;
-  /// Simulated backoff before retry k (zero-based): base * 2^k microseconds.
-  /// Pure arithmetic — never wall-clock — so backoff accounting is
-  /// deterministic at any thread count.
-  double backoff_base_us = 100.0;
-
-  bool retries_enabled() const {
-    return max_attempts > 1 || permanent_tolerance > 1;
-  }
-
-  double backoff_us(int attempt) const {
-    return backoff_base_us * static_cast<double>(1LL << std::min(attempt, 40));
-  }
-};
-
-struct MeasureOptions {
+/// Measurement-layer options. Composes the shared SessionOptions knobs
+/// (the Measurer honors `retry`; the other shared fields are inert here —
+/// budget accounting lives in the TuningSession, seeds in the Device).
+struct MeasureOptions : SessionOptions {
   /// Timing runs averaged per measurement (AutoTVM default-ish).
   int repeats = 3;
-  RetryPolicy retry;
 };
 
 /// One transient fault observed while measuring a config, recorded so the
@@ -96,7 +74,17 @@ struct MeasureResult {
   double backoff_us = 0.0;      // simulated backoff time spent
   bool quarantined = false;     // retry budget ran dry on this config
   std::vector<FaultObservation> faults;  // transient faults survived
+
+  /// True when this result was adopted from persisted records (resume log
+  /// or RecordStore) instead of being measured in this session.
+  bool preloaded = false;
 };
+
+/// Where preloaded records came from — the distinction only affects which
+/// metric the adoption counts under (and whether a store_hit trace event is
+/// emitted): resume logs count `measure.preloaded`, RecordStore rows count
+/// `store.hits`. Cache semantics are identical.
+enum class PreloadSource : int { kResumeLog, kStore };
 
 class Measurer {
  public:
@@ -147,7 +135,13 @@ class Measurer {
   /// tuning session this way makes historical measurements free: revisits
   /// hit the cache and consume no budget. Failed records keep their
   /// persisted error string. Returns the number of records adopted.
-  std::size_t preload(const std::vector<TuningRecord>& records);
+  ///
+  /// `source` picks the metric the adoption counts under: resume logs bump
+  /// `measure.preloaded`, RecordStore rows bump `store.hits` and emit a
+  /// store_hit trace event (only when at least one record was adopted, so
+  /// an empty store leaves the trace byte-identical to a storeless run).
+  std::size_t preload(const std::vector<TuningRecord>& records,
+                      PreloadSource source = PreloadSource::kResumeLog);
 
   /// Measures a batch serially; results align with the input order.
   std::vector<MeasureResult> measure_batch(std::span<const Config> configs);
@@ -168,6 +162,14 @@ class Measurer {
   /// All measured results, in the order they were committed to the cache
   /// (deterministic: preload order, then measurement commit order).
   std::vector<MeasureResult> all_results() const;
+
+  /// Results measured in *this* session (all_results minus preloads), in
+  /// commit order. This is what flushes back to a RecordStore — re-appending
+  /// rows that came from the store would duplicate them on every run.
+  std::vector<MeasureResult> fresh_results() const;
+
+  /// Results adopted from persisted records, in commit order.
+  std::vector<MeasureResult> preloaded_results() const;
 
  private:
   /// Pure per-config measurement incl. the retry loop: no shared-state

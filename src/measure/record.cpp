@@ -65,7 +65,8 @@ std::string TuningRecord::to_line() const {
 TuningRecord TuningRecord::from_line(const std::string& line) {
   const auto fields = split(line, '\t');
   AAL_CHECK(fields.size() == 5 || fields.size() == 6,
-            "malformed record line: " << line);
+            "malformed record line: expected 5 (legacy) or 6 tab-separated "
+            "columns, got " << fields.size() << ": " << line);
   TuningRecord r;
   r.task_key = fields[0];
   // Strict field parses: "12abc" or ok="2" means a corrupt or foreign log,
@@ -112,11 +113,22 @@ void RecordDatabase::save(std::ostream& os) const {
   }
 }
 
-void RecordDatabase::load(std::istream& is) {
+void RecordDatabase::load(std::istream& is, const std::string& source) {
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     if (trim(line).empty()) continue;
-    add(TuningRecord::from_line(line));
+    // Rejecting — not skipping — a corrupt line matters: a silently dropped
+    // record would resurface as a re-measured config and a quietly different
+    // run. Name the offending line so the log can actually be repaired.
+    try {
+      add(TuningRecord::from_line(line));
+    } catch (const Error& e) {
+      const std::string where = source.empty() ? "record log" : source;
+      throw InvalidArgument(where + " line " + std::to_string(line_no) +
+                            ": " + e.what());
+    }
   }
 }
 
@@ -129,7 +141,7 @@ void RecordDatabase::save_file(const std::string& path) const {
 void RecordDatabase::load_file(const std::string& path) {
   std::ifstream is(path);
   AAL_CHECK(is.good(), "cannot open record file for reading: " << path);
-  load(is);
+  load(is, path);
 }
 
 }  // namespace aal

@@ -53,7 +53,11 @@ class RecordDatabase {
   const std::vector<std::string>& task_keys() const { return keys_; }
 
   void save(std::ostream& os) const;
-  void load(std::istream& is);
+  /// Loads record lines from a stream. A malformed line throws
+  /// InvalidArgument naming `source` (file path or stream label) and the
+  /// 1-based line number — corrupt logs are rejected, never silently
+  /// skipped.
+  void load(std::istream& is, const std::string& source = "");
 
   void save_file(const std::string& path) const;
   void load_file(const std::string& path);

@@ -1,0 +1,85 @@
+// SessionOptions: the knobs every tuning layer shares.
+//
+// Three option structs configure a run — TuneOptions (the policy loop),
+// MeasureOptions (the measurement layer) and ModelTuneOptions (the node-wise
+// pipeline) — and before this header they each re-declared the same knobs:
+// seeds, budget/early-stopping, retry and fault injection, and the obs
+// sinks. SessionOptions declares each knob exactly once; the three structs
+// compose it as a base so every historical field name keeps working
+// (`options.budget`, `options.device_seed`, `options.trace`, ...) while new
+// code can treat any of them as a SessionOptions.
+//
+// Each composing struct documents which of the shared knobs it honors; a
+// knob that a layer does not read is simply inert there (e.g. the Measurer
+// ignores `budget` — budget accounting lives in the TuningSession).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "hwsim/fault.hpp"
+#include "obs/obs.hpp"
+
+namespace aal {
+
+/// How many device attempts a single configuration's measurement may
+/// consume, and how failures are classified along the way.
+struct RetryPolicy {
+  /// Total device attempts per config (1 = no retries, the historical
+  /// behavior). Transient failures retry until this cap.
+  int max_attempts = 1;
+  /// How many *permanent* failures (build errors) are observed before the
+  /// config is given up. 1 = trust the permanent classification (default);
+  /// larger values re-check — a config failing permanently that many times
+  /// is quarantined ("repeated permanents").
+  int permanent_tolerance = 1;
+  /// Simulated backoff before retry k (zero-based): base * 2^k microseconds.
+  /// Pure arithmetic — never wall-clock — so backoff accounting is
+  /// deterministic at any thread count.
+  double backoff_base_us = 100.0;
+
+  bool retries_enabled() const {
+    return max_attempts > 1 || permanent_tolerance > 1;
+  }
+
+  double backoff_us(int attempt) const {
+    return backoff_base_us * static_cast<double>(1LL << std::min(attempt, 40));
+  }
+};
+
+/// The shared knob vocabulary, composed (as a base) by TuneOptions,
+/// MeasureOptions and ModelTuneOptions.
+struct SessionOptions {
+  /// Policy randomness stream (samplers, SA, bootstrap draws). Honored by
+  /// TuneOptions; ModelTuneOptions derives per-task seeds from `tune.seed`.
+  std::uint64_t seed = 1;
+
+  /// Measurement-noise stream. Honored by ModelTuneOptions (per-task device
+  /// seeds are derived from it) and by the tune_workload() overload that
+  /// takes no explicit device seed.
+  std::uint64_t device_seed = 1234;
+
+  /// Measured-config budget and early-stopping patience (AutoTVM
+  /// semantics: budget caps distinct measured configs, early stopping
+  /// aborts after that many consecutive non-improving measurements).
+  /// Honored by TuneOptions; the model pipeline reads `tune.budget`.
+  std::int64_t budget = 1024;
+  std::int64_t early_stopping = 400;
+
+  /// Measurement retry knobs. Honored by MeasureOptions; the model
+  /// pipeline reads `measure.retry`.
+  RetryPolicy retry;
+
+  /// Fault-injection plan (inactive by default). Honored by
+  /// ModelTuneOptions, which derives per-task fault seeds from it.
+  FaultPlan faults;
+
+  /// Observability sinks. Honored by TuneOptions (folded into the session's
+  /// Obs handle when no explicit handle was attached — see
+  /// TuneOptions::effective_obs) and by ModelTuneOptions (the historical
+  /// `trace` / `metrics` fields). Non-owning; may be null.
+  TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
+}  // namespace aal

@@ -31,6 +31,7 @@ constexpr TypeName kTypeNames[] = {
     {TraceEventType::kMeasureRetry, "measure_retry"},
     {TraceEventType::kFaultInjected, "fault_injected"},
     {TraceEventType::kQuarantine, "quarantine"},
+    {TraceEventType::kStoreHit, "store_hit"},
 };
 
 }  // namespace

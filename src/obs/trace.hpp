@@ -45,6 +45,7 @@ enum class TraceEventType : int {
   kMeasureRetry,       // a config needed more than one device attempt
   kFaultInjected,      // a transient fault struck a measurement attempt
   kQuarantine,         // a config's retry budget ran dry
+  kStoreHit,           // a RecordStore preload seeded the memo cache
 };
 
 /// Stable wire name of an event type ("session_begin", ...).

@@ -99,6 +99,10 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
     }
   }
 
+  // Per-task staging for records flushing back to the store after the lanes
+  // join (empty when no writable store is attached).
+  std::vector<std::vector<TuningRecord>> task_records(tasks.size());
+
   // Tunes the task at position `i` (0-based model order) and writes its
   // report slot. Seeds depend only on the position, never on the schedule.
   const auto tune_one = [&](std::size_t i, TransferContext* transfer_ptr) {
@@ -132,12 +136,46 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
                      << " records for " << task.workload.brief();
       }
     }
+    if (options.store != nullptr) {
+      // Store rows are free like memo-cache hits: they count store.hits and
+      // emit a store_hit event (in this task's buffered trace, so commit
+      // order is deterministic at any jobs value).
+      const std::size_t adopted = measurer.preload(
+          options.store->records_for(tuning_task.key()), PreloadSource::kStore);
+      if (adopted > 0) {
+        AAL_LOG_INFO << graph.name() << ": warm-started " << adopted
+                     << " store records for " << task.workload.brief();
+      }
+    }
+    // Preloaded rows (resume log or store) warm-start the lane's transfer
+    // pool here, and only here: XgbTuner::finalize absorbs fresh_results()
+    // only, so every row is pooled exactly once however it entered the
+    // cache. seed_for() excludes the task's own key, so this benefits the
+    // lane's *other* tasks of the same workload kind.
+    if (transfer_ptr != nullptr) {
+      const std::vector<MeasureResult> preloaded = measurer.preloaded_results();
+      if (!preloaded.empty()) transfer_ptr->absorb(tuning_task, preloaded);
+    }
 
     auto tuner = factory(transfer_ptr);
     TuneOptions tune_options = options.tune;
     tune_options.seed = options.tune.seed * 7907 + task_index;
     tune_options.obs = obs;
     TuneResult result = tuner->tune(measurer, tune_options);
+
+    if (options.store != nullptr && !options.store->read_only()) {
+      // Only this session's own measurements flush back; re-appending rows
+      // that came from the store would duplicate them on every run. Records
+      // are staged per task and appended after the lanes join, in model
+      // order, so the store files are byte-identical at any jobs value.
+      const std::vector<MeasureResult> fresh = measurer.fresh_results();
+      std::vector<TuningRecord>& staged = task_records[i];
+      staged.reserve(fresh.size());
+      for (const MeasureResult& r : fresh) {
+        staged.push_back(TuningRecord{tuning_task.key(), r.config.flat, r.ok,
+                                      r.gflops, r.mean_time_us, r.error});
+      }
+    }
 
     AAL_LOG_INFO << graph.name() << " [" << task_index << '/' << tasks.size()
                  << "] " << task.workload.brief() << ": best "
@@ -194,6 +232,23 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
     for (const auto& sink : task_traces) sink->replay_into(*options.trace);
   }
 
+  // Flush this run's fresh records back to the store, in model order.
+  if (options.store != nullptr && !options.store->read_only()) {
+    std::size_t appended = 0;
+    for (const auto& staged : task_records) {
+      options.store->append(staged);
+      appended += staged.size();
+    }
+    if (appended > 0) {
+      options.store->flush();
+      Obs obs;
+      obs.metrics = options.metrics;
+      obs.count("store.appends", static_cast<std::int64_t>(appended));
+      AAL_LOG_INFO << graph.name() << ": flushed " << appended
+                   << " records to store " << options.store->dir();
+    }
+  }
+
   for (const auto& t : report.tasks) {
     if (!t.result.tuner_name.empty()) {
       report.tuner_name = t.result.tuner_name;
@@ -210,6 +265,11 @@ TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,
   SimulatedDevice device(spec, device_seed);
   Measurer measurer(task, device);
   return tuner.tune(measurer, options);
+}
+
+TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,
+                         Tuner& tuner, const TuneOptions& options) {
+  return tune_workload(workload, spec, tuner, options, options.device_seed);
 }
 
 }  // namespace aal

@@ -30,6 +30,7 @@
 #include "measure/tuning_task.hpp"
 #include "ml/transfer.hpp"
 #include "obs/obs.hpp"
+#include "store/record_store.hpp"
 #include "tuner/tuner.hpp"
 
 namespace aal {
@@ -63,35 +64,46 @@ struct ModelTuneReport {
   std::unordered_map<std::string, std::int64_t> best_flat_by_task() const;
 };
 
-struct ModelTuneOptions {
+/// Model-pipeline options. Composes the shared SessionOptions knobs: the
+/// pipeline honors `device_seed` (per-task noise seeds are derived from it),
+/// `faults` (per-task fault seeds likewise) and the `trace` / `metrics`
+/// sinks; the base's `seed`, `budget`, `early_stopping` and `retry` are
+/// inert here — per-task policy knobs come from `tune`, measurement knobs
+/// from `measure`.
+struct ModelTuneOptions : SessionOptions {
   TuneOptions tune;                  // per-task budget / early stopping
   bool use_transfer = true;          // share records across the model's tasks
-  std::uint64_t device_seed = 1234;  // measurement-noise stream
   /// Optional tuning log from a previous session: each task's measurer is
   /// preloaded with its matching records, so historical configurations are
   /// revisited for free (resume semantics). Non-owning; may be null.
   const RecordDatabase* resume_from = nullptr;
+  /// Optional cross-run record store. Before tuning, each task preloads the
+  /// store's records for its workload key (free, counted as `store.hits`
+  /// with a `store_hit` trace event) and, with use_transfer, prior-run rows
+  /// warm-start the lane's TransferContext; after the lanes join, this
+  /// run's fresh records are appended back in model order and flushed
+  /// (skipped when the store is read-only). Non-owning; may be null.
+  RecordStore* store = nullptr;
   /// Task-level parallelism: number of tuning lanes running concurrently.
   /// Tasks are grouped into lanes by workload kind so the transfer-learning
   /// chain within a kind is preserved — results are bitwise-identical for
   /// every jobs value (see DESIGN.md). 1 = serial (default).
   int jobs = 1;
-  /// Optional trace sink for the whole model run. Each task buffers its
-  /// events in a private MemoryTraceSink; after the lanes join, the buffers
-  /// are replayed into this sink in model order — so the trace is
-  /// byte-identical for every jobs value. Non-owning; may be null.
-  TraceSink* trace = nullptr;
-  /// Optional metrics registry shared by every task. Non-owning; may be
-  /// null.
-  MetricsRegistry* metrics = nullptr;
   /// Per-task measurement options (timing repeats, retry policy). The
   /// defaults reproduce the historical single-attempt behavior.
   MeasureOptions measure;
-  /// Fault-injection plan. When active, every task's device is wrapped in a
-  /// FaultyDevice with a per-task seed derived from plan.seed and the task's
-  /// model-order position — deterministic at any jobs value. Inactive (all
-  /// rates zero) by default.
-  FaultPlan faults;
+
+  // Inherited from SessionOptions (historical field names unchanged):
+  //   device_seed — measurement-noise stream
+  //   faults      — fault-injection plan: when active, every task's device
+  //                 is wrapped in a FaultyDevice with a per-task seed
+  //                 derived from faults.seed and the task's model-order
+  //                 position, deterministic at any jobs value
+  //   trace       — whole-run trace sink: each task buffers its events in a
+  //                 private MemoryTraceSink replayed in model order after
+  //                 the lanes join, so the trace is byte-identical for
+  //                 every jobs value (non-owning; may be null)
+  //   metrics     — metrics registry shared by every task (may be null)
 };
 
 /// Tunes every task of `graph` with tuners from `factory`.
@@ -105,5 +117,11 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
 TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,
                          Tuner& tuner, const TuneOptions& options,
                          std::uint64_t device_seed);
+
+/// Same, with the noise stream taken from the shared options
+/// (`options.device_seed`) — the natural spelling for SessionOptions-style
+/// callers.
+TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,
+                         Tuner& tuner, const TuneOptions& options);
 
 }  // namespace aal

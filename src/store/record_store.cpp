@@ -1,0 +1,343 @@
+#include "store/record_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/common.hpp"
+#include "support/logging.hpp"
+#include "support/string_util.hpp"
+
+namespace aal {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMetaMagic = "aaltune-store v1";
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string shard_name(std::size_t shard) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%03zu.log", shard);
+  return buf;
+}
+
+}  // namespace
+
+std::size_t RecordStore::shard_of(const std::string& task_key,
+                                  std::size_t num_shards) {
+  AAL_CHECK(num_shards > 0, "num_shards must be > 0");
+  return static_cast<std::size_t>(fnv1a(task_key) % num_shards);
+}
+
+RecordStore::RecordStore(std::string dir, RecordStoreOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  AAL_CHECK(!dir_.empty(), "record store directory must not be empty");
+  AAL_CHECK(options_.num_shards >= 1 && options_.num_shards <= 4096,
+            "num_shards must be in [1, 4096], got " << options_.num_shards);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const fs::path meta = meta_path();
+  if (fs::exists(meta)) {
+    std::ifstream is(meta);
+    AAL_CHECK(is.good(), "cannot read store meta: " << meta.string());
+    std::string magic;
+    std::getline(is, magic);
+    AAL_CHECK(trim(magic) == kMetaMagic,
+              "not an aaltune record store (bad magic in "
+                  << meta.string() << "): " << magic);
+    std::string shards_line;
+    std::getline(is, shards_line);
+    const auto fields = split(trim(shards_line), ' ');
+    AAL_CHECK(fields.size() == 2 && fields[0] == "shards",
+              "malformed store meta line in " << meta.string() << ": "
+                                              << shards_line);
+    options_.num_shards = static_cast<int>(parse_int64_strict(fields[1]));
+    AAL_CHECK(options_.num_shards >= 1,
+              "store meta declares " << options_.num_shards << " shards");
+  } else {
+    AAL_CHECK(!options_.read_only,
+              "read-only open of a store that does not exist: " << dir_);
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    AAL_CHECK(!ec, "cannot create store directory " << dir_ << ": "
+                                                    << ec.message());
+    std::ofstream os(meta);
+    AAL_CHECK(os.good(), "cannot write store meta: " << meta.string());
+    os << kMetaMagic << '\n' << "shards " << options_.num_shards << '\n';
+    os.flush();
+    AAL_CHECK(os.good(), "failed writing store meta: " << meta.string());
+  }
+  pending_lines_.resize(static_cast<std::size_t>(options_.num_shards));
+  load_locked();
+}
+
+std::string RecordStore::shard_path(std::size_t shard) const {
+  return (fs::path(dir_) / shard_name(shard)).string();
+}
+
+std::string RecordStore::meta_path() const {
+  return (fs::path(dir_) / "store.meta").string();
+}
+
+std::string RecordStore::best_path() const {
+  return (fs::path(dir_) / "best.tsv").string();
+}
+
+void RecordStore::load_locked() {
+  by_task_.clear();
+  total_ = 0;
+  truncated_tails_ = 0;
+  for (std::size_t shard = 0;
+       shard < static_cast<std::size_t>(options_.num_shards); ++shard) {
+    const std::string path = shard_path(shard);
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good()) continue;  // shard never written
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    const std::string content = buffer.str();
+
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+      const std::size_t nl = content.find('\n', pos);
+      const bool terminated = nl != std::string::npos;
+      const std::string line =
+          content.substr(pos, terminated ? nl - pos : std::string::npos);
+      pos = terminated ? nl + 1 : content.size();
+      ++line_no;
+      if (trim(line).empty()) continue;
+      TuningRecord record;
+      try {
+        record = TuningRecord::from_line(line);
+      } catch (const Error& e) {
+        if (!terminated) {
+          // Unterminated, unparseable final line: the signature of a flush
+          // interrupted mid-write. Drop it — the record was never durable.
+          ++truncated_tails_;
+          AAL_LOG_WARN << "record store: dropping truncated tail of " << path
+                       << " (line " << line_no << ")";
+          break;
+        }
+        // Anywhere else this is corruption, not an interrupted append.
+        throw InvalidArgument(path + " line " + std::to_string(line_no) +
+                              ": " + e.what());
+      }
+      AAL_CHECK(shard_of(record.task_key,
+                         static_cast<std::size_t>(options_.num_shards)) ==
+                    shard,
+                path << " line " << line_no << ": record for task '"
+                     << record.task_key << "' is in the wrong shard");
+      by_task_[record.task_key].push_back(std::move(record));
+      ++total_;
+    }
+  }
+}
+
+std::size_t RecordStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::size_t RecordStore::truncated_tails() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return truncated_tails_;
+}
+
+std::vector<std::string> RecordStore::task_keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(by_task_.size());
+  for (const auto& [key, records] : by_task_) keys.push_back(key);
+  return keys;
+}
+
+std::vector<TuningRecord> RecordStore::records_for(
+    const std::string& task_key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_task_.find(task_key);
+  return it == by_task_.end() ? std::vector<TuningRecord>{} : it->second;
+}
+
+std::optional<TuningRecord> RecordStore::best_for(
+    const std::string& task_key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_task_.find(task_key);
+  if (it == by_task_.end()) return std::nullopt;
+  std::optional<TuningRecord> best;
+  for (const TuningRecord& r : it->second) {
+    if (!r.ok) continue;
+    if (!best || r.gflops > best->gflops) best = r;
+  }
+  return best;
+}
+
+void RecordStore::append(const TuningRecord& record) {
+  AAL_CHECK(!options_.read_only,
+            "append to read-only record store: " << dir_);
+  AAL_CHECK(!record.task_key.empty(), "record store: record without task key");
+  const std::size_t shard =
+      shard_of(record.task_key, static_cast<std::size_t>(options_.num_shards));
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_lines_[shard].push_back(record.to_line());
+  by_task_[record.task_key].push_back(record);
+  ++total_;
+  ++pending_;
+}
+
+void RecordStore::append(const std::vector<TuningRecord>& records) {
+  for (const TuningRecord& r : records) append(r);
+}
+
+std::size_t RecordStore::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+void RecordStore::flush() {
+  AAL_CHECK(!options_.read_only,
+            "flush of read-only record store: " << dir_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_ == 0) return;
+  for (std::size_t shard = 0; shard < pending_lines_.size(); ++shard) {
+    std::vector<std::string>& lines = pending_lines_[shard];
+    if (lines.empty()) continue;
+    // One contiguous chunk per shard: a crash can truncate at most the very
+    // last line of the file, which load_locked() tolerates.
+    std::string chunk;
+    for (const std::string& line : lines) {
+      chunk += line;
+      chunk += '\n';
+    }
+    std::ofstream os(shard_path(shard),
+                     std::ios::binary | std::ios::app);
+    AAL_CHECK(os.good(),
+              "cannot open store shard for append: " << shard_path(shard));
+    os.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    os.flush();
+    AAL_CHECK(os.good(), "failed appending to store shard: "
+                             << shard_path(shard));
+    lines.clear();
+  }
+  pending_ = 0;
+}
+
+void RecordStore::write_best_locked() const {
+  const std::string tmp = best_path() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    AAL_CHECK(os.good(), "cannot write store summary: " << tmp);
+    for (const auto& [key, records] : by_task_) {
+      const TuningRecord* best = nullptr;
+      for (const TuningRecord& r : records) {
+        if (!r.ok) continue;
+        if (best == nullptr || r.gflops > best->gflops) best = &r;
+      }
+      if (best != nullptr) os << best->to_line() << '\n';
+    }
+    os.flush();
+    AAL_CHECK(os.good(), "failed writing store summary: " << tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, best_path(), ec);
+  AAL_CHECK(!ec, "cannot publish store summary " << best_path() << ": "
+                                                 << ec.message());
+}
+
+std::size_t RecordStore::compact(int top_k) {
+  AAL_CHECK(top_k >= 1, "compact top_k must be >= 1");
+  AAL_CHECK(!options_.read_only,
+            "compact of read-only record store: " << dir_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  AAL_CHECK(pending_ == 0, "compact requires all appends flushed ("
+                               << pending_ << " pending)");
+
+  std::size_t dropped = 0;
+  for (auto& [key, records] : by_task_) {
+    // Deduplicate by config: the most recent record for a flat index wins
+    // (it reflects the latest hardware/noise conditions).
+    std::vector<TuningRecord> deduped;
+    {
+      std::vector<bool> keep(records.size(), false);
+      std::unordered_map<std::int64_t, std::size_t> last;
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        last[records[i].config_flat] = i;
+      }
+      for (const auto& [flat, idx] : last) keep[idx] = true;
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        if (keep[i]) deduped.push_back(records[i]);
+      }
+    }
+    // Keep the top_k best successes (ties broken by flat index so the
+    // outcome is deterministic) plus every failure — failures are what stop
+    // a warm run from re-measuring known-bad configs.
+    std::vector<TuningRecord> successes;
+    std::vector<TuningRecord> kept;
+    for (TuningRecord& r : deduped) {
+      (r.ok ? successes : kept).push_back(std::move(r));
+    }
+    std::stable_sort(successes.begin(), successes.end(),
+                     [](const TuningRecord& a, const TuningRecord& b) {
+                       if (a.gflops != b.gflops) return a.gflops > b.gflops;
+                       return a.config_flat < b.config_flat;
+                     });
+    if (static_cast<int>(successes.size()) > top_k) {
+      successes.resize(static_cast<std::size_t>(top_k));
+    }
+    for (TuningRecord& r : successes) kept.push_back(std::move(r));
+    // Canonical flat-index order within the key: compacting an already
+    // compacted store rewrites byte-identical shard files.
+    std::stable_sort(kept.begin(), kept.end(),
+                     [](const TuningRecord& a, const TuningRecord& b) {
+                       return a.config_flat < b.config_flat;
+                     });
+    dropped += records.size() - kept.size();
+    records = std::move(kept);
+  }
+  total_ -= dropped;
+
+  // Rewrite every shard atomically: tmp + rename, keys in sorted order.
+  for (std::size_t shard = 0;
+       shard < static_cast<std::size_t>(options_.num_shards); ++shard) {
+    std::string chunk;
+    for (const auto& [key, records] : by_task_) {
+      if (shard_of(key, static_cast<std::size_t>(options_.num_shards)) !=
+          shard) {
+        continue;
+      }
+      for (const TuningRecord& r : records) {
+        chunk += r.to_line();
+        chunk += '\n';
+      }
+    }
+    const std::string path = shard_path(shard);
+    if (chunk.empty() && !fs::exists(path)) continue;
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      AAL_CHECK(os.good(), "cannot write compacted shard: " << tmp);
+      os.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+      os.flush();
+      AAL_CHECK(os.good(), "failed writing compacted shard: " << tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    AAL_CHECK(!ec, "cannot publish compacted shard " << path << ": "
+                                                     << ec.message());
+  }
+  write_best_locked();
+  return dropped;
+}
+
+}  // namespace aal

@@ -1,0 +1,135 @@
+// RecordStore: the persistent, sharded record substrate shared across runs.
+//
+// A RecordDatabase (measure/record.hpp) is a per-run artifact: one log file
+// written by one tuning session. The RecordStore is the durable counterpart
+// — a directory of append-only shard files that many runs (and many lanes of
+// one run) read and extend, so a fleet tuning the same conv/dense shapes
+// over and over pays for each measurement once. tune_model consults the
+// store before measuring (store hits are free, like memo-cache hits), and
+// flushes this session's fresh records back on completion.
+//
+// Layout (inside the store directory):
+//   store.meta      "aaltune-store v1" + the shard count (fixed at creation)
+//   shard-NNN.log   append-only record lines (measure/record.hpp format,
+//                   tab-separated, escaped error column)
+//   best.tsv        best-per-workload summary, rewritten by compact()
+//
+// A record lands in shard fnv1a(task_key) % num_shards, so all records of
+// one workload key share a shard and cross-key traffic spreads out.
+//
+// Durability and crash safety: append() only buffers; flush() writes each
+// shard's pending lines as one contiguous chunk ending in '\n'. A crash mid
+// flush can therefore leave at most one partial line, and only at the very
+// end of a shard file. load tolerates exactly that — an unterminated,
+// unparseable final line is dropped (with a warning) — while a malformed
+// line anywhere else, or a terminated-but-corrupt final line, throws
+// InvalidArgument naming the file and line number: that is corruption, not
+// an interrupted append, and silently skipping it would hide real damage.
+//
+// Concurrency: one RecordStore handle is thread-safe — the in-memory index
+// and the append buffers live behind one mutex, so ModelTuneOptions::jobs
+// lanes may query and append concurrently. Multiple *processes* opening the
+// same directory are not coordinated (last flush wins per shard tail).
+//
+// Determinism: task_keys() iterates the index in sorted key order, and
+// records_for() preserves per-key append order, so everything a tuning run
+// reads from a fixed store snapshot is schedule-independent. tune_model
+// appends in model order after its lanes join, so the files a run writes
+// are byte-identical at any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/record.hpp"
+
+namespace aal {
+
+struct RecordStoreOptions {
+  /// Shard-file count, fixed when the directory is created (subsequent
+  /// opens read it from store.meta and ignore this field).
+  int num_shards = 16;
+
+  /// Read-only handle: append() and flush() throw, the directory is never
+  /// written. The CLI's --store-readonly maps here; it is what lets several
+  /// warm runs share one snapshot and still produce identical traces.
+  bool read_only = false;
+};
+
+class RecordStore {
+ public:
+  /// Opens (or, unless read_only, creates) the store at `dir` and loads
+  /// every shard into the in-memory index. Throws InvalidArgument on an
+  /// unreadable directory, a meta mismatch, or mid-file corruption.
+  explicit RecordStore(std::string dir, RecordStoreOptions options = {});
+
+  RecordStore(const RecordStore&) = delete;
+  RecordStore& operator=(const RecordStore&) = delete;
+
+  const std::string& dir() const { return dir_; }
+  bool read_only() const { return options_.read_only; }
+  int num_shards() const { return options_.num_shards; }
+
+  /// Total records in the index (loaded + appended, flushed or not).
+  std::size_t size() const;
+
+  /// Records dropped at load time as an interrupted final append.
+  std::size_t truncated_tails() const;
+
+  /// Workload keys present, in sorted order (deterministic iteration).
+  std::vector<std::string> task_keys() const;
+
+  /// All records for one workload key, in append order (empty if none).
+  std::vector<TuningRecord> records_for(const std::string& task_key) const;
+
+  /// Best successful record for a workload key, if any.
+  std::optional<TuningRecord> best_for(const std::string& task_key) const;
+
+  /// Buffers records for the next flush() and indexes them immediately
+  /// (readers on other threads see them at once). Throws on a read-only
+  /// store or a record without a task key.
+  void append(const TuningRecord& record);
+  void append(const std::vector<TuningRecord>& records);
+
+  /// Number of appended records not yet flushed to disk.
+  std::size_t pending() const;
+
+  /// Writes every shard's pending lines (one contiguous '\n'-terminated
+  /// chunk per shard) and syncs the streams. No-op when nothing is pending.
+  void flush();
+
+  /// Compacts the store in place: per workload key, deduplicates by config
+  /// (the most recent record for a flat index wins), keeps the `top_k`
+  /// best successful records plus every distinct failure (failures are what
+  /// stop a warm run from re-measuring known-bad configs), rewrites each
+  /// shard atomically (tmp + rename) and regenerates best.tsv. Requires all
+  /// appends flushed. Returns the number of records dropped.
+  std::size_t compact(int top_k = 8);
+
+  /// Shard index a workload key routes to: fnv1a(task_key) % num_shards.
+  static std::size_t shard_of(const std::string& task_key,
+                              std::size_t num_shards);
+
+ private:
+  std::string shard_path(std::size_t shard) const;
+  std::string meta_path() const;
+  std::string best_path() const;
+  void load_locked();
+  void write_best_locked() const;
+
+  std::string dir_;
+  RecordStoreOptions options_;
+  mutable std::mutex mutex_;
+  /// std::map: sorted keys make every iteration order deterministic.
+  std::map<std::string, std::vector<TuningRecord>> by_task_;
+  std::vector<std::vector<std::string>> pending_lines_;  // per shard
+  std::size_t total_ = 0;
+  std::size_t pending_ = 0;
+  std::size_t truncated_tails_ = 0;
+};
+
+}  // namespace aal

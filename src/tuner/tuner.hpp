@@ -26,11 +26,12 @@
 
 namespace aal {
 
-struct TuneOptions {
-  std::int64_t budget = 1024;
-  std::int64_t early_stopping = 400;
+/// Policy-loop options. Composes the shared SessionOptions knobs — the
+/// session honors `budget`, `early_stopping` and `seed`; `device_seed`,
+/// `retry` and `faults` are inert here (they configure the measurer the
+/// caller builds separately).
+struct TuneOptions : SessionOptions {
   int batch_size = 64;   // configs measured per optimization round
-  std::uint64_t seed = 1;
 
   /// Number of initial samples (AutoTVM default: 64).
   int num_initial = 64;
@@ -39,6 +40,18 @@ struct TuneOptions {
   /// Inactive by default; the session forwards it to the measurer and the
   /// policy, so every layer of the run reports through one handle.
   Obs obs;
+
+  /// The obs handle the session should actually use: `obs` when it carries
+  /// any receiver, otherwise one assembled from the shared `trace` /
+  /// `metrics` pointers — so embedders configuring only the SessionOptions
+  /// base still get observability without touching the Obs type.
+  Obs effective_obs() const {
+    if (obs.active()) return obs;
+    Obs out = obs;  // keeps the lane label
+    out.trace = trace;
+    out.metrics = metrics;
+    return out;
+  }
 };
 
 struct TunePoint {

@@ -55,11 +55,20 @@ TuningSession::StopReason TuningSession::check_stop() const {
 
 void TuningSession::ensure_begun() {
   if (begun_) return;
-  obs_ = options_.obs;
+  obs_ = options_.effective_obs();
   // Hand the shared handle to the measurer so batch events and measure.*
   // counters carry the session's lane. Left alone when observability is off
   // so an externally attached handle survives.
   if (obs_.active()) measurer_.set_obs(obs_);
+  // Warm-start the improvement tracker from whatever the measurer already
+  // holds (preloaded records, external measurements): a warm session only
+  // counts *beating* the historical best as progress, so early stopping can
+  // trip without re-spending the budget a prior run already spent. With an
+  // empty measurer this is a no-op and the session behaves exactly as cold.
+  if (const std::optional<MeasureResult> warm = measurer_.best()) {
+    best_gflops_ = warm->gflops;
+    best_flat_ = warm->config.flat;
+  }
   tuner_.begin(measurer_, options_);
   begun_ = true;
   obs_.emit(TraceEventType::kSessionBegin,

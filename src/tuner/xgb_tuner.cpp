@@ -108,7 +108,10 @@ std::vector<Config> XgbTuner::propose(std::int64_t k) {
 
 void XgbTuner::finalize(const Measurer& measurer) {
   if (xgb_options_.transfer != nullptr) {
-    xgb_options_.transfer->absorb(measurer.task(), measurer.all_results());
+    // Only this session's own measurements: preloaded rows (resume log or
+    // RecordStore) were absorbed by whoever preloaded them, so absorbing
+    // all_results() here would pool the same rows twice.
+    xgb_options_.transfer->absorb(measurer.task(), measurer.fresh_results());
   }
 }
 

@@ -47,6 +47,52 @@ TEST(TuningRecord, MalformedLineThrows) {
   EXPECT_THROW(TuningRecord::from_line(""), InvalidArgument);
 }
 
+TEST(TuningRecord, BadColumnCountNamesTheCount) {
+  // 4 and 7 columns are neither the legacy 5 nor the current 6; the error
+  // must say how many columns it saw so a broken log can be diagnosed.
+  try {
+    TuningRecord::from_line("key\t1\t1\t10.0");
+    FAIL() << "4-column line must throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("got 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("5 (legacy) or 6"), std::string::npos) << what;
+  }
+  try {
+    TuningRecord::from_line("key\t1\t1\t10.0\t5.0\terr\textra");
+    FAIL() << "7-column line must throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("got 7"), std::string::npos);
+  }
+}
+
+TEST(RecordDatabase, LoadRejectsMidFileCorruptLineWithContext) {
+  std::stringstream buffer;
+  buffer << sample_record().to_line() << '\n'
+         << "corrupt\tline\n"  // 2 columns, mid-file
+         << sample_record().to_line() << '\n';
+  RecordDatabase db;
+  try {
+    db.load(buffer, "session.log");
+    FAIL() << "mid-file corrupt line must throw, not be skipped";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("session.log"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  }
+  // Without a source label the generic stream name is used.
+  std::stringstream again;
+  again << "only\ttwo\n";
+  try {
+    RecordDatabase{}.load(again);
+    FAIL() << "corrupt line must throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("record log line 1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(RecordDatabase, AddAndQuery) {
   RecordDatabase db;
   TuningRecord r = sample_record();

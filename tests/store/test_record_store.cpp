@@ -1,0 +1,278 @@
+#include "store/record_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace aal {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RecordStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("aal_store_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  TuningRecord record(const std::string& key, std::int64_t flat,
+                      double gflops, bool ok = true) {
+    TuningRecord r;
+    r.task_key = key;
+    r.config_flat = flat;
+    r.ok = ok;
+    r.gflops = ok ? gflops : 0.0;
+    r.mean_time_us = ok ? 10.0 : 0.0;
+    if (!ok) r.error = "build error: tile too large";
+    return r;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RecordStoreTest, CreatesDirectoryAndMeta) {
+  RecordStore store(dir_);
+  EXPECT_TRUE(fs::exists(fs::path(dir_) / "store.meta"));
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.num_shards(), 16);
+  EXPECT_TRUE(store.task_keys().empty());
+}
+
+TEST_F(RecordStoreTest, AppendFlushReloadRoundTrip) {
+  {
+    RecordStore store(dir_, {.num_shards = 4});
+    store.append(record("conv/a", 10, 100.0));
+    store.append(record("conv/a", 11, 200.0));
+    store.append(record("dense/b", 5, 50.0, /*ok=*/false));
+    EXPECT_EQ(store.pending(), 3u);
+    store.flush();
+    EXPECT_EQ(store.pending(), 0u);
+  }
+  RecordStore reloaded(dir_);
+  EXPECT_EQ(reloaded.num_shards(), 4);  // read from meta, not options
+  EXPECT_EQ(reloaded.size(), 3u);
+  EXPECT_EQ(reloaded.task_keys(), (std::vector<std::string>{
+                                      "conv/a", "dense/b"}));
+  const auto rows = reloaded.records_for("conv/a");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].config_flat, 10);
+  EXPECT_EQ(rows[1].config_flat, 11);
+  const auto best = reloaded.best_for("conv/a");
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->config_flat, 11);
+  EXPECT_FALSE(reloaded.best_for("dense/b").has_value());  // only a failure
+  const auto failed = reloaded.records_for("dense/b");
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0].error, "build error: tile too large");
+}
+
+TEST_F(RecordStoreTest, RecordsLandInTheirHashShard) {
+  RecordStore store(dir_, {.num_shards = 4});
+  store.append(record("conv/a", 1, 10.0));
+  store.append(record("dense/b", 2, 20.0));
+  store.flush();
+  const std::size_t shard_a = RecordStore::shard_of("conv/a", 4);
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%03zu.log", shard_a);
+  std::ifstream is(fs::path(dir_) / name);
+  ASSERT_TRUE(is.good());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line.substr(0, 6), "conv/a");
+}
+
+TEST_F(RecordStoreTest, UnflushedAppendsVisibleToReaders) {
+  RecordStore store(dir_);
+  store.append(record("conv/a", 1, 10.0));
+  EXPECT_EQ(store.size(), 1u);  // indexed immediately, flush only persists
+  EXPECT_EQ(store.records_for("conv/a").size(), 1u);
+}
+
+TEST_F(RecordStoreTest, ToleratesTruncatedFinalLine) {
+  {
+    RecordStore store(dir_, {.num_shards = 1});
+    store.append(record("conv/a", 1, 10.0));
+    store.append(record("conv/a", 2, 20.0));
+    store.flush();
+  }
+  // Simulate a crash mid-append: chop the file a few bytes into its last
+  // line (no trailing newline, not enough columns to parse).
+  const fs::path shard = fs::path(dir_) / "shard-000.log";
+  std::string content;
+  {
+    std::ifstream is(shard, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    content = os.str();
+  }
+  const std::size_t first_nl = content.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  fs::resize_file(shard, first_nl + 4);  // "con" of the second line survives
+
+  RecordStore reloaded(dir_);
+  EXPECT_EQ(reloaded.size(), 1u);  // the torn record is gone...
+  EXPECT_EQ(reloaded.truncated_tails(), 1u);  // ...and accounted for
+  EXPECT_EQ(reloaded.records_for("conv/a").at(0).config_flat, 1);
+}
+
+TEST_F(RecordStoreTest, RejectsMidFileCorruptionWithFileAndLine) {
+  {
+    RecordStore store(dir_, {.num_shards = 1});
+    store.append(record("conv/a", 1, 10.0));
+    store.append(record("conv/a", 2, 20.0));
+    store.flush();
+  }
+  // Corrupt the FIRST line (terminated): this is damage, not a torn append.
+  const fs::path shard = fs::path(dir_) / "shard-000.log";
+  std::ifstream is(shard);
+  std::string l1, l2;
+  std::getline(is, l1);
+  std::getline(is, l2);
+  is.close();
+  {
+    std::ofstream os(shard, std::ios::trunc);
+    os << "conv/a\tgarbage\n" << l2 << '\n';
+  }
+  try {
+    RecordStore reloaded(dir_);
+    FAIL() << "mid-file corruption must throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard-000.log"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+  }
+}
+
+TEST_F(RecordStoreTest, ReadOnlyRefusesWritesAndMissingDir) {
+  EXPECT_THROW(RecordStore(dir_, {.read_only = true}), InvalidArgument);
+  { RecordStore store(dir_); }  // create
+  RecordStore ro(dir_, {.read_only = true});
+  EXPECT_TRUE(ro.read_only());
+  EXPECT_THROW(ro.append(record("conv/a", 1, 10.0)), InvalidArgument);
+  EXPECT_THROW(ro.flush(), InvalidArgument);
+  EXPECT_THROW(ro.compact(), InvalidArgument);
+}
+
+TEST_F(RecordStoreTest, RejectsForeignDirectory) {
+  fs::create_directories(dir_);
+  std::ofstream(fs::path(dir_) / "store.meta") << "something else\n";
+  EXPECT_THROW(RecordStore{dir_}, InvalidArgument);
+}
+
+TEST_F(RecordStoreTest, CompactKeepsTopKAndFailuresAndWritesBest) {
+  RecordStore store(dir_, {.num_shards = 2});
+  // 6 successes + a duplicate config (flat 3 measured twice; the newer row
+  // wins) + one failure.
+  for (int i = 0; i < 6; ++i) {
+    store.append(record("conv/a", i, 100.0 + i));
+  }
+  store.append(record("conv/a", 3, 500.0));  // re-measurement of flat 3
+  store.append(record("conv/a", 99, 0.0, /*ok=*/false));
+  store.flush();
+
+  const std::size_t dropped = store.compact(/*top_k=*/3);
+  // Dedup drops 1 (old flat 3), top-3 of the remaining 6 successes drops 3.
+  EXPECT_EQ(dropped, 4u);
+  const auto rows = store.records_for("conv/a");
+  ASSERT_EQ(rows.size(), 4u);  // 3 successes + 1 failure
+  const auto best = store.best_for("conv/a");
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->config_flat, 3);
+  EXPECT_DOUBLE_EQ(best->gflops, 500.0);
+
+  // best.tsv carries the same winner.
+  std::ifstream is(fs::path(dir_) / "best.tsv");
+  ASSERT_TRUE(is.good());
+  std::string line;
+  std::getline(is, line);
+  const TuningRecord summary = TuningRecord::from_line(line);
+  EXPECT_EQ(summary.config_flat, 3);
+
+  // A reload of the compacted store sees the identical survivor set, and
+  // compacting again is a fixed point.
+  RecordStore reloaded(dir_);
+  EXPECT_EQ(reloaded.size(), 4u);
+  EXPECT_EQ(reloaded.compact(3), 0u);
+}
+
+TEST_F(RecordStoreTest, ShardOfIsStable) {
+  // Pin the routing function: changing it would orphan existing stores.
+  EXPECT_EQ(RecordStore::shard_of("conv/a", 16),
+            RecordStore::shard_of("conv/a", 16));
+  EXPECT_LT(RecordStore::shard_of("conv/a", 4), 4u);
+  EXPECT_THROW(RecordStore::shard_of("conv/a", 0), InvalidArgument);
+}
+
+// Satellite: N appenders + M readers on one handle. Run under TSan in CI
+// (the thread-sanitizer job); the asserts catch lost records either way.
+TEST_F(RecordStoreTest, ConcurrentAppendersAndReaders) {
+  constexpr int kAppenders = 4;
+  constexpr int kReaders = 3;
+  constexpr int kPerThread = 200;
+  RecordStore store(dir_, {.num_shards = 4});
+  // A fixed best row per key, present from the start: readers can then
+  // assert a *stable* best while appenders churn lower-scoring rows.
+  const std::vector<std::string> keys = {"conv/a", "conv/b", "dense/c"};
+  for (const auto& key : keys) store.append(record(key, 0, 1e6));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int a = 0; a < kAppenders; ++a) {
+    threads.emplace_back([&, a] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto& key = keys[static_cast<std::size_t>(i) % keys.size()];
+        store.append(record(key, a * kPerThread + i + 1, 50.0 + i));
+        if (i % 64 == 0) store.flush();
+      }
+    });
+  }
+  std::vector<std::size_t> reads(kReaders, 0);
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      while (!stop.load()) {
+        for (const auto& key : keys) {
+          const auto best = store.best_for(key);
+          ASSERT_TRUE(best.has_value());
+          EXPECT_DOUBLE_EQ(best->gflops, 1e6);  // stable under churn
+          EXPECT_GE(store.records_for(key).size(), 1u);
+        }
+        ++reads[static_cast<std::size_t>(r)];
+      }
+    });
+  }
+  for (int a = 0; a < kAppenders; ++a) threads[static_cast<std::size_t>(a)].join();
+  stop.store(true);
+  for (int r = 0; r < kReaders; ++r) {
+    threads[static_cast<std::size_t>(kAppenders + r)].join();
+  }
+  for (const std::size_t n : reads) EXPECT_GT(n, 0u);
+
+  store.flush();
+  const std::size_t expected =
+      keys.size() + kAppenders * static_cast<std::size_t>(kPerThread);
+  EXPECT_EQ(store.size(), expected);  // no lost appends
+  RecordStore reloaded(dir_);
+  EXPECT_EQ(reloaded.size(), expected);  // ...and none lost on disk
+  std::size_t total = 0;
+  for (const auto& key : reloaded.task_keys()) {
+    total += reloaded.records_for(key).size();
+  }
+  EXPECT_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace aal

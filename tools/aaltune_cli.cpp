@@ -3,6 +3,7 @@
 //   aaltune_cli zoo
 //   aaltune_cli inspect <model>
 //   aaltune_cli tune    <model> [--tuner bted+bao] [--budget N] [--records f]
+//                               [--store dir] [--store-readonly]
 //                               [--trace f.jsonl] [--metrics]
 //   aaltune_cli deploy  <model> [--records f] [--runs N]
 //
@@ -24,6 +25,7 @@
 #include "obs/trace.hpp"
 #include "pipeline/latency.hpp"
 #include "pipeline/model_tuner.hpp"
+#include "store/record_store.hpp"
 #include "support/arg_parser.hpp"
 #include "support/logging.hpp"
 #include "support/string_util.hpp"
@@ -113,6 +115,22 @@ int cmd_tune(const ArgParser& args) {
                 resume.c_str());
   }
 
+  std::unique_ptr<RecordStore> store;
+  const std::string store_dir = args.get("store");
+  const bool store_readonly = args.get_switch("store-readonly");
+  if (store_readonly && store_dir.empty()) {
+    throw InvalidArgument("--store-readonly requires --store <dir>");
+  }
+  if (!store_dir.empty()) {
+    RecordStoreOptions store_options;
+    store_options.read_only = store_readonly;
+    store = std::make_unique<RecordStore>(store_dir, store_options);
+    options.store = store.get();
+    std::printf("record store %s: %zu records, %d shards%s\n",
+                store_dir.c_str(), store->size(), store->num_shards(),
+                store_readonly ? " (read-only)" : "");
+  }
+
   std::unique_ptr<JsonlTraceSink> trace;
   const std::string trace_path = args.get("trace");
   if (!trace_path.empty()) {
@@ -151,6 +169,10 @@ int cmd_tune(const ArgParser& args) {
     }
     db.save_file(records);
     std::printf("wrote %zu records to %s\n", db.size(), records.c_str());
+  }
+  if (store) {
+    std::printf("record store %s now holds %zu records\n", store_dir.c_str(),
+                store->size());
   }
   if (trace) {
     trace->flush();
@@ -220,6 +242,11 @@ int main(int argc, char** argv) {
       args.add_int_flag("seed", "random seed", 1);
       args.add_flag("records", "output record log path", "");
       args.add_flag("resume", "input record log to resume from", "");
+      args.add_flag("store", "persistent record store directory: prior "
+                    "records warm-start the run for free, fresh records "
+                    "flush back on completion", "");
+      args.add_switch("store-readonly", "open --store read-only (consume "
+                      "records, never write back)");
       args.add_int_flag("jobs", "concurrent tuning lanes (results are "
                         "identical for any value)", 1);
       args.add_flag("trace", "write a JSONL trace of the run (byte-identical "
