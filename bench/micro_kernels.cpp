@@ -11,8 +11,12 @@
 // survives future rewrites of the library code.
 //
 // Usage: micro_kernels --suite kernels|tuner [--repeats N] [--scale
-// full|smoke] [--out FILE]. --scale smoke shrinks every problem so the CI
-// bench-smoke job finishes in seconds; checked-in numbers use full scale.
+// full|smoke] [--target NAME] [--out FILE]. --scale smoke shrinks every
+// problem so the CI bench-smoke job finishes in seconds; checked-in numbers
+// use full scale. --target picks the deployment target the tuner suite's
+// task binds to (default gpu-pascal); the per-target profile_batch:<name>
+// entries always cover every registered target, so each backend's device
+// model has a checked-in baseline entry.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -28,6 +32,7 @@
 #include "core/ted.hpp"
 #include "graph/fusion.hpp"
 #include "graph/models.hpp"
+#include "hwsim/target.hpp"
 #include "measure/tuning_task.hpp"
 #include "ml/surrogate.hpp"
 #include "support/dense.hpp"
@@ -227,16 +232,17 @@ std::vector<std::vector<double>> to_rows(const dense::Matrix& x) {
   return rows;
 }
 
-const TuningTask& mobilenet_t1() {
-  static const TuningTask task = [] {
-    const auto tasks = extract_tasks(fuse(make_mobilenet_v1()));
-    return TuningTask(tasks[0].workload, GpuSpec::gtx1080ti());
-  }();
-  return task;
+const Workload& mobilenet_t1_workload() {
+  static const Workload workload =
+      extract_tasks(fuse(make_mobilenet_v1()))[0].workload;
+  return workload;
 }
 
-Dataset measured_dataset(std::size_t rows) {
-  const TuningTask& task = mobilenet_t1();
+TuningTask mobilenet_t1(const std::string& target) {
+  return TuningTask(mobilenet_t1_workload(), make_target(target));
+}
+
+Dataset measured_dataset(const TuningTask& task, std::size_t rows) {
   Rng rng(42);
   Dataset data(static_cast<std::size_t>(task.space().feature_dim()));
   for (const Config& c :
@@ -342,10 +348,11 @@ std::vector<BenchEntry> run_kernels_suite(int repeats, bool smoke) {
   return out;
 }
 
-std::vector<BenchEntry> run_tuner_suite(int repeats, bool smoke) {
+std::vector<BenchEntry> run_tuner_suite(int repeats, bool smoke,
+                                        const std::string& target) {
   std::vector<BenchEntry> out;
-  const TuningTask& task = mobilenet_t1();
-  const Dataset data = measured_dataset(smoke ? 48 : 256);
+  const TuningTask task = mobilenet_t1(target);
+  const Dataset data = measured_dataset(task, smoke ? 48 : 256);
   const GbdtSurrogateFactory factory;
 
   // Candidate feature batch for the scoring half of a BS round.
@@ -411,6 +418,24 @@ std::vector<BenchEntry> run_tuner_suite(int repeats, bool smoke) {
     out.push_back(std::move(e));
   }
 
+  // Per-target device-model throughput: sample a batch (through the
+  // target's constraint filter) and profile every config. One entry per
+  // registered target, so every backend's analytical model has a baseline
+  // that regressions show up against. Optimized-only (the models are new).
+  for (const std::string& tname : target_names()) {
+    const TuningTask ttask = mobilenet_t1(tname);
+    Rng rng(51);
+    const auto configs = ttask.space().sample_distinct(smoke ? 64 : 512, rng);
+    BenchEntry e{"profile_batch:" + tname,
+                 {{"configs", static_cast<long long>(configs.size())}}};
+    e.median_ms = time_median_ms(repeats, smoke ? 4 : 2, [&] {
+      double acc = 0.0;
+      for (const Config& c : configs) acc += ttask.profile(c).base_time_us;
+      sink(acc);
+    });
+    out.push_back(std::move(e));
+  }
+
   return out;
 }
 
@@ -419,6 +444,7 @@ std::vector<BenchEntry> run_tuner_suite(int repeats, bool smoke) {
 int main(int argc, char** argv) {
   aal::set_log_threshold(aal::LogLevel::kWarn);
   std::string suite = "kernels", scale = "full", out_path;
+  std::string target = "gpu-pascal";
   int repeats = 9;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -435,12 +461,15 @@ int main(int argc, char** argv) {
       repeats = std::atoi(next());
     } else if (arg == "--scale") {
       scale = next();
+    } else if (arg == "--target") {
+      target = next();
     } else if (arg == "--out") {
       out_path = next();
     } else {
       std::fprintf(stderr,
                    "usage: micro_kernels [--suite kernels|tuner] "
-                   "[--repeats N] [--scale full|smoke] [--out FILE]\n");
+                   "[--repeats N] [--scale full|smoke] [--target NAME] "
+                   "[--out FILE]\n");
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
@@ -451,9 +480,14 @@ int main(int argc, char** argv) {
   }
 
   const bool smoke = scale == "smoke";
-  const std::vector<BenchEntry> entries =
-      suite == "kernels" ? run_kernels_suite(repeats, smoke)
-                         : run_tuner_suite(repeats, smoke);
+  std::vector<BenchEntry> entries;
+  try {
+    entries = suite == "kernels" ? run_kernels_suite(repeats, smoke)
+                                 : run_tuner_suite(repeats, smoke, target);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   std::FILE* out = out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
   if (!out) {

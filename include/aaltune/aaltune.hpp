@@ -33,9 +33,12 @@
 #include "graph/models.hpp"
 #include "ir/workload.hpp"
 
-// Configuration space and simulated hardware.
+// Configuration space and simulated hardware: the target registry, the
+// per-backend device models, the simulated device and fault injection.
 #include "hwsim/device.hpp"
+#include "hwsim/device_model.hpp"
 #include "hwsim/fault.hpp"
+#include "hwsim/target.hpp"
 #include "space/config_space.hpp"
 
 // Measurement: shared session knobs, tasks, measurer, record logs.

@@ -30,6 +30,16 @@ for suite in kernels tuner; do
     --suite "$suite" --repeats "$REPEATS" --scale "$SCALE" --out "$out"
 done
 
-python3 "$ROOT/scripts/validate_bench.py" \
-  "$OUT_DIR/BENCH_kernels.json" "$OUT_DIR/BENCH_tuner.json"
+# Schema check, plus coverage against the checked-in baseline: every
+# baseline entry (including the per-target profile_batch:<name> rows) must
+# still be emitted, so a dropped or renamed benchmark fails here instead of
+# silently vanishing from the comparison.
+for suite in kernels tuner; do
+  covers=()
+  if [ -f "$ROOT/BENCH_${suite}.json" ]; then
+    covers=(--covers "$ROOT/BENCH_${suite}.json")
+  fi
+  python3 "$ROOT/scripts/validate_bench.py" "${covers[@]}" \
+    "$OUT_DIR/BENCH_${suite}.json"
+done
 echo "bench: OK"

@@ -5,6 +5,13 @@ The schema is documented in docs/PERF.md; this checker is the executable
 version CI runs (bench-smoke job) so the emitted files and the docs cannot
 drift apart silently. Exits non-zero with a per-file error report on any
 violation.
+
+With --covers BASELINE.json, every distinct entry name in the checked-in
+baseline must also appear in each validated file. A baseline entry the
+harness no longer emits is a hard failure, not a silent skip — renaming or
+dropping a benchmark must be paired with regenerating the baseline.
+
+usage: validate_bench.py [--covers BASELINE.json] BENCH_file.json [...]
 """
 import json
 import sys
@@ -86,13 +93,58 @@ def check(path: str) -> list[str]:
     return errors
 
 
+def entry_names(path: str) -> set[str]:
+    """Distinct result-entry names of a bench file (empty set if unreadable;
+    the schema check reports the real error)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        return {
+            e["name"]
+            for e in doc.get("results", [])
+            if isinstance(e, dict) and isinstance(e.get("name"), str)
+        }
+    except (OSError, json.JSONDecodeError):
+        return set()
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) < 2:
-        print("usage: validate_bench.py BENCH_file.json [...]", file=sys.stderr)
+    baseline = None
+    args = argv[1:]
+    while args and args[0].startswith("--"):
+        if args[0] == "--covers" and len(args) >= 2:
+            baseline = args[1]
+            args = args[2:]
+        else:
+            print(f"unknown option {args[0]}", file=sys.stderr)
+            return 2
+    if not args:
+        print(
+            "usage: validate_bench.py [--covers BASELINE.json] "
+            "BENCH_file.json [...]",
+            file=sys.stderr,
+        )
         return 2
+    baseline_names: set[str] = set()
+    if baseline is not None:
+        baseline_errors = check(baseline)
+        if baseline_errors:
+            print(f"{baseline}: INVALID baseline", file=sys.stderr)
+            for e in baseline_errors:
+                print(f"  - {e}", file=sys.stderr)
+            return 1
+        baseline_names = entry_names(baseline)
     failed = False
-    for path in argv[1:]:
+    for path in args:
         errors = check(path)
+        if not errors and baseline_names:
+            missing = baseline_names - entry_names(path)
+            if missing:
+                errors.append(
+                    f"baseline entries missing from emitted results: "
+                    f"{sorted(missing)} (regenerate {baseline} if the "
+                    f"benchmark was renamed or removed)"
+                )
         if errors:
             failed = True
             print(f"{path}: INVALID", file=sys.stderr)

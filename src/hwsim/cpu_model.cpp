@@ -1,0 +1,366 @@
+#include "hwsim/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "space/schedule_template.hpp"
+#include "support/common.hpp"
+#include "support/math_util.hpp"
+
+namespace aal {
+
+namespace {
+
+/// Pruning bounds shared by constraints() and profile(); a config outside
+/// them both prunes *and* profiles invalid, keeping the two views coherent.
+constexpr std::int64_t kMaxTasksPerCore = 256;
+constexpr std::int64_t kRegisterTileSlack = 4;  // x vector_registers
+
+double dtype_rate(const CpuSpec& spec, DType t) {
+  switch (t) {
+    case DType::kFloat16: return spec.fp16_rate;
+    case DType::kInt8: return spec.int8_rate;
+    default: return 1.0;
+  }
+}
+
+/// Issue-slot fraction lost to loop bookkeeping. CPUs predict the loop
+/// branches well, so the un-unrolled overhead is milder than on the GPU,
+/// but tiny bodies still drown in index arithmetic.
+double loop_efficiency(double body_macs, std::int64_t auto_unroll,
+                       bool unroll_explicit) {
+  const bool unrolled = static_cast<double>(auto_unroll) >= 2.0 * body_macs &&
+                        auto_unroll > 0;
+  double overhead = unrolled ? 0.4 : 2.0;
+  if (unroll_explicit && unrolled) overhead = 0.3;
+  double icache_penalty = 1.0;
+  if (unrolled && body_macs > 1024.0) icache_penalty = 1.06;
+  const double eff = body_macs / (body_macs + overhead);
+  return clamp(eff / icache_penalty, 0.3, 0.99);
+}
+
+/// SIMD lane utilization of a vectorized loop of extent `extent`: remainders
+/// run in a masked/scalar epilogue, wasting the unfilled lanes of the last
+/// vector iteration.
+double vector_efficiency(std::int64_t extent, int simd_width) {
+  if (extent <= 0) return 1.0 / static_cast<double>(simd_width);
+  return static_cast<double>(extent) /
+         static_cast<double>(round_up(extent, simd_width));
+}
+
+/// Mechanical facts about one schedule that both the feasibility predicates
+/// and the timing equations consume.
+struct CpuMapping {
+  std::int64_t tasks = 1;          // parallel chunks over cores
+  std::int64_t vector_extent = 1;  // innermost (vectorized) loop extent
+  std::int64_t register_tiles = 1; // live accumulator vector registers
+  std::int64_t working_set = 0;    // staged tile bytes per reduction step
+  std::int64_t steps = 1;          // reduction staging steps per task
+  double body_macs = 1.0;          // innermost unrollable MACs
+  std::int64_t auto_unroll = 0;
+  bool unroll_explicit = false;
+};
+
+CpuMapping conv_mapping(const Workload& workload, const CpuSpec& spec,
+                        const ConvSchedule& s) {
+  const Conv2dWorkload& w = workload.as_conv2d();
+  const bool depthwise = workload.kind() == WorkloadKind::kDepthwiseConv2d;
+  const std::int64_t elem = dtype_bytes(w.dtype);
+
+  CpuMapping m;
+  m.tasks = w.batch * s.num_blocks();
+  m.vector_extent = s.xi;
+  m.register_tiles =
+      s.fi * s.yi * ceil_div(s.xi, spec.simd_width);
+  const std::int64_t in_rows = (s.tile_y() - 1) * w.stride_h + s.ryi;
+  const std::int64_t in_cols = (s.tile_x() - 1) * w.stride_w + s.rxi;
+  const std::int64_t staged_channels = depthwise ? s.tile_f() : s.rci;
+  const std::int64_t wt_elems = depthwise
+                                    ? s.tile_f() * s.ryi * s.rxi
+                                    : s.tile_f() * s.rci * s.ryi * s.rxi;
+  m.working_set = (staged_channels * in_rows * in_cols + wt_elems) * elem;
+  m.steps = (depthwise ? 1 : s.rco) * s.ryo * s.rxo;
+  m.body_macs = static_cast<double>((depthwise ? 1 : s.rci) * s.ryi * s.rxi) *
+                static_cast<double>(s.fi * s.yi * s.xi);
+  m.auto_unroll = s.auto_unroll_max_step;
+  m.unroll_explicit = s.unroll_explicit;
+  return m;
+}
+
+CpuMapping dense_mapping(const Workload& workload, const CpuSpec& spec,
+                         const DenseSchedule& s) {
+  const DenseWorkload& w = workload.as_dense();
+  const std::int64_t elem = dtype_bytes(w.dtype);
+
+  CpuMapping m;
+  m.tasks = w.batch * s.num_blocks();
+  m.vector_extent = s.oi;
+  m.register_tiles = s.vo * ceil_div(s.oi, spec.simd_width);
+  // Staged per reduction step: the shared input chunk plus the weight rows
+  // of the task's output tile.
+  m.working_set = s.ki * elem * (1 + s.vo * s.to * s.oi);
+  m.steps = s.ko;
+  m.body_macs = static_cast<double>(s.ki * s.oi);
+  m.auto_unroll = s.auto_unroll_max_step;
+  m.unroll_explicit = s.unroll_explicit;
+  return m;
+}
+
+struct FeasibilityVerdict {
+  bool ok = true;
+  const char* reason = "";
+};
+
+FeasibilityVerdict check_mapping(const CpuMapping& m, const CpuSpec& spec) {
+  if (m.tasks > kMaxTasksPerCore * spec.cores) {
+    return {false, "cpu.parallel-grain: task grid too fine for the core count"};
+  }
+  if (m.register_tiles > kRegisterTileSlack * spec.vector_registers) {
+    return {false, "cpu.register-tile: accumulator tile exceeds vector "
+                   "register budget"};
+  }
+  if (m.working_set > spec.l2_bytes) {
+    return {false, "cpu.working-set: staged tile overflows the private L2"};
+  }
+  return {};
+}
+
+/// Which cache level serves the steady-state staged traffic, with its
+/// per-core sustained bandwidth (bytes/cycle) and per-line miss cost
+/// (cycles, paid on the fraction prefetchers fail to hide).
+struct CacheLevel {
+  double bytes_per_cycle = 64.0;
+  double miss_cycles = 0.0;
+};
+
+CacheLevel serving_level(const CpuSpec& spec, std::int64_t working_set) {
+  if (working_set <= spec.l1_bytes) return {64.0, 0.0};
+  if (working_set <= spec.l2_bytes) return {32.0, spec.l2_miss_cycles};
+  if (working_set <= spec.l3_bytes / std::max(1, spec.cores)) {
+    return {16.0, spec.l3_miss_cycles};
+  }
+  return {8.0, spec.dram_miss_cycles};
+}
+
+}  // namespace
+
+CpuDeviceModel::CpuDeviceModel(Workload workload, TargetSpec target)
+    : workload_(std::move(workload)), target_(std::move(target)) {
+  AAL_CHECK(target_.kind == TargetKind::kCpu,
+            "CpuDeviceModel needs a CPU target");
+}
+
+KernelProfile CpuDeviceModel::profile(const ConfigSpace& space,
+                                      const Config& config) const {
+  if (workload_.is_conv()) return profile_conv(space, config);
+  return profile_dense(space, config);
+}
+
+std::vector<SpaceConstraint> CpuDeviceModel::constraints() const {
+  const CpuSpec spec = target_.cpu;
+  const Workload workload = workload_;
+  const bool is_conv = workload.is_conv();
+  const auto mapping = [workload, spec, is_conv](const ConfigSpace& space,
+                                                 const Config& config) {
+    return is_conv
+               ? conv_mapping(workload, spec,
+                              decode_conv_schedule(workload, space, config))
+               : dense_mapping(workload, spec,
+                               decode_dense_schedule(workload, space, config));
+  };
+  std::vector<SpaceConstraint> out;
+  out.push_back({"cpu.parallel-grain",
+                 [mapping, spec](const ConfigSpace& space, const Config& c) {
+                   return mapping(space, c).tasks <=
+                          kMaxTasksPerCore * spec.cores;
+                 }});
+  out.push_back({"cpu.register-tile",
+                 [mapping, spec](const ConfigSpace& space, const Config& c) {
+                   return mapping(space, c).register_tiles <=
+                          kRegisterTileSlack * spec.vector_registers;
+                 }});
+  out.push_back({"cpu.working-set",
+                 [mapping, spec](const ConfigSpace& space, const Config& c) {
+                   return mapping(space, c).working_set <= spec.l2_bytes;
+                 }});
+  return out;
+}
+
+KernelProfile CpuDeviceModel::profile_conv(const ConfigSpace& space,
+                                           const Config& config) const {
+  const Conv2dWorkload& w = workload_.as_conv2d();
+  const bool depthwise = workload_.kind() == WorkloadKind::kDepthwiseConv2d;
+  AAL_CHECK(depthwise || w.groups == 1,
+            "cpu model supports groups==1 or depthwise convolutions");
+  const CpuSpec& spec = target_.cpu;
+  const ConvSchedule s = decode_conv_schedule(workload_, space, config);
+  const CpuMapping m = conv_mapping(workload_, spec, s);
+
+  const FeasibilityVerdict verdict = check_mapping(m, spec);
+  if (!verdict.ok) return KernelProfile::invalid_config(verdict.reason);
+
+  // --- Parallel decomposition -------------------------------------------
+  const double waves = std::ceil(static_cast<double>(m.tasks) / spec.cores);
+  const double utilization =
+      static_cast<double>(m.tasks) / (waves * spec.cores);
+
+  // --- Compute time ------------------------------------------------------
+  const std::int64_t total_macs = workload_.flops() / 2;
+  const double vec_eff = vector_efficiency(m.vector_extent, spec.simd_width);
+  const double loop_eff =
+      loop_efficiency(m.body_macs, m.auto_unroll, m.unroll_explicit);
+  double spill_eff = 1.0;
+  bool spilled = false;
+  if (m.register_tiles > spec.vector_registers) {
+    spilled = true;
+    spill_eff = std::max(
+        0.45, static_cast<double>(spec.vector_registers) / m.register_tiles);
+  }
+  const double macs_per_core_us = spec.clock_ghz * 1e3 * spec.simd_width *
+                                  spec.fma_ports *
+                                  dtype_rate(spec, w.dtype);
+  const double compute_us =
+      static_cast<double>(total_macs) /
+      (macs_per_core_us * spec.cores * vec_eff * loop_eff * spill_eff) /
+      std::max(utilization, 0.05);
+
+  // --- Cache hierarchy ---------------------------------------------------
+  const double staged_bytes = static_cast<double>(m.tasks) *
+                              static_cast<double>(m.steps) *
+                              static_cast<double>(m.working_set);
+  const CacheLevel level = serving_level(spec, m.working_set);
+  const double cycles_per_us = spec.clock_ghz * 1e3;
+  const double cache_bw =
+      spec.cores * utilization * level.bytes_per_cycle * cycles_per_us;
+  const double cache_us = staged_bytes / std::max(cache_bw, 1.0);
+  // Miss cost: one line fill per 64 staged bytes, ~75% hidden by the
+  // hardware prefetchers, amortized over the active cores.
+  const double miss_us = (staged_bytes / 64.0) * level.miss_cycles * 0.25 /
+                         (cycles_per_us * spec.cores *
+                          std::max(utilization, 0.05));
+
+  // --- DRAM --------------------------------------------------------------
+  const double unique_bytes =
+      static_cast<double>(w.input_type().num_bytes()) +
+      static_cast<double>(w.weight_type().num_bytes()) +
+      static_cast<double>(w.output_type().num_bytes());
+  // Tiles that overflow the shared L3 re-stream from DRAM every step.
+  const bool l3_thrash =
+      m.working_set > spec.l3_bytes / std::max(1, spec.cores);
+  const double dram_bytes =
+      unique_bytes + (l3_thrash ? 0.5 * staged_bytes : 0.0);
+  const double dram_us = dram_bytes / (spec.dram_bw_gbps * 1e3);
+
+  // --- Assemble ----------------------------------------------------------
+  const double mem_us = cache_us + miss_us;
+  const double mx = std::max({compute_us, mem_us, dram_us});
+  const double sum = compute_us + mem_us + dram_us;
+  const double overhead_us =
+      spec.parallel_launch_overhead_us + 0.2 * waves;
+
+  KernelProfile p;
+  p.valid = true;
+  p.base_time_us = overhead_us + mx + 0.2 * (sum - mx);
+  p.occupancy = utilization;
+  p.registers_per_thread = static_cast<int>(m.register_tiles);
+  p.smem_bytes_per_block = m.working_set;
+  p.threads_per_block = s.threads_per_block();
+  p.num_blocks = m.tasks;
+  p.compute_time_us = compute_us;
+  p.dram_time_us = dram_us;
+  p.l2_time_us = miss_us;
+  p.smem_time_us = cache_us;
+  p.wave_count = waves;
+
+  // CPUs are quieter than GPUs, but memory-bound schedules feel neighbor
+  // contention and low-utilization grids feel OS scheduling jitter.
+  const double mem_frac = (mem_us + dram_us) / std::max(1e-9, sum);
+  p.noise_sigma = clamp(0.005 + 0.035 * mem_frac * mem_frac +
+                            0.03 * (1.0 - utilization) +
+                            (spilled ? 0.01 : 0.0),
+                        0.004, 0.09);
+  return p;
+}
+
+KernelProfile CpuDeviceModel::profile_dense(const ConfigSpace& space,
+                                            const Config& config) const {
+  const DenseWorkload& w = workload_.as_dense();
+  const CpuSpec& spec = target_.cpu;
+  const DenseSchedule s = decode_dense_schedule(workload_, space, config);
+  const CpuMapping m = dense_mapping(workload_, spec, s);
+
+  const FeasibilityVerdict verdict = check_mapping(m, spec);
+  if (!verdict.ok) return KernelProfile::invalid_config(verdict.reason);
+
+  const double waves = std::ceil(static_cast<double>(m.tasks) / spec.cores);
+  const double utilization =
+      static_cast<double>(m.tasks) / (waves * spec.cores);
+
+  const std::int64_t total_macs = workload_.flops() / 2;
+  const double vec_eff = vector_efficiency(m.vector_extent, spec.simd_width);
+  const double loop_eff =
+      loop_efficiency(m.body_macs, m.auto_unroll, m.unroll_explicit);
+  double spill_eff = 1.0;
+  bool spilled = false;
+  if (m.register_tiles > spec.vector_registers) {
+    spilled = true;
+    spill_eff = std::max(
+        0.45, static_cast<double>(spec.vector_registers) / m.register_tiles);
+  }
+  const double macs_per_core_us = spec.clock_ghz * 1e3 * spec.simd_width *
+                                  spec.fma_ports *
+                                  dtype_rate(spec, w.dtype);
+  const double compute_us =
+      static_cast<double>(total_macs) /
+      (macs_per_core_us * spec.cores * vec_eff * loop_eff * spill_eff) /
+      std::max(utilization, 0.05);
+
+  const double staged_bytes = static_cast<double>(m.tasks) *
+                              static_cast<double>(m.steps) *
+                              static_cast<double>(m.working_set);
+  const CacheLevel level = serving_level(spec, m.working_set);
+  const double cycles_per_us = spec.clock_ghz * 1e3;
+  const double cache_bw =
+      spec.cores * utilization * level.bytes_per_cycle * cycles_per_us;
+  const double cache_us = staged_bytes / std::max(cache_bw, 1.0);
+  const double miss_us = (staged_bytes / 64.0) * level.miss_cycles * 0.25 /
+                         (cycles_per_us * spec.cores *
+                          std::max(utilization, 0.05));
+
+  // Weights stream once; the input vector is tiny and re-read per task.
+  const double unique_bytes =
+      static_cast<double>(w.weight_type().num_bytes()) +
+      static_cast<double>(w.input_type().num_bytes()) *
+          static_cast<double>(std::max<std::int64_t>(1, s.bo)) +
+      static_cast<double>(w.output_type().num_bytes());
+  const double dram_us = unique_bytes / (spec.dram_bw_gbps * 1e3);
+
+  const double mem_us = cache_us + miss_us;
+  const double mx = std::max({compute_us, mem_us, dram_us});
+  const double sum = compute_us + mem_us + dram_us;
+  const double overhead_us =
+      spec.parallel_launch_overhead_us + 0.2 * waves;
+
+  KernelProfile p;
+  p.valid = true;
+  p.base_time_us = overhead_us + mx + 0.2 * (sum - mx);
+  p.occupancy = utilization;
+  p.registers_per_thread = static_cast<int>(m.register_tiles);
+  p.smem_bytes_per_block = m.working_set;
+  p.threads_per_block = s.threads_per_block();
+  p.num_blocks = m.tasks;
+  p.compute_time_us = compute_us;
+  p.dram_time_us = dram_us;
+  p.l2_time_us = miss_us;
+  p.smem_time_us = cache_us;
+  p.wave_count = waves;
+
+  const double mem_frac = (mem_us + dram_us) / std::max(1e-9, sum);
+  p.noise_sigma = clamp(0.005 + 0.035 * mem_frac * mem_frac +
+                            0.03 * (1.0 - utilization) +
+                            (spilled ? 0.01 : 0.0),
+                        0.004, 0.09);
+  return p;
+}
+
+}  // namespace aal

@@ -1,0 +1,50 @@
+// Analytical multicore-SIMD CPU performance model.
+//
+// Reinterprets the CUDA-shaped schedule templates on a CPU, the way TVM's
+// x86 schedules reuse the same split structure: the block-level split (b*)
+// becomes the parallel task grid over cores, the vthread/thread splits
+// (v*, t*) become serial cache/register blocking, and the innermost extents
+// (i*) are the vectorized loops mapped onto SIMD lanes.
+//
+// The landscape is shaped by three mechanisms with CPU-native cliffs:
+//   * vectorization: the innermost spatial extent fills simd_width lanes;
+//     remainders waste lanes (xi / round_up(xi, simd));
+//   * cache hierarchy: the per-task staged working set is served from the
+//     deepest level it fits (L1/L2/L3/DRAM), with per-line miss costs and
+//     level-dependent bandwidth;
+//   * parallel grain: too few tasks leave cores idle (tail waves), too many
+//     drown in dispatch overhead.
+// Register-tile pressure beyond the architectural vector registers spills
+// with a heavy penalty, mirroring the GPU model's spill cliff.
+#pragma once
+
+#include "hwsim/device_model.hpp"
+
+namespace aal {
+
+class CpuDeviceModel final : public DeviceModel {
+ public:
+  CpuDeviceModel(Workload workload, TargetSpec target);
+
+  const TargetSpec& target() const override { return target_; }
+  const Workload& workload() const override { return workload_; }
+
+  KernelProfile profile(const ConfigSpace& space,
+                        const Config& config) const override;
+
+  /// Hardware-native pruning: parallel-grain, register-tile and working-set
+  /// predicates (see cpu_model.cpp for the exact bounds). Every pruned
+  /// config also profiles as invalid.
+  std::vector<SpaceConstraint> constraints() const override;
+
+ private:
+  KernelProfile profile_conv(const ConfigSpace& space,
+                             const Config& config) const;
+  KernelProfile profile_dense(const ConfigSpace& space,
+                              const Config& config) const;
+
+  Workload workload_;
+  TargetSpec target_;
+};
+
+}  // namespace aal

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "hwsim/kernel_model.hpp"
+#include "hwsim/target.hpp"
 #include "support/rng.hpp"
 
 namespace aal {
@@ -50,7 +51,12 @@ class Device {
  public:
   virtual ~Device() = default;
 
-  virtual const GpuSpec& spec() const = 0;
+  /// The backend-neutral target this device measures on. Must return a
+  /// reference to storage owned by the device chain (never a temporary):
+  /// decorators forward it by reference, so a by-value implementation would
+  /// dangle through the decorator — see the lifetime test in
+  /// tests/hwsim/test_faults.cpp.
+  virtual const TargetSpec& spec() const = 0;
 
   /// Simulates `repeats` timed runs of the profiled kernel identified by its
   /// flat config index. `attempt` is the zero-based retry ordinal of this
@@ -70,11 +76,15 @@ class Device {
 
 class SimulatedDevice : public Device {
  public:
-  explicit SimulatedDevice(GpuSpec spec, std::uint64_t seed = 1);
+  explicit SimulatedDevice(TargetSpec spec, std::uint64_t seed = 1);
+
+  /// Compatibility: wraps a raw GpuSpec as a GPU target (the historical
+  /// single-backend spelling used throughout tests and benches).
+  explicit SimulatedDevice(const GpuSpec& spec, std::uint64_t seed = 1);
 
   using Device::run;
 
-  const GpuSpec& spec() const override { return spec_; }
+  const TargetSpec& spec() const override { return spec_; }
 
   /// Invalid profiles yield ok == false with gflops == 0 (AutoTVM error
   /// records). The outcome depends only on (seed, config_flat, repeat
@@ -95,7 +105,7 @@ class SimulatedDevice : public Device {
   }
 
  private:
-  GpuSpec spec_;
+  TargetSpec spec_;
   std::uint64_t seed_ = 1;
   mutable std::atomic<std::int64_t> total_runs_{0};
 };

@@ -1,0 +1,49 @@
+#include "hwsim/device_model.hpp"
+
+#include "hwsim/cpu_model.hpp"
+#include "hwsim/fpga_model.hpp"
+#include "hwsim/kernel_model.hpp"
+#include "support/common.hpp"
+
+namespace aal {
+
+namespace {
+
+/// GPU targets wrap the original Pascal-calibrated KernelModel verbatim —
+/// the profile numbers (and therefore every golden trace of the default
+/// target) are bit-identical to the pre-target-layer code. No constraints:
+/// the GPU landscape keeps its full space, including its invalid regions.
+class GpuDeviceModel final : public DeviceModel {
+ public:
+  GpuDeviceModel(Workload workload, TargetSpec target)
+      : target_(std::move(target)), model_(std::move(workload), target_.gpu) {}
+
+  const TargetSpec& target() const override { return target_; }
+  const Workload& workload() const override { return model_.workload(); }
+
+  KernelProfile profile(const ConfigSpace& space,
+                        const Config& config) const override {
+    return model_.profile(space, config);
+  }
+
+ private:
+  TargetSpec target_;
+  KernelModel model_;
+};
+
+}  // namespace
+
+std::unique_ptr<DeviceModel> make_device_model(Workload workload,
+                                               const TargetSpec& target) {
+  switch (target.kind) {
+    case TargetKind::kGpu:
+      return std::make_unique<GpuDeviceModel>(std::move(workload), target);
+    case TargetKind::kCpu:
+      return std::make_unique<CpuDeviceModel>(std::move(workload), target);
+    case TargetKind::kFpga:
+      return std::make_unique<FpgaDeviceModel>(std::move(workload), target);
+  }
+  throw InvalidArgument("unknown target kind");
+}
+
+}  // namespace aal

@@ -1,0 +1,51 @@
+// Backend-neutral analytical device model.
+//
+// A DeviceModel binds one workload to one TargetSpec and answers two
+// questions the tuning stack needs:
+//   * profile():     the deterministic performance profile of one schedule
+//                    configuration (the target's analytical equations);
+//   * constraints(): Bolt-style hardware-native feasibility predicates the
+//                    config space uses to prune infeasible/poor schedules
+//                    before they ever reach a tuner proposal.
+// The contract between the two: a configuration rejected by constraints()
+// must also profile as invalid (the pruner only skips configs the backend
+// could not execute anyway), so pruning never hides the optimum.
+//
+// make_device_model() dispatches on the target kind: GPU targets wrap the
+// original KernelModel unchanged (and attach zero constraints, keeping the
+// default landscape bit-identical to the pre-target-layer code); CPU and
+// FPGA targets get their own analytical models (cpu_model.hpp,
+// fpga_model.hpp).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hwsim/kernel_profile.hpp"
+#include "hwsim/target.hpp"
+#include "ir/workload.hpp"
+#include "space/config_space.hpp"
+
+namespace aal {
+
+class DeviceModel {
+ public:
+  virtual ~DeviceModel() = default;
+
+  virtual const TargetSpec& target() const = 0;
+  virtual const Workload& workload() const = 0;
+
+  /// Deterministic profile of one configuration from the workload's space.
+  virtual KernelProfile profile(const ConfigSpace& space,
+                                const Config& config) const = 0;
+
+  /// Hardware-native feasibility predicates for this (workload, target)
+  /// pair. Default: none (every config is feasible).
+  virtual std::vector<SpaceConstraint> constraints() const { return {}; }
+};
+
+/// Builds the analytical model for `workload` on `target`.
+std::unique_ptr<DeviceModel> make_device_model(Workload workload,
+                                               const TargetSpec& target);
+
+}  // namespace aal

@@ -87,7 +87,12 @@ class FaultyDevice final : public Device {
 
   using Device::run;
 
-  const GpuSpec& spec() const override { return inner_.spec(); }
+  /// Forwards the wrapped device's spec by reference. Safe because the
+  /// inner device owns its TargetSpec by value and must outlive this
+  /// decorator (class contract above); the reference is address-stable
+  /// through arbitrarily deep decorator chains — pinned by the lifetime
+  /// test in tests/hwsim/test_faults.cpp.
+  const TargetSpec& spec() const override { return inner_.spec(); }
   const FaultPlan& plan() const { return plan_; }
 
   MeasureOutcome run(const KernelProfile& profile, std::int64_t flops,

@@ -14,10 +14,8 @@ double bytes_of(const std::vector<TensorType>& types) {
   return total;
 }
 
-}  // namespace
-
-double fixed_op_latency_us(const Op& op, const std::vector<TensorType>& inputs,
-                           const GpuSpec& spec) {
+double fixed_op_latency_at(const Op& op, const std::vector<TensorType>& inputs,
+                           double bw_bytes_per_us, double launch_us) {
   // Ops that are views / removed at inference time launch no kernel.
   switch (op.type) {
     case OpType::kInput:
@@ -31,9 +29,6 @@ double fixed_op_latency_us(const Op& op, const std::vector<TensorType>& inputs,
   const TensorType out = infer_output_type(op, inputs);
   const double out_bytes = static_cast<double>(out.num_bytes());
   const double in_bytes = bytes_of(inputs);
-
-  // Effective bandwidth of simple memory-bound kernels: ~75% of peak.
-  const double bw_bytes_per_us = spec.dram_bw_gbps * 1e3 * 0.75;
 
   double traffic = in_bytes + out_bytes;
   switch (op.type) {
@@ -55,7 +50,40 @@ double fixed_op_latency_us(const Op& op, const std::vector<TensorType>& inputs,
     default:
       break;
   }
-  return spec.kernel_launch_overhead_us * 0.6 + traffic / bw_bytes_per_us;
+  return launch_us + traffic / bw_bytes_per_us;
+}
+
+}  // namespace
+
+double fixed_op_latency_us(const Op& op, const std::vector<TensorType>& inputs,
+                           const GpuSpec& spec) {
+  // Effective bandwidth of simple memory-bound kernels: ~75% of peak.
+  // Fixed-function kernels launch back-to-back on one stream, so they pay a
+  // reduced share of the launch overhead.
+  return fixed_op_latency_at(op, inputs, spec.dram_bw_gbps * 1e3 * 0.75,
+                             spec.kernel_launch_overhead_us * 0.6);
+}
+
+double fixed_op_latency_us(const Op& op, const std::vector<TensorType>& inputs,
+                           const TargetSpec& target) {
+  switch (target.kind) {
+    case TargetKind::kGpu:
+      return fixed_op_latency_us(op, inputs, target.gpu);
+    case TargetKind::kCpu:
+      // CPU fixed ops skip the kernel-launch path entirely (they run inline
+      // in the host thread pool), but stream at a lower bandwidth fraction:
+      // scalar/short-vector loops rarely saturate DRAM.
+      return fixed_op_latency_at(op, inputs, target.dram_bw_gbps() * 1e3 * 0.6,
+                                 target.launch_overhead_us() * 0.1);
+    case TargetKind::kFpga:
+      // Fixed ops fall back to the host/soft cores next to the fabric;
+      // streaming DMA gets close to peak, but each op pays a descriptor
+      // setup cost well below a full bitstream invocation.
+      return fixed_op_latency_at(op, inputs, target.dram_bw_gbps() * 1e3 * 0.8,
+                                 target.launch_overhead_us() * 0.05);
+  }
+  AAL_CHECK(false, "unreachable: unknown target kind");
+  return 0.0;
 }
 
 double fixed_op_noise_sigma() { return 0.006; }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "hwsim/gpu_spec.hpp"
+#include "hwsim/target.hpp"
 #include "ir/op.hpp"
 #include "tensor/shape.hpp"
 
@@ -18,6 +19,12 @@ namespace aal {
 /// for ops with no runtime kernel (input, flatten, inference-time dropout).
 double fixed_op_latency_us(const Op& op, const std::vector<TensorType>& inputs,
                            const GpuSpec& spec);
+
+/// Backend-neutral overload: the same bandwidth-bound cost model, charged
+/// at the target's off-chip bandwidth and launch overhead. The GPU path is
+/// identical to the GpuSpec overload.
+double fixed_op_latency_us(const Op& op, const std::vector<TensorType>& inputs,
+                           const TargetSpec& target);
 
 /// Run-to-run noise sigma used for fixed ops (small, bandwidth-kernel-like).
 double fixed_op_noise_sigma();

@@ -1,0 +1,257 @@
+#include "hwsim/fpga_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "space/schedule_template.hpp"
+#include "support/common.hpp"
+#include "support/math_util.hpp"
+
+namespace aal {
+
+namespace {
+
+/// Accumulator replication bound: virtual threads replicate result buffers
+/// across the array; a handful is free, more blows the BRAM budget fitted
+/// for double buffering.
+constexpr std::int64_t kMaxReplication = 4;
+
+double dtype_rate(const FpgaSpec& spec, DType t) {
+  switch (t) {
+    case DType::kFloat16: return spec.fp16_rate;
+    case DType::kInt8: return spec.int8_rate;
+    default: return 1.0;
+  }
+}
+
+/// Mechanical facts about one schedule's spatial mapping; shared by the
+/// feasibility predicates and the timing equations.
+struct FpgaMapping {
+  std::int64_t spatial_pes = 1;    // PEs the tile occupies (t* extents)
+  std::int64_t simd = 1;           // lanes used inside each PE
+  std::int64_t replication = 1;    // accumulator copies (v* extents)
+  std::int64_t buffer_bytes = 0;   // local-buffer tile footprint
+  std::int64_t invocations = 1;    // tile dispatches (b* extents x batch)
+  std::int64_t outer_steps = 1;    // local-buffer refills per invocation
+  std::int64_t inner_body = 1;     // pipeline body length (inner reduction)
+};
+
+FpgaMapping conv_mapping(const Workload& workload, const ConvSchedule& s) {
+  const Conv2dWorkload& w = workload.as_conv2d();
+  const bool depthwise = workload.kind() == WorkloadKind::kDepthwiseConv2d;
+  const std::int64_t elem = dtype_bytes(w.dtype);
+
+  FpgaMapping m;
+  m.spatial_pes = s.threads_per_block();
+  m.simd = s.fi;
+  m.replication = s.vthreads();
+  const std::int64_t in_rows = (s.tile_y() - 1) * w.stride_h + s.ryi;
+  const std::int64_t in_cols = (s.tile_x() - 1) * w.stride_w + s.rxi;
+  const std::int64_t staged_channels = depthwise ? s.tile_f() : s.rci;
+  const std::int64_t wt_elems = depthwise
+                                    ? s.tile_f() * s.ryi * s.rxi
+                                    : s.tile_f() * s.rci * s.ryi * s.rxi;
+  const std::int64_t out_elems = s.tile_f() * s.tile_y() * s.tile_x();
+  // Input + weight tiles double-buffered, plus the replicated output tile.
+  m.buffer_bytes = (2 * (staged_channels * in_rows * in_cols + wt_elems) +
+                    m.replication * out_elems) *
+                   elem;
+  m.invocations = w.batch * s.num_blocks();
+  m.outer_steps = (depthwise ? 1 : s.rco) * s.ryo * s.rxo;
+  m.inner_body = (depthwise ? 1 : s.rci) * s.ryi * s.rxi;
+  return m;
+}
+
+FpgaMapping dense_mapping(const Workload& workload, const DenseSchedule& s) {
+  const DenseWorkload& w = workload.as_dense();
+  const std::int64_t elem = dtype_bytes(w.dtype);
+
+  FpgaMapping m;
+  m.spatial_pes = s.threads_per_block();
+  m.simd = s.oi;
+  m.replication = s.vo;
+  const std::int64_t out_elems = s.vo * s.to * s.oi;
+  m.buffer_bytes =
+      (2 * (s.ki + out_elems * s.ki) + m.replication * out_elems) * elem;
+  m.invocations = w.batch * s.num_blocks();
+  m.outer_steps = s.ko;
+  m.inner_body = s.ki;
+  return m;
+}
+
+struct FeasibilityVerdict {
+  bool ok = true;
+  const char* reason = "";
+};
+
+FeasibilityVerdict check_mapping(const FpgaMapping& m, const FpgaSpec& spec) {
+  if (m.spatial_pes > static_cast<std::int64_t>(spec.pe_rows) * spec.pe_cols) {
+    return {false, "fpga.pe-array: spatial extents exceed the PE array"};
+  }
+  if (m.simd > spec.simd_lanes) {
+    return {false, "fpga.simd-lanes: inner extent exceeds per-PE lanes"};
+  }
+  if (m.replication > kMaxReplication) {
+    return {false, "fpga.replication: too many accumulator copies"};
+  }
+  if (m.buffer_bytes > spec.local_buffer_bytes) {
+    return {false, "fpga.local-buffer: tile overflows the on-chip buffers"};
+  }
+  return {};
+}
+
+KernelProfile assemble(const Workload& workload, const FpgaSpec& spec,
+                       const FpgaMapping& m, DType dtype,
+                       double unique_bytes, std::int64_t tile_traffic_bytes,
+                       std::int64_t threads_per_block) {
+  const FeasibilityVerdict verdict = check_mapping(m, spec);
+  if (!verdict.ok) return KernelProfile::invalid_config(verdict.reason);
+
+  const double cycles_per_us = spec.clock_ghz * 1e3;
+
+  // --- Compute: streaming rate x packing, plus the pipeline-fill tax ----
+  const std::int64_t total_macs = workload.flops() / 2;
+  const double macs_per_cycle = static_cast<double>(m.spatial_pes) *
+                                static_cast<double>(m.simd) *
+                                dtype_rate(spec, dtype);
+  // The scheduler allocates whole array columns: odd PE counts round up.
+  const double pack_eff =
+      static_cast<double>(m.spatial_pes) /
+      static_cast<double>(round_up(m.spatial_pes, spec.pe_cols));
+  const double stream_cycles =
+      static_cast<double>(total_macs) / macs_per_cycle / pack_eff;
+  const double fill_cycles = static_cast<double>(m.invocations) *
+                             static_cast<double>(m.outer_steps) *
+                             static_cast<double>(spec.pipeline_depth);
+  const double compute_us = (stream_cycles + fill_cycles) / cycles_per_us;
+
+  // --- Off-chip streaming ------------------------------------------------
+  // No cache hierarchy: every staged tile streams from DRAM each refill.
+  const double staged_bytes = static_cast<double>(m.invocations) *
+                              static_cast<double>(m.outer_steps) *
+                              static_cast<double>(tile_traffic_bytes);
+  const double dram_bytes = unique_bytes + staged_bytes;
+  const double dram_us = dram_bytes / (spec.dram_bw_gbps * 1e3);
+
+  // --- Overlap -----------------------------------------------------------
+  // Double buffering hides `latency_hiding` of the shorter phase behind the
+  // longer one.
+  const double mx = std::max(compute_us, dram_us);
+  const double mn = std::min(compute_us, dram_us);
+  const double overlapped = mx + (1.0 - spec.latency_hiding) * mn;
+
+  KernelProfile p;
+  p.valid = true;
+  p.base_time_us = spec.launch_overhead_us + overlapped;
+  // "Occupancy" on the array: fraction of PEs (and their lanes) streaming.
+  p.occupancy = static_cast<double>(m.spatial_pes * m.simd) /
+                (static_cast<double>(spec.pe_rows) * spec.pe_cols *
+                 spec.simd_lanes);
+  p.registers_per_thread = static_cast<int>(m.replication);
+  p.smem_bytes_per_block = m.buffer_bytes;
+  p.threads_per_block = threads_per_block;
+  p.num_blocks = m.invocations;
+  p.compute_time_us = compute_us;
+  p.dram_time_us = dram_us;
+  p.l2_time_us = 0.0;
+  p.smem_time_us = fill_cycles / cycles_per_us;
+  p.wave_count = static_cast<double>(m.invocations);
+
+  // Statically scheduled datapath: only DDR arbitration jitters, and only
+  // when the schedule is transfer-bound.
+  const double dram_frac = dram_us / std::max(1e-9, compute_us + dram_us);
+  p.noise_sigma = clamp(0.0015 + 0.008 * dram_frac, 0.001, 0.012);
+  return p;
+}
+
+}  // namespace
+
+FpgaDeviceModel::FpgaDeviceModel(Workload workload, TargetSpec target)
+    : workload_(std::move(workload)), target_(std::move(target)) {
+  AAL_CHECK(target_.kind == TargetKind::kFpga,
+            "FpgaDeviceModel needs an FPGA target");
+}
+
+KernelProfile FpgaDeviceModel::profile(const ConfigSpace& space,
+                                       const Config& config) const {
+  if (workload_.is_conv()) return profile_conv(space, config);
+  return profile_dense(space, config);
+}
+
+std::vector<SpaceConstraint> FpgaDeviceModel::constraints() const {
+  const FpgaSpec spec = target_.fpga;
+  const Workload workload = workload_;
+  const bool is_conv = workload.is_conv();
+  const auto mapping = [workload, is_conv](const ConfigSpace& space,
+                                           const Config& config) {
+    return is_conv
+               ? conv_mapping(workload,
+                              decode_conv_schedule(workload, space, config))
+               : dense_mapping(workload,
+                               decode_dense_schedule(workload, space, config));
+  };
+  std::vector<SpaceConstraint> out;
+  out.push_back({"fpga.pe-array",
+                 [mapping, spec](const ConfigSpace& space, const Config& c) {
+                   return mapping(space, c).spatial_pes <=
+                          static_cast<std::int64_t>(spec.pe_rows) *
+                              spec.pe_cols;
+                 }});
+  out.push_back({"fpga.simd-lanes",
+                 [mapping, spec](const ConfigSpace& space, const Config& c) {
+                   return mapping(space, c).simd <= spec.simd_lanes;
+                 }});
+  out.push_back({"fpga.replication",
+                 [mapping](const ConfigSpace& space, const Config& c) {
+                   return mapping(space, c).replication <= kMaxReplication;
+                 }});
+  out.push_back({"fpga.local-buffer",
+                 [mapping, spec](const ConfigSpace& space, const Config& c) {
+                   return mapping(space, c).buffer_bytes <=
+                          spec.local_buffer_bytes;
+                 }});
+  return out;
+}
+
+KernelProfile FpgaDeviceModel::profile_conv(const ConfigSpace& space,
+                                            const Config& config) const {
+  const Conv2dWorkload& w = workload_.as_conv2d();
+  const bool depthwise = workload_.kind() == WorkloadKind::kDepthwiseConv2d;
+  AAL_CHECK(depthwise || w.groups == 1,
+            "fpga model supports groups==1 or depthwise convolutions");
+  const ConvSchedule s = decode_conv_schedule(workload_, space, config);
+  const FpgaMapping m = conv_mapping(workload_, s);
+
+  const std::int64_t elem = dtype_bytes(w.dtype);
+  const std::int64_t in_rows = (s.tile_y() - 1) * w.stride_h + s.ryi;
+  const std::int64_t in_cols = (s.tile_x() - 1) * w.stride_w + s.rxi;
+  const std::int64_t staged_channels = depthwise ? s.tile_f() : s.rci;
+  const std::int64_t wt_elems = depthwise
+                                    ? s.tile_f() * s.ryi * s.rxi
+                                    : s.tile_f() * s.rci * s.ryi * s.rxi;
+  const std::int64_t tile_traffic =
+      (staged_channels * in_rows * in_cols + wt_elems) * elem;
+  const double unique_bytes =
+      static_cast<double>(w.output_type().num_bytes());
+
+  return assemble(workload_, target_.fpga, m, w.dtype, unique_bytes,
+                  tile_traffic, s.threads_per_block());
+}
+
+KernelProfile FpgaDeviceModel::profile_dense(const ConfigSpace& space,
+                                             const Config& config) const {
+  const DenseWorkload& w = workload_.as_dense();
+  const DenseSchedule s = decode_dense_schedule(workload_, space, config);
+  const FpgaMapping m = dense_mapping(workload_, s);
+
+  const std::int64_t elem = dtype_bytes(w.dtype);
+  const std::int64_t out_elems = s.vo * s.to * s.oi;
+  const std::int64_t tile_traffic = (s.ki + out_elems * s.ki) * elem;
+  const double unique_bytes =
+      static_cast<double>(w.output_type().num_bytes());
+
+  return assemble(workload_, target_.fpga, m, w.dtype, unique_bytes,
+                  tile_traffic, s.threads_per_block());
+}
+
+}  // namespace aal

@@ -1,0 +1,49 @@
+// Analytical systolic-array FPGA performance model (AutoSA-style).
+//
+// Reinterprets the schedule templates as a spatial mapping: the thread
+// split (t*) becomes the set of PEs a tile occupies on the rectangular
+// array, the innermost extent (fi for conv, oi for dense) becomes the SIMD
+// lanes inside each PE, the block split (b*) becomes the sequence of tile
+// invocations streamed through the one accelerator, and the reduction
+// splits set the pipeline body length (inner) and the number of
+// local-buffer refills (outer).
+//
+// The landscape has FPGA-native structure: hard capacity walls (PE count,
+// per-PE lanes, local-buffer bytes), a pipeline-fill tax paid per tile
+// invocation and per outer reduction step (long inner reductions amortize
+// it — the latency-hiding lever), column-granularity packing loss on the
+// array, and off-chip streaming overlapped with compute by double
+// buffering. Noise is almost nil: the datapath is statically scheduled and
+// only DDR arbitration jitters.
+#pragma once
+
+#include "hwsim/device_model.hpp"
+
+namespace aal {
+
+class FpgaDeviceModel final : public DeviceModel {
+ public:
+  FpgaDeviceModel(Workload workload, TargetSpec target);
+
+  const TargetSpec& target() const override { return target_; }
+  const Workload& workload() const override { return workload_; }
+
+  KernelProfile profile(const ConfigSpace& space,
+                        const Config& config) const override;
+
+  /// Hardware-native pruning: PE-array capacity, per-PE SIMD lanes,
+  /// accumulator replication and local-buffer sizing (see fpga_model.cpp).
+  /// Every pruned config also profiles as invalid.
+  std::vector<SpaceConstraint> constraints() const override;
+
+ private:
+  KernelProfile profile_conv(const ConfigSpace& space,
+                             const Config& config) const;
+  KernelProfile profile_dense(const ConfigSpace& space,
+                              const Config& config) const;
+
+  Workload workload_;
+  TargetSpec target_;
+};
+
+}  // namespace aal

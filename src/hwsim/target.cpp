@@ -1,0 +1,195 @@
+#include "hwsim/target.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+namespace {
+
+/// Levenshtein distance for the did-you-mean suggestion; the registry is
+/// tiny, so the quadratic table is irrelevant.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+struct RegistryEntry {
+  const char* name;
+  const char* description;
+  TargetSpec (*make)();
+};
+
+TargetSpec make_gpu_target(const char* name, GpuSpec spec) {
+  TargetSpec t;
+  t.kind = TargetKind::kGpu;
+  t.name = name;
+  t.device_name = spec.name;
+  t.gpu = spec;
+  return t;
+}
+
+TargetSpec make_gpu_pascal() {
+  return make_gpu_target("gpu-pascal", GpuSpec::gtx1080ti());
+}
+TargetSpec make_gpu_volta() {
+  return make_gpu_target("gpu-volta", GpuSpec::v100());
+}
+TargetSpec make_gpu_embedded() {
+  return make_gpu_target("gpu-embedded", GpuSpec::small_embedded());
+}
+
+TargetSpec make_cpu_simd() {
+  TargetSpec t;
+  t.kind = TargetKind::kCpu;
+  t.name = "cpu-simd";
+  t.cpu = CpuSpec::desktop_simd();
+  t.device_name = t.cpu.name;
+  return t;
+}
+
+TargetSpec make_fpga_systolic() {
+  TargetSpec t;
+  t.kind = TargetKind::kFpga;
+  t.name = "fpga-systolic";
+  t.fpga = FpgaSpec::midrange_systolic();
+  t.device_name = t.fpga.name;
+  return t;
+}
+
+constexpr RegistryEntry kRegistry[] = {
+    {"gpu-pascal",
+     "Pascal-class CUDA GPU (GTX 1080 Ti), the paper's platform",
+     &make_gpu_pascal},
+    {"gpu-volta", "Volta-class server GPU (Tesla V100)", &make_gpu_volta},
+    {"gpu-embedded", "small embedded-class GPU (Jetson-like)",
+     &make_gpu_embedded},
+    {"cpu-simd", "16-core AVX2 CPU with a 3-level cache hierarchy",
+     &make_cpu_simd},
+    {"fpga-systolic",
+     "16x16 systolic-array FPGA with on-chip local buffers (AutoSA-style)",
+     &make_fpga_systolic},
+};
+
+}  // namespace
+
+const char* target_kind_name(TargetKind kind) {
+  switch (kind) {
+    case TargetKind::kGpu: return "gpu";
+    case TargetKind::kCpu: return "cpu";
+    case TargetKind::kFpga: return "fpga";
+  }
+  return "unknown";
+}
+
+CpuSpec CpuSpec::desktop_simd() {
+  CpuSpec s;
+  s.name = "desktop-16c-avx2";
+  return s;  // defaults describe the desktop part
+}
+
+FpgaSpec FpgaSpec::midrange_systolic() {
+  FpgaSpec s;
+  s.name = "midrange-systolic-16x16";
+  return s;  // defaults describe the mid-range array
+}
+
+double TargetSpec::peak_gflops() const {
+  switch (kind) {
+    case TargetKind::kGpu: return gpu.peak_gflops();
+    case TargetKind::kCpu: return cpu.peak_gflops();
+    case TargetKind::kFpga: return fpga.peak_gflops();
+  }
+  return 0.0;
+}
+
+double TargetSpec::dram_bw_gbps() const {
+  switch (kind) {
+    case TargetKind::kGpu: return gpu.dram_bw_gbps;
+    case TargetKind::kCpu: return cpu.dram_bw_gbps;
+    case TargetKind::kFpga: return fpga.dram_bw_gbps;
+  }
+  return 0.0;
+}
+
+double TargetSpec::launch_overhead_us() const {
+  switch (kind) {
+    case TargetKind::kGpu: return gpu.kernel_launch_overhead_us;
+    case TargetKind::kCpu: return cpu.parallel_launch_overhead_us;
+    case TargetKind::kFpga: return fpga.launch_overhead_us;
+  }
+  return 0.0;
+}
+
+TargetSpec TargetSpec::from_gpu(const GpuSpec& spec) {
+  TargetSpec t;
+  t.kind = TargetKind::kGpu;
+  t.gpu = spec;
+  t.device_name = spec.name;
+  const std::string device = spec.name;
+  if (device == "GeForce GTX 1080 Ti") {
+    t.name = "gpu-pascal";
+  } else if (device == "Tesla V100") {
+    t.name = "gpu-volta";
+  } else if (device == "small-embedded") {
+    t.name = "gpu-embedded";
+  } else {
+    t.name = "gpu-custom";
+  }
+  return t;
+}
+
+const std::vector<std::string>& target_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const RegistryEntry& e : kRegistry) out.emplace_back(e.name);
+    return out;
+  }();
+  return names;
+}
+
+TargetSpec make_target(const std::string& name) {
+  for (const RegistryEntry& e : kRegistry) {
+    if (name == e.name) return e.make();
+  }
+  // Unknown: build the did-you-mean error from the closest registry name.
+  const RegistryEntry* closest = &kRegistry[0];
+  std::size_t best = edit_distance(name, kRegistry[0].name);
+  for (const RegistryEntry& e : kRegistry) {
+    const std::size_t d = edit_distance(name, e.name);
+    if (d < best) {
+      best = d;
+      closest = &e;
+    }
+  }
+  std::string valid;
+  for (const RegistryEntry& e : kRegistry) {
+    if (!valid.empty()) valid += ", ";
+    valid += e.name;
+  }
+  std::string message = "unknown target '" + name + "'";
+  if (best <= name.size() / 2 + 1) {
+    message += " (did you mean '" + std::string(closest->name) + "'?)";
+  }
+  message += "; valid targets: " + valid;
+  throw InvalidArgument(message);
+}
+
+std::string target_description(const std::string& name) {
+  for (const RegistryEntry& e : kRegistry) {
+    if (name == e.name) return e.description;
+  }
+  throw InvalidArgument("unknown target '" + name + "'");
+}
+
+}  // namespace aal

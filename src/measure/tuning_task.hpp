@@ -2,11 +2,18 @@
 // hardware model that evaluates it. This is the object every tuner consumes
 // (AutoTVM's `Task`), and it is deliberately measurement-free: the Measurer
 // owns the (stateful, noisy) device.
+//
+// The task is target-aware: it builds the backend's DeviceModel for the
+// workload and attaches the model's hardware-native constraints to its
+// config space, so every sampling path (initial pools, neighborhoods,
+// mutation proposals) prunes infeasible configs before they reach a tuner.
+// GPU targets attach zero constraints — the default landscape is untouched.
 #pragma once
 
 #include <memory>
 
-#include "hwsim/kernel_model.hpp"
+#include "hwsim/device_model.hpp"
+#include "hwsim/target.hpp"
 #include "ir/workload.hpp"
 #include "space/config_space.hpp"
 #include "space/schedule_template.hpp"
@@ -15,27 +22,46 @@ namespace aal {
 
 class TuningTask {
  public:
-  TuningTask(Workload workload, GpuSpec spec)
+  TuningTask(Workload workload, TargetSpec target)
       : workload_(std::move(workload)),
         space_(build_config_space(workload_)),
-        model_(workload_, spec) {}
+        model_(make_device_model(workload_, std::move(target))) {
+    space_.set_constraints(model_->constraints());
+  }
+
+  /// Compatibility: binds the workload to a raw GpuSpec (the historical
+  /// single-backend spelling).
+  TuningTask(Workload workload, const GpuSpec& spec)
+      : TuningTask(std::move(workload), TargetSpec::from_gpu(spec)) {}
 
   const Workload& workload() const { return workload_; }
   const ConfigSpace& space() const { return space_; }
-  const KernelModel& model() const { return model_; }
+  const TargetSpec& target() const { return model_->target(); }
+  const DeviceModel& model() const { return *model_; }
 
   /// Deterministic profile of one configuration (no measurement noise).
   KernelProfile profile(const Config& config) const {
-    return model_.profile(space_, config);
+    return model_->profile(space_, config);
   }
 
-  /// Task identity key (the workload key).
-  std::string key() const { return workload_.key(); }
+  /// Task identity key. The default target keeps the bare workload key, so
+  /// historical record logs and stores keep resolving; other targets
+  /// qualify the key with the target name — records measured on one
+  /// backend must never warm-start another.
+  std::string key() const { return key_for(workload_, model_->target()); }
+
+  /// The key a task built from (workload, target) would report, without
+  /// building the task (callers that only need the identity).
+  static std::string key_for(const Workload& workload,
+                             const TargetSpec& target) {
+    if (target.name == "gpu-pascal") return workload.key();
+    return workload.key() + "@" + target.name;
+  }
 
  private:
   Workload workload_;
   ConfigSpace space_;
-  KernelModel model_;
+  std::unique_ptr<DeviceModel> model_;
 };
 
 }  // namespace aal

@@ -32,6 +32,7 @@ constexpr TypeName kTypeNames[] = {
     {TraceEventType::kFaultInjected, "fault_injected"},
     {TraceEventType::kQuarantine, "quarantine"},
     {TraceEventType::kStoreHit, "store_hit"},
+    {TraceEventType::kConstraintPrune, "constraint_prune"},
 };
 
 }  // namespace

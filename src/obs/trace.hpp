@@ -46,6 +46,7 @@ enum class TraceEventType : int {
   kFaultInjected,      // a transient fault struck a measurement attempt
   kQuarantine,         // a config's retry budget ran dry
   kStoreHit,           // a RecordStore preload seeded the memo cache
+  kConstraintPrune,    // target constraints pruned sampled configs this run
 };
 
 /// Stable wire name of an event type ("session_begin", ...).

@@ -28,8 +28,11 @@ Config fallback_config(const TuningTask& task) {
 
 }  // namespace
 
-LatencyEvaluator::LatencyEvaluator(const Graph& graph, GpuSpec spec)
-    : graph_(graph), spec_(spec), fused_(fuse(graph)) {}
+LatencyEvaluator::LatencyEvaluator(const Graph& graph, TargetSpec target)
+    : graph_(graph), target_(std::move(target)), fused_(fuse(graph)) {}
+
+LatencyEvaluator::LatencyEvaluator(const Graph& graph, const GpuSpec& spec)
+    : LatencyEvaluator(graph, TargetSpec::from_gpu(spec)) {}
 
 std::vector<LatencyEvaluator::KernelEntry> LatencyEvaluator::kernel_breakdown(
     const std::unordered_map<std::string, std::int64_t>& best_flat_by_task)
@@ -51,11 +54,14 @@ std::vector<LatencyEvaluator::KernelEntry> LatencyEvaluator::kernel_breakdown(
       auto it = tasks.find(key);
       if (it == tasks.end()) {
         it = tasks.emplace(key, std::make_unique<TuningTask>(*group.workload,
-                                                             spec_))
+                                                             target_))
                  .first;
       }
       const TuningTask& task = *it->second;
-      const auto flat_it = best_flat_by_task.find(key);
+      // Tune reports key tasks by TuningTask::key(), which is target-
+      // qualified for non-default targets — match on that, not the bare
+      // workload key.
+      const auto flat_it = best_flat_by_task.find(task.key());
       const Config config = flat_it != best_flat_by_task.end()
                                 ? task.space().at(flat_it->second)
                                 : fallback_config(task);
@@ -68,10 +74,10 @@ std::vector<LatencyEvaluator::KernelEntry> LatencyEvaluator::kernel_breakdown(
       // Fused element-wise epilogue rides in the same kernel: charge its
       // extra arithmetic at peak rate (it is negligible next to the conv).
       entry.base_time_us += static_cast<double>(group.epilogue_flops) /
-                            (spec_.peak_gflops() * 1e3);
+                            (target_.peak_gflops() * 1e3);
     } else {
-      entry.base_time_us =
-          fixed_op_latency_us(anchor.op, graph_.input_types(anchor.id), spec_);
+      entry.base_time_us = fixed_op_latency_us(
+          anchor.op, graph_.input_types(anchor.id), target_);
       entry.noise_sigma = fixed_op_noise_sigma();
       if (entry.base_time_us <= 0.0) continue;  // no runtime kernel
     }

@@ -36,8 +36,13 @@ struct LatencyReport {
 
 class LatencyEvaluator {
  public:
-  /// Binds the evaluator to a model. The graph must outlive the evaluator.
-  LatencyEvaluator(const Graph& graph, GpuSpec spec);
+  /// Binds the evaluator to a model and a deployment target. The graph must
+  /// outlive the evaluator.
+  LatencyEvaluator(const Graph& graph, TargetSpec target);
+
+  /// Compatibility: deploys to a raw GpuSpec (the historical single-backend
+  /// spelling).
+  LatencyEvaluator(const Graph& graph, const GpuSpec& spec);
 
   /// Deterministic (noise-free) latency with the given per-task configs.
   /// Tasks missing from the map fall back to the task-space default
@@ -63,9 +68,11 @@ class LatencyEvaluator {
       const std::unordered_map<std::string, std::int64_t>& best_flat_by_task)
       const;
 
+  const TargetSpec& target() const { return target_; }
+
  private:
   const Graph& graph_;
-  GpuSpec spec_;
+  TargetSpec target_;
   FusedGraph fused_;
 };
 

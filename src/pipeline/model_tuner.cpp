@@ -71,7 +71,7 @@ ModelTuneReport::best_flat_by_task() const {
   return out;
 }
 
-ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
+ModelTuneReport tune_model(const Graph& graph, const TargetSpec& target,
                            const TunerFactory& factory,
                            const ModelTuneOptions& options) {
   const FusedGraph fused = fuse(graph);
@@ -81,8 +81,9 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
   report.model_name = graph.name();
   report.tasks.reserve(tasks.size());
   for (const Task& task : tasks) {
-    report.tasks.push_back(TaskTuneReport{task.workload.key(), task.workload,
-                                          task.count(), TuneResult{}});
+    report.tasks.push_back(TaskTuneReport{
+        TuningTask::key_for(task.workload, target), task.workload,
+        task.count(), TuneResult{}});
   }
 
   // Per-task trace buffers: lanes may interleave arbitrarily, so each task
@@ -108,8 +109,8 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
   const auto tune_one = [&](std::size_t i, TransferContext* transfer_ptr) {
     const Task& task = tasks[i];
     const std::uint64_t task_index = static_cast<std::uint64_t>(i) + 1;
-    TuningTask tuning_task(task.workload, spec);
-    SimulatedDevice device(spec, options.device_seed * 1000003 + task_index);
+    TuningTask tuning_task(task.workload, target);
+    SimulatedDevice device(target, options.device_seed * 1000003 + task_index);
     // The fault plan gets a per-task seed the same way the device does, so
     // fault draws are pure in (plan seed, task position, flat, attempt) and
     // the chaos schedule is identical at any jobs value.
@@ -162,6 +163,23 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
     tune_options.seed = options.tune.seed * 7907 + task_index;
     tune_options.obs = obs;
     TuneResult result = tuner->tune(measurer, tune_options);
+
+    // Constraint-pruning tally for this task's space. GPU targets attach no
+    // constraints, so default runs emit nothing and traces stay identical to
+    // the single-backend pipeline. The counts are pure functions of the
+    // task's seeds, so the event is byte-identical at any jobs value.
+    if (tuning_task.space().num_constraints() > 0) {
+      const std::int64_t checked = tuning_task.space().feasibility_checks();
+      const std::int64_t pruned = tuning_task.space().pruned_count();
+      obs.count("space.constraint_checked", checked);
+      obs.count("space.constraint_pruned", pruned);
+      obs.emit(TraceEventType::kConstraintPrune,
+               {{"target", TraceValue(tuning_task.target().name)},
+                {"constraints",
+                 TraceValue(tuning_task.space().num_constraints())},
+                {"checked", TraceValue(checked)},
+                {"pruned", TraceValue(pruned)}});
+    }
 
     if (options.store != nullptr && !options.store->read_only()) {
       // Only this session's own measurements flush back; re-appending rows
@@ -258,13 +276,31 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
   return report;
 }
 
+ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
+                           const TunerFactory& factory,
+                           const ModelTuneOptions& options) {
+  return tune_model(graph, TargetSpec::from_gpu(spec), factory, options);
+}
+
+TuneResult tune_workload(const Workload& workload, const TargetSpec& target,
+                         Tuner& tuner, const TuneOptions& options,
+                         std::uint64_t device_seed) {
+  TuningTask task(workload, target);
+  SimulatedDevice device(target, device_seed);
+  Measurer measurer(task, device);
+  return tuner.tune(measurer, options);
+}
+
 TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,
                          Tuner& tuner, const TuneOptions& options,
                          std::uint64_t device_seed) {
-  TuningTask task(workload, spec);
-  SimulatedDevice device(spec, device_seed);
-  Measurer measurer(task, device);
-  return tuner.tune(measurer, options);
+  return tune_workload(workload, TargetSpec::from_gpu(spec), tuner, options,
+                       device_seed);
+}
+
+TuneResult tune_workload(const Workload& workload, const TargetSpec& target,
+                         Tuner& tuner, const TuneOptions& options) {
+  return tune_workload(workload, target, tuner, options, options.device_seed);
 }
 
 TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,

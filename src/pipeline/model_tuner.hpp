@@ -106,7 +106,16 @@ struct ModelTuneOptions : SessionOptions {
   //   metrics     — metrics registry shared by every task (may be null)
 };
 
-/// Tunes every task of `graph` with tuners from `factory`.
+/// Tunes every task of `graph` with tuners from `factory` against `target`.
+/// Each task attaches the target's hardware-native constraints to its config
+/// space; tasks with constraints emit a `constraint_prune` trace event and
+/// bump `space.constraint_checked` / `space.constraint_pruned` metrics.
+ModelTuneReport tune_model(const Graph& graph, const TargetSpec& target,
+                           const TunerFactory& factory,
+                           const ModelTuneOptions& options);
+
+/// Compatibility: tunes against a raw GpuSpec (the historical single-backend
+/// spelling; identical to passing TargetSpec::from_gpu(spec)).
 ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
                            const TunerFactory& factory,
                            const ModelTuneOptions& options);
@@ -114,6 +123,10 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
 /// Tunes a single workload (used by the per-layer figures). Returns the
 /// tuner's result; `device_seed` controls the measurement noise stream and
 /// `options.seed` the tuner's own randomness.
+TuneResult tune_workload(const Workload& workload, const TargetSpec& target,
+                         Tuner& tuner, const TuneOptions& options,
+                         std::uint64_t device_seed);
+
 TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,
                          Tuner& tuner, const TuneOptions& options,
                          std::uint64_t device_seed);
@@ -121,6 +134,9 @@ TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,
 /// Same, with the noise stream taken from the shared options
 /// (`options.device_seed`) — the natural spelling for SessionOptions-style
 /// callers.
+TuneResult tune_workload(const Workload& workload, const TargetSpec& target,
+                         Tuner& tuner, const TuneOptions& options);
+
 TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,
                          Tuner& tuner, const TuneOptions& options);
 

@@ -2,10 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <unordered_set>
 
 namespace aal {
+
+namespace {
+
+/// Rejection bound for constraint-filtered sampling: generous enough that a
+/// feasible region of a few percent is still found with near certainty,
+/// small enough that a pathological all-infeasible space degrades to a
+/// plain draw instead of an infinite loop.
+constexpr int kMaxFeasibleAttempts = 256;
+
+}  // namespace
 
 ConfigSpace::ConfigSpace(std::vector<Knob> knobs) : knobs_(std::move(knobs)) {
   AAL_CHECK(!knobs_.empty(), "config space needs at least one knob");
@@ -65,9 +76,42 @@ Config ConfigSpace::make(std::vector<std::int32_t> choices) const {
   return c;
 }
 
+void ConfigSpace::set_constraints(std::vector<SpaceConstraint> constraints) {
+  for (const SpaceConstraint& c : constraints) {
+    AAL_CHECK(!c.name.empty(), "space constraint needs a name");
+    AAL_CHECK(static_cast<bool>(c.predicate),
+              "space constraint '" << c.name << "' has no predicate");
+  }
+  constraints_ = std::move(constraints);
+  stats_ = std::make_shared<ConstraintStats>();
+}
+
+bool ConfigSpace::feasible(const Config& config) const {
+  if (constraints_.empty()) return true;
+  stats_->checked.fetch_add(1, std::memory_order_relaxed);
+  for (const SpaceConstraint& c : constraints_) {
+    if (!c.predicate(*this, config)) {
+      stats_->pruned.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  return true;
+}
+
 Config ConfigSpace::sample(Rng& rng) const {
-  return at(static_cast<std::int64_t>(
+  Config c = at(static_cast<std::int64_t>(
       rng.next_index(static_cast<std::uint64_t>(size_))));
+  if (constraints_.empty()) return c;
+  // Bounded rejection: almost-everywhere-infeasible spaces fall back to the
+  // last draw rather than looping forever — the device model rejects that
+  // config as an invalid build, so nothing downstream relies on the sample
+  // being feasible.
+  for (int attempt = 0; attempt < kMaxFeasibleAttempts; ++attempt) {
+    if (feasible(c)) return c;
+    c = at(static_cast<std::int64_t>(
+        rng.next_index(static_cast<std::uint64_t>(size_))));
+  }
+  return c;
 }
 
 std::vector<Config> ConfigSpace::sample_distinct(std::int64_t n,
@@ -75,14 +119,25 @@ std::vector<Config> ConfigSpace::sample_distinct(std::int64_t n,
   std::vector<Config> out;
   if (n >= size_) {
     out.reserve(static_cast<std::size_t>(size_));
-    for (std::int64_t i = 0; i < size_; ++i) out.push_back(at(i));
+    for (std::int64_t i = 0; i < size_; ++i) {
+      Config c = at(i);
+      if (constraints_.empty() || feasible(c)) out.push_back(std::move(c));
+    }
     return out;
   }
   std::unordered_set<std::int64_t> seen;
   seen.reserve(static_cast<std::size_t>(n) * 2);
   out.reserve(static_cast<std::size_t>(n));
-  while (static_cast<std::int64_t>(out.size()) < n) {
-    Config c = sample(rng);
+  // Unconstrained draws always terminate because n < size(); constrained
+  // draws are attempt-bounded (the feasible region may hold fewer than n
+  // points), so the result may come back short.
+  std::int64_t attempts_left =
+      constraints_.empty() ? std::numeric_limits<std::int64_t>::max()
+                           : n * kMaxFeasibleAttempts + kMaxFeasibleAttempts;
+  while (static_cast<std::int64_t>(out.size()) < n && attempts_left-- > 0) {
+    Config c = at(static_cast<std::int64_t>(
+        rng.next_index(static_cast<std::uint64_t>(size_))));
+    if (!constraints_.empty() && !feasible(c)) continue;
     if (seen.insert(c.flat).second) out.push_back(std::move(c));
   }
   return out;
@@ -121,7 +176,10 @@ void ConfigSpace::enumerate_ball(const Config& center, double radius,
   auto rec = [&](auto&& self, std::size_t knob_idx, double used) -> void {
     if (knob_idx == knobs_.size()) {
       Config c = make(current);
-      if (c.flat != center.flat) out.push_back(std::move(c));
+      if (c.flat != center.flat &&
+          (constraints_.empty() || feasible(c))) {
+        out.push_back(std::move(c));
+      }
       return;
     }
     const double remaining = r2 - used;
@@ -170,7 +228,9 @@ void ConfigSpace::sample_ball(const Config& center, double radius,
     }
     if (!valid) continue;
     Config c = make(choices);
-    if (seen.insert(c.flat).second) out.push_back(std::move(c));
+    if (!seen.insert(c.flat).second) continue;
+    if (!constraints_.empty() && !feasible(c)) continue;
+    out.push_back(std::move(c));
   }
 }
 
@@ -264,6 +324,7 @@ std::vector<Config> ConfigSpace::feature_neighborhood(const Config& center,
     }
     if (acc > r2) continue;
     seen.insert(candidate.flat);
+    if (!constraints_.empty() && !feasible(candidate)) continue;
     out.push_back(std::move(candidate));
   }
 

@@ -10,7 +10,10 @@
 // VGG-16 node (matching the paper's 0.2 billion).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +28,21 @@ struct Config {
   std::int64_t flat = -1;
 
   bool operator==(const Config& other) const { return flat == other.flat; }
+};
+
+class ConfigSpace;
+
+/// A hardware-native feasibility predicate over configurations (Bolt-style
+/// "can the backend actually execute this schedule well?"). Constraints are
+/// attached to a ConfigSpace by the target's DeviceModel; sampling then
+/// rejects infeasible points before they ever reach a tuner proposal.
+/// Predicates must be pure functions of (target spec, config) — no hidden
+/// state — so pruning decisions are deterministic and schedule-independent.
+struct SpaceConstraint {
+  /// Stable short name, e.g. "cpu.working-set" or "fpga.pe-array".
+  std::string name;
+  /// Returns true when the config is feasible on the target.
+  std::function<bool(const ConfigSpace&, const Config&)> predicate;
 };
 
 class ConfigSpace {
@@ -48,12 +66,41 @@ class ConfigSpace {
   /// Builds a Config from a choice vector (computing the flat index).
   Config make(std::vector<std::int32_t> choices) const;
 
-  /// Uniformly samples one configuration.
+  /// Uniformly samples one configuration. With constraints attached the
+  /// draw is retried (bounded) until a feasible point is found; the RNG
+  /// consumption is unchanged when no constraints are attached.
   Config sample(Rng& rng) const;
 
   /// Uniformly samples up to n *distinct* configurations. If n >= size(),
-  /// returns the entire space.
+  /// returns the entire space (restricted to feasible points when
+  /// constraints are attached). With constraints the rejection loop is
+  /// attempt-bounded, so fewer than n points may come back when the
+  /// feasible region is small.
   std::vector<Config> sample_distinct(std::int64_t n, Rng& rng) const;
+
+  /// Attaches the target's hardware-native constraints. Replaces any
+  /// previous set and resets the pruning statistics.
+  void set_constraints(std::vector<SpaceConstraint> constraints);
+
+  const std::vector<SpaceConstraint>& constraints() const {
+    return constraints_;
+  }
+  std::size_t num_constraints() const { return constraints_.size(); }
+
+  /// True when `config` satisfies every attached constraint (trivially true
+  /// with none attached). Updates the pruning statistics: one check, plus
+  /// one prune when any predicate rejects. Thread-safe.
+  bool feasible(const Config& config) const;
+
+  /// Number of feasibility checks performed so far on this space.
+  std::int64_t feasibility_checks() const {
+    return stats_->checked.load(std::memory_order_relaxed);
+  }
+
+  /// Number of configurations rejected by constraints so far.
+  std::int64_t pruned_count() const {
+    return stats_->pruned.load(std::memory_order_relaxed);
+  }
 
   /// Feature vector for ML models and the TED kernel: concatenated per-knob
   /// features (log2-encoded; see Knob::append_features).
@@ -98,9 +145,20 @@ class ConfigSpace {
                    std::size_t max_points, Rng& rng,
                    std::vector<Config>& out) const;
 
+  /// Pruning statistics live behind a shared_ptr so that copies of a space
+  /// (ConfigSpace is a value type) keep one aggregate tally, and so const
+  /// sampling methods can update it.
+  struct ConstraintStats {
+    std::atomic<std::int64_t> checked{0};
+    std::atomic<std::int64_t> pruned{0};
+  };
+
   std::vector<Knob> knobs_;
   std::int64_t size_ = 0;
   int feature_dim_ = 0;
+  std::vector<SpaceConstraint> constraints_;
+  std::shared_ptr<ConstraintStats> stats_ =
+      std::make_shared<ConstraintStats>();
 };
 
 }  // namespace aal

@@ -120,6 +120,48 @@ TEST_F(DeterminismTest, ModelReportInvariantAcrossJobs) {
   }
 }
 
+TEST_F(DeterminismTest, PerTargetTracesAreByteIdenticalSerialVsJobs4) {
+  // The determinism contract holds per deployment target: for each backend,
+  // a serial run and a --jobs 4 run must produce the same report AND the
+  // same trace bytes (constraint-filtered sampling, device models and the
+  // constraint_prune event are all pure in the seeds).
+  const Graph model = testing::tiny_cnn();
+  const TunerFactory factory = bted_tuner_factory();
+
+  for (const char* tname : {"gpu-pascal", "cpu-simd", "fpga-systolic"}) {
+    const TargetSpec target = make_target(tname);
+    ModelTuneOptions options;
+    options.tune = quick_options();
+    options.tune.budget = 40;
+    options.device_seed = 17;
+
+    const auto run = [&](int jobs, std::string* jsonl) {
+      MemoryTraceSink sink;
+      options.trace = &sink;
+      options.jobs = jobs;
+      const ModelTuneReport report = tune_model(model, target, factory, options);
+      *jsonl = sink.to_jsonl();
+      return report;
+    };
+
+    std::string serial_trace, jobs4_trace;
+    const ModelTuneReport serial = run(1, &serial_trace);
+    const ModelTuneReport jobs4 = run(4, &jobs4_trace);
+    expect_same_report(serial, jobs4, std::string(tname) + " jobs=4");
+    EXPECT_EQ(serial_trace, jobs4_trace) << tname;
+
+    const bool default_target = std::string(tname) == "gpu-pascal";
+    // Non-default targets qualify task keys and emit constraint_prune.
+    for (const auto& task : serial.tasks) {
+      EXPECT_EQ(task.task_key.find('@') != std::string::npos, !default_target)
+          << tname << " key " << task.task_key;
+    }
+    EXPECT_EQ(serial_trace.find("constraint_prune") != std::string::npos,
+              !default_target)
+        << tname;
+  }
+}
+
 TEST_F(DeterminismTest, ModelReportInvariantAcrossJobsWithoutTransfer) {
   // Without transfer every task is its own lane — the most parallel case.
   const Graph model = testing::tiny_cnn();

@@ -58,6 +58,30 @@ TEST(FaultPlan, DrawIsPureInSeedFlatAttempt) {
   EXPECT_TRUE(any_difference);
 }
 
+TEST(FaultyDevice, SpecReferenceIsStableThroughDecoratorChains) {
+  // The lifetime audit for Device::spec() returning a reference in the
+  // TargetSpec world: the spec lives by value in the innermost
+  // SimulatedDevice (the TargetSpec temporary passed to the constructor is
+  // moved into the device), and every FaultyDevice layer forwards the SAME
+  // address — no layer copies the spec into a temporary that could dangle.
+  SimulatedDevice inner(make_target("cpu-simd"), 3);
+  FaultyDevice one(inner, mixed_plan(0.2, 1));
+  FaultyDevice two(one, mixed_plan(0.1, 1, 9));
+  EXPECT_EQ(&one.spec(), &inner.spec());
+  EXPECT_EQ(&two.spec(), &inner.spec());
+  // The forwarded spec is still fully readable through the chain.
+  EXPECT_EQ(two.spec().name, "cpu-simd");
+  EXPECT_EQ(two.spec().kind, TargetKind::kCpu);
+  EXPECT_DOUBLE_EQ(two.spec().peak_gflops(), inner.spec().peak_gflops());
+
+  // The GpuSpec compatibility constructor owns its converted TargetSpec the
+  // same way (the conversion result must not be a dangling temporary).
+  SimulatedDevice gpu_device(GpuSpec::gtx1080ti(), 5);
+  FaultyDevice wrapped(gpu_device, mixed_plan(0.3, 2));
+  EXPECT_EQ(&wrapped.spec(), &gpu_device.spec());
+  EXPECT_EQ(wrapped.spec().name, "gpu-pascal");
+}
+
 TEST(FaultPlan, InactivePlanNeverFaults) {
   const FaultPlan plan;
   EXPECT_FALSE(plan.active());

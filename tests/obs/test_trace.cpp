@@ -24,6 +24,7 @@ TEST(ObsTrace, EventTypeNamesRoundTrip) {
       TraceEventType::kSurrogateFit,      TraceEventType::kScopeChange,
       TraceEventType::kEarlyStop,         TraceEventType::kMeasureRetry,
       TraceEventType::kFaultInjected,     TraceEventType::kQuarantine,
+      TraceEventType::kStoreHit,          TraceEventType::kConstraintPrune,
   };
   for (const TraceEventType type : all) {
     const char* name = trace_event_type_name(type);

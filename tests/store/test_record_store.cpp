@@ -243,7 +243,9 @@ TEST_F(RecordStoreTest, ConcurrentAppendersAndReaders) {
   std::vector<std::size_t> reads(kReaders, 0);
   for (int r = 0; r < kReaders; ++r) {
     threads.emplace_back([&, r] {
-      while (!stop.load()) {
+      // do-while: on a loaded machine the appenders can finish before this
+      // thread is first scheduled — every reader still makes one full pass.
+      do {
         for (const auto& key : keys) {
           const auto best = store.best_for(key);
           ASSERT_TRUE(best.has_value());
@@ -251,7 +253,7 @@ TEST_F(RecordStoreTest, ConcurrentAppendersAndReaders) {
           EXPECT_GE(store.records_for(key).size(), 1u);
         }
         ++reads[static_cast<std::size_t>(r)];
-      }
+      } while (!stop.load());
     });
   }
   for (int a = 0; a < kAppenders; ++a) threads[static_cast<std::size_t>(a)].join();

@@ -20,6 +20,7 @@
 #include "graph/fusion.hpp"
 #include "graph/model_parser.hpp"
 #include "graph/models.hpp"
+#include "hwsim/target.hpp"
 #include "measure/record.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -45,6 +46,27 @@ GpuSpec load_gpu(const std::string& name) {
   if (name == "embedded") return GpuSpec::small_embedded();
   throw InvalidArgument("unknown GPU '" + name +
                         "' (expected 1080ti, v100 or embedded)");
+}
+
+/// Resolves the deployment target: --target wins (registry name with
+/// did-you-mean on typos), otherwise the historical --gpu shorthand.
+TargetSpec load_target(const ArgParser& args) {
+  const std::string target = args.get("target");
+  if (!target.empty()) return make_target(target);
+  return TargetSpec::from_gpu(load_gpu(args.get("gpu")));
+}
+
+int cmd_list_targets() {
+  TextTable table;
+  table.set_header({"name", "kind", "device", "peak GFLOPS", "description"});
+  for (const auto& name : target_names()) {
+    const TargetSpec t = make_target(name);
+    table.add_row({name, target_kind_name(t.kind), t.device_name,
+                   format_double(t.peak_gflops(), 0),
+                   target_description(name)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
 }
 
 TunerFactory load_tuner(const std::string& name) {
@@ -87,7 +109,7 @@ int cmd_inspect(const std::string& model_spec) {
 
 int cmd_tune(const ArgParser& args) {
   const Graph g = load_model(*args.get_positional("model"));
-  const GpuSpec gpu = load_gpu(args.get("gpu"));
+  const TargetSpec target = load_target(args);
   ModelTuneOptions options;
   options.tune.budget = args.get_int("budget");
   options.tune.early_stopping = args.get_int("early-stop");
@@ -141,7 +163,8 @@ int cmd_tune(const ArgParser& args) {
   if (args.get_switch("metrics")) options.metrics = &metrics;
 
   std::printf("tuning %s on %s with '%s' (budget %lld/task)...\n",
-              g.name().c_str(), gpu.name, args.get("tuner").c_str(),
+              g.name().c_str(), target.device_name.c_str(),
+              args.get("tuner").c_str(),
               static_cast<long long>(options.tune.budget));
   if (options.faults.active()) {
     std::printf("fault injection on: %s (max %d attempts/config)\n",
@@ -149,7 +172,7 @@ int cmd_tune(const ArgParser& args) {
                 options.measure.retry.max_attempts);
   }
   const ModelTuneReport report =
-      tune_model(g, gpu, load_tuner(args.get("tuner")), options);
+      tune_model(g, target, load_tuner(args.get("tuner")), options);
 
   TextTable table;
   table.set_header({"task", "configs", "best GFLOPS"});
@@ -188,7 +211,7 @@ int cmd_tune(const ArgParser& args) {
 
 int cmd_deploy(const ArgParser& args) {
   const Graph g = load_model(*args.get_positional("model"));
-  const GpuSpec gpu = load_gpu(args.get("gpu"));
+  const TargetSpec target = load_target(args);
   std::unordered_map<std::string, std::int64_t> best;
   const std::string records = args.get("records");
   if (!records.empty()) {
@@ -202,14 +225,14 @@ int cmd_deploy(const ArgParser& args) {
   } else {
     std::printf("no --records given: deploying fallback schedules\n");
   }
-  const LatencyEvaluator evaluator(g, gpu);
+  const LatencyEvaluator evaluator(g, target);
   const int runs = static_cast<int>(args.get_int("runs"));
   const LatencyReport report =
       evaluator.run(best, runs, static_cast<std::uint64_t>(args.get_int("seed")));
   std::printf("%s on %s: %.4f ms mean over %d runs (variance %.4f, min %.4f, "
               "max %.4f)\n",
-              g.name().c_str(), gpu.name, report.mean_ms, runs,
-              report.variance, report.min_ms, report.max_ms);
+              g.name().c_str(), target.device_name.c_str(), report.mean_ms,
+              runs, report.variance, report.min_ms, report.max_ms);
   return 0;
 }
 
@@ -227,6 +250,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "zoo") return cmd_zoo();
+    // --list-targets needs no model argument, so it is answered before the
+    // parser would reject the missing positional.
+    for (int i = 2; i < argc; ++i) {
+      if (std::string(argv[i]) == "--list-targets") return cmd_list_targets();
+    }
 
     ArgParser args(command == "tune"
                        ? "Tune every task of a model and write a record log."
@@ -235,6 +263,10 @@ int main(int argc, char** argv) {
                        : "Inspect a model's graph, fusion groups and tasks.");
     args.add_positional("model", "zoo name or .model file path");
     args.add_flag("gpu", "target GPU: 1080ti, v100, embedded", "1080ti");
+    args.add_flag("target", "deployment target by registry name (see "
+                  "--list-targets); overrides --gpu", "");
+    args.add_switch("list-targets", "list available deployment targets and "
+                    "exit");
     if (command == "tune") {
       args.add_flag("tuner", "autotvm, bted, bted+bao, random, ga", "bted+bao");
       args.add_int_flag("budget", "measurement budget per task", 512);
