@@ -4,14 +4,18 @@
 # validates them against the aaltune-bench/v1 schema. See docs/PERF.md for
 # methodology and the schema definition.
 #
-# Environment knobs:
-#   BUILD_DIR          build tree to (re)configure    (default: <repo>/build)
-#   AAL_BENCH_REPEATS  median-of-N repeat count        (default: 9)
-#   AAL_BENCH_SCALE    full | smoke                    (default: full)
-#   AAL_BENCH_OUT_DIR  where BENCH_*.json land         (default: repo root)
+# Usage:
+#   scripts/run_bench.sh [--scale full|smoke] [--repeats N]
+#                        [--out-dir DIR] [--build-dir DIR]
 #
-# CI's bench-smoke job runs: AAL_BENCH_SCALE=smoke AAL_BENCH_REPEATS=3
-# AAL_BENCH_OUT_DIR=/tmp scripts/run_bench.sh
+# Each flag falls back to its environment knob, then the default:
+#   --build-dir  BUILD_DIR          build tree to (re)configure  (<repo>/build)
+#   --repeats    AAL_BENCH_REPEATS  median-of-N repeat count     (9)
+#   --scale      AAL_BENCH_SCALE    full | smoke                 (full)
+#   --out-dir    AAL_BENCH_OUT_DIR  where BENCH_*.json land      (repo root)
+#
+# CI's bench-smoke job runs:
+#   scripts/run_bench.sh --scale smoke --repeats 3 --out-dir /tmp
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -19,6 +23,25 @@ BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
 REPEATS="${AAL_BENCH_REPEATS:-9}"
 SCALE="${AAL_BENCH_SCALE:-full}"
 OUT_DIR="${AAL_BENCH_OUT_DIR:-$ROOT}"
+
+usage() { sed -n '2,18p' "${BASH_SOURCE[0]}"; }
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --scale)     SCALE="${2:?--scale needs a value}"; shift 2 ;;
+    --repeats)   REPEATS="${2:?--repeats needs a value}"; shift 2 ;;
+    --out-dir)   OUT_DIR="${2:?--out-dir needs a value}"; shift 2 ;;
+    --build-dir) BUILD_DIR="${2:?--build-dir needs a value}"; shift 2 ;;
+    -h|--help)   usage; exit 0 ;;
+    *) echo "run_bench.sh: unknown argument: $1" >&2; usage >&2; exit 2 ;;
+  esac
+done
+
+case "$SCALE" in
+  full|smoke) ;;
+  *) echo "run_bench.sh: --scale must be full or smoke, got: $SCALE" >&2
+     exit 2 ;;
+esac
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target micro_kernels -j >/dev/null

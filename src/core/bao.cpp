@@ -115,11 +115,15 @@ std::optional<Config> BaoSearch::next(const Measurer& measurer,
 
   // --- BS: bootstrap ensemble + argmax over C_t (line 10) -------------
   Dataset data(static_cast<std::size_t>(space.feature_dim()));
-  for (const auto& m : measured) {
-    data.add_row(space.features(m.config), m.ok ? m.gflops : 0.0);
+  {
+    std::vector<double> row(static_cast<std::size_t>(space.feature_dim()));
+    for (const auto& m : measured) {
+      space.features_into(m.config, row);
+      data.add_row(row, m.ok ? m.gflops : 0.0);
+    }
   }
-  const BootstrapEnsemble ensemble(data, surrogate_factory, params_.gamma,
-                                   rng);
+  BootstrapEnsemble ensemble(data, surrogate_factory, params_.gamma, rng);
+  ensemble.set_obs(obs_);
   obs_.count("bao.surrogate_fits");
   obs_.emit(TraceEventType::kSurrogateFit,
             {{"model", TraceValue("bootstrap")},

@@ -8,15 +8,6 @@
 
 namespace aal {
 
-namespace {
-
-/// Below this many (rows x models) prediction calls the pool's queueing
-/// overhead outweighs the fan-out; thresholds affect wall-clock only, never
-/// results.
-constexpr std::size_t kParallelScoreMinWork = 256;
-
-}  // namespace
-
 BootstrapEnsemble::BootstrapEnsemble(const Dataset& data,
                                      const SurrogateFactory& factory,
                                      int gamma, Rng& rng, bool parallel_fit) {
@@ -59,19 +50,53 @@ double BootstrapEnsemble::score(std::span<const double> features) const {
 
 std::vector<double> BootstrapEnsemble::score_all(
     const dense::Matrix& features) const {
+  // Model-outer batched scoring: each member predicts the whole batch
+  // (GBDT members through the flattened level-order engine), then its
+  // column is folded into the running sums. Every row's sum accumulates in
+  // model order — exactly score()'s expression sequence — so the result is
+  // bitwise-identical to per-row scoring.
   std::vector<double> out(features.rows, 0.0);
-  const auto score_row = [&](std::size_t i) {
-    const std::span<const double> row{features.row(i), features.cols};
-    double acc = 0.0;
-    for (const auto& model : models_) acc += model->predict(row);
-    out[i] = acc;
-  };
-  const std::size_t work = features.rows * models_.size();
-  if (work >= kParallelScoreMinWork && ThreadPool::shared().size() > 1) {
-    ThreadPool::shared().parallel_for(features.rows, score_row);
-  } else {
-    for (std::size_t i = 0; i < features.rows; ++i) score_row(i);
+  if (features.rows == 0) return out;
+  std::vector<double> tmp(features.rows);
+  const std::span<const double> all{features.data.data(),
+                                    features.rows * features.cols};
+  for (const auto& model : models_) {
+    model->predict_batch(all, features.rows, tmp);
+    for (std::size_t i = 0; i < features.rows; ++i) out[i] += tmp[i];
   }
+  return out;
+}
+
+std::vector<double> BootstrapEnsemble::score_configs(
+    const ConfigSpace& space, std::span<const Config> candidates) const {
+  std::vector<double> out(candidates.size(), 0.0);
+  std::vector<std::size_t> fresh;
+  fresh.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto it = score_cache_.find(candidates[i].flat);
+    if (it != score_cache_.end()) {
+      out[i] = it->second;
+    } else {
+      fresh.push_back(i);
+    }
+  }
+  if (!fresh.empty()) {
+    const auto dim = static_cast<std::size_t>(space.feature_dim());
+    dense::Matrix features(fresh.size(), dim);
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+      space.features_into(candidates[fresh[k]],
+                          std::span<double>{features.row(k), dim});
+    }
+    const std::vector<double> scores = score_all(features);
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+      out[fresh[k]] = scores[k];
+      score_cache_.emplace(candidates[fresh[k]].flat, scores[k]);
+    }
+  }
+  obs_.count("surrogate.batch_rows",
+             static_cast<std::int64_t>(fresh.size()));
+  obs_.count("surrogate.batch_hits",
+             static_cast<std::int64_t>(candidates.size() - fresh.size()));
   return out;
 }
 
@@ -79,13 +104,8 @@ std::size_t bootstrap_select(const BootstrapEnsemble& ensemble,
                              const ConfigSpace& space,
                              const std::vector<Config>& candidates) {
   AAL_CHECK(!candidates.empty(), "bootstrap_select needs candidates");
-  dense::Matrix features(candidates.size(),
-                         static_cast<std::size_t>(space.feature_dim()));
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const auto f = space.features(candidates[i]);
-    std::copy(f.begin(), f.end(), features.row(i));
-  }
-  const std::vector<double> scores = ensemble.score_all(features);
+  const std::vector<double> scores = ensemble.score_configs(
+      space, std::span<const Config>{candidates.data(), candidates.size()});
 
   std::size_t best = 0;
   double best_score = -std::numeric_limits<double>::infinity();

@@ -17,10 +17,13 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "ml/dataset.hpp"
 #include "ml/surrogate.hpp"
+#include "obs/obs.hpp"
 #include "space/config_space.hpp"
 #include "support/dense.hpp"
 #include "support/rng.hpp"
@@ -48,13 +51,33 @@ class BootstrapEnsemble {
 
   /// Batched acquisition: out[i] = score(features.row(i)) for every row,
   /// each row's sum accumulated in model order (bitwise equal to score()).
-  /// Large batches are scored across the shared thread pool.
+  /// Scored model-by-model through Surrogate::predict_batch, so GBDT
+  /// members run the flattened engine (ml/flat_forest.hpp).
   std::vector<double> score_all(const dense::Matrix& features) const;
+
+  /// Scores candidate configs, featurizing the whole batch at once and
+  /// memoizing each config's ensemble score by Config::flat — the models
+  /// are immutable after construction, so a config re-proposed in a later
+  /// scoring call within the same round is served from cache instead of
+  /// re-featurized and re-scored. Counters (via set_obs):
+  /// `surrogate.batch_rows` += configs scored fresh, `surrogate.batch_hits`
+  /// += configs served from cache.
+  std::vector<double> score_configs(const ConfigSpace& space,
+                                    std::span<const Config> candidates) const;
+
+  /// Attaches an observability handle for the score_configs counters.
+  void set_obs(Obs obs) { obs_ = std::move(obs); }
 
   int gamma() const { return static_cast<int>(models_.size()); }
 
+  const Surrogate& model(std::size_t g) const { return *models_[g]; }
+
  private:
   std::vector<std::unique_ptr<Surrogate>> models_;
+  // Memo for score_configs; mutable because caching is not an observable
+  // state change (scores of an immutable ensemble are pure).
+  mutable std::unordered_map<std::int64_t, double> score_cache_;
+  Obs obs_;
 };
 
 /// Algorithm 3: returns the index into `candidates` of the configuration

@@ -12,12 +12,8 @@ namespace {
 
 dense::Matrix featurize(const ConfigSpace& space,
                         const std::vector<Config>& configs) {
-  dense::Matrix out(configs.size(), static_cast<std::size_t>(space.feature_dim()));
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    const auto f = space.features(configs[i]);
-    std::copy(f.begin(), f.end(), out.row(i));
-  }
-  return out;
+  return space.features_batch(
+      std::span<const Config>{configs.data(), configs.size()});
 }
 
 std::vector<Config> pick(const std::vector<Config>& pool,

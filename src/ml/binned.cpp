@@ -21,10 +21,18 @@ BinnedMatrix BinnedMatrix::build(const Dataset& data, int max_bins) {
     sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
 
     std::vector<double>& edges = m.edges_[f];
+    // An edge is "strict" when it falls strictly between the two distinct
+    // values whose midpoint it is; see strict_edges(). The check is purely
+    // observational — edge construction is unchanged.
+    const auto check_strict = [&](double lo_v, double edge, double hi_v) {
+      if (!(lo_v < edge && edge < hi_v)) m.strict_edges_ = false;
+    };
     if (sorted.size() <= static_cast<std::size_t>(max_bins)) {
       // One bin per distinct value; edges at midpoints.
       for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
-        edges.push_back(0.5 * (sorted[i] + sorted[i + 1]));
+        const double edge = 0.5 * (sorted[i] + sorted[i + 1]);
+        check_strict(sorted[i], edge, sorted[i + 1]);
+        edges.push_back(edge);
       }
     } else {
       // Quantile edges over distinct values.
@@ -33,8 +41,9 @@ BinnedMatrix BinnedMatrix::build(const Dataset& data, int max_bins) {
                            static_cast<double>(sorted.size() - 1) /
                            static_cast<double>(max_bins);
         const auto lo = static_cast<std::size_t>(pos);
-        const double edge = 0.5 * (sorted[lo] +
-                                   sorted[std::min(lo + 1, sorted.size() - 1)]);
+        const double hi_v = sorted[std::min(lo + 1, sorted.size() - 1)];
+        const double edge = 0.5 * (sorted[lo] + hi_v);
+        check_strict(sorted[lo], edge, hi_v);
         if (edges.empty() || edge > edges.back()) edges.push_back(edge);
       }
     }
@@ -44,6 +53,26 @@ BinnedMatrix BinnedMatrix::build(const Dataset& data, int max_bins) {
           std::upper_bound(edges.begin(), edges.end(), column[r]);
       m.bins_[r * m.num_features_ + f] =
           static_cast<std::uint8_t>(it - edges.begin());
+    }
+  }
+
+  // Derived lookup structure for split search: all-feature histogram cell
+  // offsets, precomputed per-(row, feature) cell indices and a feature-major
+  // transpose of the bin matrix (see the accessors in binned.hpp).
+  m.full_offsets_.resize(m.num_features_ + 1);
+  for (std::size_t f = 0; f < m.num_features_; ++f) {
+    m.full_offsets_[f] = m.total_bins_;
+    m.total_bins_ += m.bin_count(f);
+  }
+  m.full_offsets_[m.num_features_] = m.total_bins_;
+  m.cells_.resize(m.num_rows_ * m.num_features_);
+  m.bins_t_.resize(m.num_rows_ * m.num_features_);
+  for (std::size_t r = 0; r < m.num_rows_; ++r) {
+    for (std::size_t f = 0; f < m.num_features_; ++f) {
+      const std::uint8_t b = m.bins_[r * m.num_features_ + f];
+      m.cells_[r * m.num_features_ + f] =
+          static_cast<std::uint32_t>(m.full_offsets_[f]) + b;
+      m.bins_t_[f * m.num_rows_ + r] = b;
     }
   }
   return m;

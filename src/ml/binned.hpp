@@ -29,6 +29,28 @@ class BinnedMatrix {
     return bins_[row * num_features_ + feature];
   }
 
+  /// Contiguous bin column of one feature (indexed by row). Split
+  /// partitioning tests one feature across many rows; the transposed copy
+  /// turns that into a unit-stride scan.
+  const std::uint8_t* feature_bins(std::size_t feature) const {
+    return bins_t_.data() + feature * num_rows_;
+  }
+
+  /// Total histogram cells across all features (sum of bin_count).
+  std::int32_t total_bins() const { return total_bins_; }
+
+  /// First histogram cell of a feature in the all-feature layout.
+  std::int32_t full_offset(std::size_t feature) const {
+    return full_offsets_[feature];
+  }
+
+  /// Row-major precomputed histogram cell indices: cell_row(r)[f] ==
+  /// full_offset(f) + bin(r, f). Lets split search accumulate every
+  /// feature's histogram with one indexed add per (row, feature).
+  const std::uint32_t* cell_row(std::size_t row) const {
+    return cells_.data() + row * num_features_;
+  }
+
   /// Number of bins actually used for a feature (>= 1).
   int bin_count(std::size_t feature) const {
     return static_cast<int>(edges_[feature].size()) + 1;
@@ -41,11 +63,25 @@ class BinnedMatrix {
     return edges_[feature][static_cast<std::size_t>(b)];
   }
 
+  /// True when every edge lies strictly between its two generating data
+  /// values. Then no data value in this matrix equals any edge, which makes
+  /// bin routing (bin(x) <= b) and threshold routing (x <= edge[b]) agree
+  /// on every row — the precondition for the boosting round-update fast
+  /// path in Gbdt::fit. A midpoint of two adjacent doubles can round onto
+  /// one of them (or hit a non-finite value), in which case this is false
+  /// and callers must route by raw thresholds.
+  bool strict_edges() const { return strict_edges_; }
+
  private:
   std::size_t num_rows_ = 0;
   std::size_t num_features_ = 0;
   std::vector<std::uint8_t> bins_;            // row-major
+  std::vector<std::uint8_t> bins_t_;          // feature-major transpose
+  std::vector<std::uint32_t> cells_;          // row-major all-feature cells
+  std::vector<std::int32_t> full_offsets_;    // per feature, + total sentinel
+  std::int32_t total_bins_ = 0;
   std::vector<std::vector<double>> edges_;    // per feature, ascending
+  bool strict_edges_ = true;
 };
 
 }  // namespace aal

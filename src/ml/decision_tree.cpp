@@ -15,47 +15,62 @@ struct SplitResult {
   bool found() const { return feature >= 0; }
 };
 
-/// Histogram split search over rows[begin,end). Histograms for every
-/// candidate feature are accumulated in one row-major pass (the bin matrix
-/// is row-major, so this streams memory instead of striding per feature).
-SplitResult find_best_split(const BinnedMatrix& binned,
-                            std::span<const double> targets,
-                            std::span<const std::size_t> rows,
-                            const std::vector<int>& features,
-                            int min_samples_leaf,
-                            std::vector<double>& hist_sum,
-                            std::vector<std::int32_t>& hist_count) {
-  const std::size_t n = rows.size();
-  SplitResult best;
+}  // namespace
 
-  double total_sum = 0.0;
-  for (std::size_t r : rows) total_sum += targets[r];
+/// Histogram split search over rows[begin,end). One row-major pass
+/// accumulates the target-sum and row-count histograms of EVERY feature
+/// through the binned matrix's precomputed all-feature cell indices (split
+/// sum/count arrays keep the serial floating-point add chain short); the
+/// scan then walks only the candidate features at their fixed offsets.
+/// Cells owned by non-candidate features are accumulated but never read —
+/// each scanned cell still receives exactly the adds it received under the
+/// per-candidate layout, in the same row order, so the chosen split is
+/// bitwise-unchanged. `total_sum` is the node's target sum, accumulated by
+/// the caller over the same rows in the same order.
+static SplitResult find_best_split(const BinnedMatrix& binned,
+                                   std::span<const double> targets,
+                                   std::span<const std::size_t> rows,
+                                   const std::vector<int>& features,
+                                   int min_samples_leaf, double total_sum,
+                                   std::vector<double>& hist_sum,
+                                   std::vector<std::int32_t>& hist_cnt) {
+  const std::size_t n = rows.size();
+  const std::size_t num_features = binned.num_features();
+  SplitResult best;
   const double parent_term =
       total_sum * total_sum / static_cast<double>(n);
 
-  constexpr int kBins = BinnedMatrix::kMaxBins;
-  hist_sum.assign(features.size() * kBins, 0.0);
-  hist_count.assign(features.size() * kBins, 0);
+  hist_sum.assign(static_cast<std::size_t>(binned.total_bins()), 0.0);
+  hist_cnt.assign(static_cast<std::size_t>(binned.total_bins()), 0);
 
   for (std::size_t r : rows) {
     const double y = targets[r];
-    for (std::size_t fi = 0; fi < features.size(); ++fi) {
-      const auto f = static_cast<std::size_t>(features[fi]);
-      const std::uint8_t b = binned.bin(r, f);
-      hist_sum[fi * kBins + b] += y;
-      ++hist_count[fi * kBins + b];
+    const std::uint32_t* cells = binned.cell_row(r);
+    for (std::size_t f = 0; f < num_features; ++f) {
+      const std::uint32_t c = cells[f];
+      hist_sum[c] += y;
+      ++hist_cnt[c];
     }
   }
 
-  for (std::size_t fi = 0; fi < features.size(); ++fi) {
-    const int f = features[fi];
+  for (const int f : features) {
     const int num_bins = binned.bin_count(static_cast<std::size_t>(f));
     if (num_bins < 2) continue;
+    const auto base =
+        static_cast<std::size_t>(binned.full_offset(static_cast<std::size_t>(f)));
+    const double* sums = hist_sum.data() + base;
+    const std::int32_t* counts = hist_cnt.data() + base;
     double left_sum = 0.0;
     std::int64_t left_n = 0;
     for (int b = 0; b + 1 < num_bins; ++b) {
-      left_sum += hist_sum[fi * kBins + b];
-      left_n += hist_count[fi * kBins + b];
+      const std::int32_t cnt = counts[b];
+      // An empty bin leaves the left accumulators untouched (its sum is
+      // exactly +0.0 and left_sum never holds -0.0), so its boundary's gain
+      // equals the previous boundary's and `>` keeps the earlier argmax —
+      // skipping it cannot change the selected split.
+      if (cnt == 0) continue;
+      left_sum += sums[b];
+      left_n += cnt;
       if (left_n < min_samples_leaf) continue;
       const std::int64_t right_n = static_cast<std::int64_t>(n) - left_n;
       if (right_n < min_samples_leaf) break;
@@ -74,8 +89,6 @@ SplitResult find_best_split(const BinnedMatrix& binned,
   return best;
 }
 
-}  // namespace
-
 void DecisionTree::fit(const Dataset& data, const DecisionTreeParams& params,
                        Rng& rng) {
   AAL_CHECK(!data.empty(), "cannot fit a tree on an empty dataset");
@@ -87,15 +100,23 @@ void DecisionTree::fit(const Dataset& data, const DecisionTreeParams& params,
   fit_binned(binned, targets, std::move(rows), params, rng);
 }
 
-void DecisionTree::fit_binned(const BinnedMatrix& binned,
-                              std::span<const double> targets,
-                              std::vector<std::size_t> rows,
-                              const DecisionTreeParams& params, Rng& rng) {
+void DecisionTree::fit_binned(
+    const BinnedMatrix& binned, std::span<const double> targets,
+    std::vector<std::size_t> rows, const DecisionTreeParams& params, Rng& rng,
+    std::vector<std::pair<std::size_t, double>>* row_leaf) {
   AAL_CHECK(!rows.empty(), "cannot fit a tree on zero rows");
   AAL_CHECK(targets.size() == binned.num_rows(),
             "target vector size mismatch");
   nodes_.clear();
-  BuildScratch scratch;
+  nodes_.reserve(std::min<std::size_t>(2 * rows.size(), 512));
+  // Reused across the many per-round fits of an ensemble; thread_local so
+  // pool workers fitting bootstrap members in parallel do not share it.
+  thread_local BuildScratch scratch;
+  scratch.row_leaf = row_leaf;
+  if (row_leaf != nullptr) {
+    row_leaf->clear();
+    row_leaf->reserve(rows.size());
+  }
   build(binned, targets, rows, 0, rows.size(), 0, params, rng, scratch);
 }
 
@@ -115,33 +136,64 @@ std::int32_t DecisionTree::build(const BinnedMatrix& binned,
   const auto node_id = static_cast<std::int32_t>(nodes_.size());
   nodes_.push_back(TreeNode{-1, 0.0, 0, mean, -1, -1});
 
+  const auto record_leaf = [&] {
+    if (scratch.row_leaf == nullptr) return;
+    for (std::size_t i = begin; i < end; ++i) {
+      scratch.row_leaf->emplace_back(rows[i], mean);
+    }
+  };
+
   if (depth >= params.max_depth ||
       n < static_cast<std::size_t>(params.min_samples_split)) {
+    record_leaf();
     return node_id;
   }
 
-  std::vector<int> features(binned.num_features());
-  std::iota(features.begin(), features.end(), 0);
+  std::vector<int>& features = scratch.features;
+  const std::size_t num_features = binned.num_features();
   if (params.feature_fraction < 1.0) {
     const auto keep = static_cast<std::size_t>(std::max(
         1.0, std::ceil(params.feature_fraction *
-                       static_cast<double>(features.size()))));
-    rng.shuffle(features);
-    features.resize(keep);
-    std::sort(features.begin(), features.end());
+                       static_cast<double>(num_features))));
+    // Fisher–Yates over the full feature list (the same RNG draws as a
+    // plain shuffle), then rebuild the kept prefix in ascending order by
+    // scanning a dropped-feature bitmap — equivalent to sorting the kept
+    // prefix, without the per-node std::sort.
+    std::vector<int>& pool = scratch.pool;
+    pool.resize(num_features);
+    std::iota(pool.begin(), pool.end(), 0);
+    rng.shuffle(pool);
+    std::vector<std::uint8_t>& dropped = scratch.dropped;
+    dropped.assign(num_features, 0);
+    for (std::size_t i = keep; i < num_features; ++i) {
+      dropped[static_cast<std::size_t>(pool[i])] = 1;
+    }
+    features.clear();
+    for (std::size_t f = 0; f < num_features; ++f) {
+      if (!dropped[f]) features.push_back(static_cast<int>(f));
+    }
+  } else {
+    features.resize(num_features);
+    std::iota(features.begin(), features.end(), 0);
   }
 
   const SplitResult split = find_best_split(
       binned, targets, std::span<const std::size_t>(rows).subspan(begin, n),
-      features, params.min_samples_leaf, scratch.hist_sum, scratch.hist_count);
-  if (!split.found() || split.gain < params.min_gain) return node_id;
+      features, params.min_samples_leaf, sum, scratch.hist_sum,
+      scratch.hist_cnt);
+  if (!split.found() || split.gain < params.min_gain) {
+    record_leaf();
+    return node_id;
+  }
 
+  // Unit-stride partition over the transposed bin column (same predicate
+  // values as bin(r, f), so the resulting row order is unchanged).
+  const std::uint8_t* split_bins =
+      binned.feature_bins(static_cast<std::size_t>(split.feature));
   const auto mid_it = std::partition(
       rows.begin() + static_cast<std::ptrdiff_t>(begin),
-      rows.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t r) {
-        return binned.bin(r, static_cast<std::size_t>(split.feature)) <=
-               split.bin;
-      });
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t r) { return split_bins[r] <= split.bin; });
   const auto mid = static_cast<std::size_t>(mid_it - rows.begin());
   AAL_ASSERT(mid > begin && mid < end, "degenerate partition in tree build");
 
@@ -171,6 +223,71 @@ double DecisionTree::predict(std::span<const double> features) const {
                ? n.left
                : n.right;
   }
+}
+
+double DecisionTree::predict_binned(const BinnedMatrix& binned,
+                                    std::size_t row) const {
+  AAL_CHECK(fitted(), "predict_binned on an unfitted tree");
+  AAL_CHECK(row < binned.num_rows(), "row out of range in predict_binned");
+  std::int32_t node = 0;
+  for (;;) {
+    const TreeNode& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.feature < 0) return n.value;
+    node = binned.bin(row, static_cast<std::size_t>(n.feature)) <=
+                   n.bin_threshold
+               ? n.left
+               : n.right;
+  }
+}
+
+TreeNodeSpec DecisionTree::node_spec(std::size_t index) const {
+  AAL_CHECK(index < nodes_.size(), "node index out of range");
+  const TreeNode& n = nodes_[index];
+  return TreeNodeSpec{n.feature, n.threshold, n.value, n.left, n.right};
+}
+
+DecisionTree DecisionTree::from_node_specs(
+    std::span<const TreeNodeSpec> specs) {
+  AAL_CHECK(!specs.empty(), "a tree needs at least one node");
+  DecisionTree out;
+  out.nodes_.reserve(specs.size());
+  std::vector<int> referenced(specs.size(), 0);
+  for (const TreeNodeSpec& s : specs) {
+    if (s.feature < 0) {
+      AAL_CHECK(s.left == -1 && s.right == -1,
+                "leaf spec must have no children");
+    } else {
+      const auto size = static_cast<std::int32_t>(specs.size());
+      AAL_CHECK(s.left >= 0 && s.left < size && s.right >= 0 &&
+                    s.right < size && s.left != s.right,
+                "split spec children out of range");
+      ++referenced[static_cast<std::size_t>(s.left)];
+      ++referenced[static_cast<std::size_t>(s.right)];
+    }
+    out.nodes_.push_back(
+        TreeNode{s.feature, s.threshold, 0, s.value, s.left, s.right});
+  }
+  AAL_CHECK(referenced[0] == 0, "node 0 must be the root");
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    AAL_CHECK(referenced[i] == 1,
+              "every non-root node must have exactly one parent");
+  }
+  // Reachability from the root (one-parent counting alone admits cycles in
+  // disconnected components).
+  std::size_t visited = 0;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const TreeNodeSpec& s = specs[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    ++visited;
+    if (s.feature >= 0) {
+      stack.push_back(s.left);
+      stack.push_back(s.right);
+    }
+  }
+  AAL_CHECK(visited == specs.size(),
+            "node specs contain nodes unreachable from the root");
+  return out;
 }
 
 void DecisionTree::accumulate_split_counts(std::span<double> counts) const {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "ml/binned.hpp"
@@ -17,6 +18,17 @@
 #include "support/rng.hpp"
 
 namespace aal {
+
+/// Public view/spec of one tree node, used by the flattened scoring engine
+/// (ml/flat_forest.hpp) and by tests that synthesize trees directly. Leaves
+/// have feature == -1 and left == right == -1.
+struct TreeNodeSpec {
+  int feature = -1;
+  double threshold = 0.0;  // go left if x[feature] <= threshold
+  double value = 0.0;      // leaf prediction
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+};
 
 struct DecisionTreeParams {
   int max_depth = 6;
@@ -35,12 +47,34 @@ class DecisionTree {
 
   /// Fits on pre-binned features (shared across an ensemble) with explicit
   /// per-row targets and a row subset. `rows` is consumed as working
-  /// storage (reordered in place).
+  /// storage (reordered in place). When `row_leaf` is non-null, every
+  /// (row, leaf value) pair of the training subset is appended to it as
+  /// leaves are created — the boosting round-update fast path (rows must be
+  /// duplicate-free for the recorded pairs to be meaningful).
   void fit_binned(const BinnedMatrix& binned, std::span<const double> targets,
                   std::vector<std::size_t> rows,
-                  const DecisionTreeParams& params, Rng& rng);
+                  const DecisionTreeParams& params, Rng& rng,
+                  std::vector<std::pair<std::size_t, double>>* row_leaf =
+                      nullptr);
 
   double predict(std::span<const double> features) const;
+
+  /// Prediction for row `row` of the matrix the tree was fitted on, routed
+  /// by the stored bin thresholds (no raw-feature comparison). Only valid
+  /// on trees produced by fit/fit_binned against this `binned`; bitwise
+  /// equal to predict(raw row) whenever binned.strict_edges() holds.
+  double predict_binned(const BinnedMatrix& binned, std::size_t row) const;
+
+  /// Node accessor for the flattened engine; index < num_nodes(). Node 0 is
+  /// the root and nodes are stored in DFS preorder.
+  TreeNodeSpec node_spec(std::size_t index) const;
+
+  /// Rebuilds a tree from explicit node specs (node 0 is the root; children
+  /// must form a valid tree over the given indices). Used by
+  /// FlatTree::unflatten and by tests that synthesize adversarial trees.
+  /// Construction-time bin thresholds are not representable in specs, so
+  /// predict_binned is not valid on the result.
+  static DecisionTree from_node_specs(std::span<const TreeNodeSpec> specs);
 
   /// Adds 1 per split node to counts[feature]. counts must be wide enough
   /// for every feature the tree was trained on.
@@ -61,8 +95,12 @@ class DecisionTree {
   };
 
   struct BuildScratch {
-    std::vector<double> hist_sum;
-    std::vector<std::int32_t> hist_count;
+    std::vector<double> hist_sum;        // all-feature histogram target sums
+    std::vector<std::int32_t> hist_cnt;  // all-feature histogram row counts
+    std::vector<int> features;           // candidate features per node
+    std::vector<int> pool;               // feature-shuffle working storage
+    std::vector<std::uint8_t> dropped;   // feature-subsample bitmap
+    std::vector<std::pair<std::size_t, double>>* row_leaf = nullptr;
   };
 
   std::int32_t build(const BinnedMatrix& binned,

@@ -34,6 +34,16 @@ void Gbdt::fit(const Dataset& data, const GbdtParams& params) {
   tree_params.min_samples_leaf = params.min_samples_leaf;
   tree_params.feature_fraction = params.feature_fraction;
 
+  // Round-update fast path: training rows land in the leaf the build
+  // partition assigned them to, so their contribution is the recorded leaf
+  // value, and out-of-sample rows route by bin thresholds. Both shortcuts
+  // equal raw-threshold traversal only when no data value sits exactly on a
+  // bin edge (strict_edges) — otherwise, or with the scalar fallback
+  // forced, every row walks the tree on raw features as before.
+  const bool fast_update = binned.strict_edges() && batch_scoring_enabled();
+  std::vector<std::pair<std::size_t, double>> leaf_rows;
+  std::vector<std::uint8_t> covered;
+
   for (int t = 0; t < params.num_trees; ++t) {
     for (std::size_t i = 0; i < n; ++i) {
       gradient[i] = residual[i] - prediction[i];
@@ -51,13 +61,28 @@ void Gbdt::fit(const Dataset& data, const GbdtParams& params) {
     }
 
     DecisionTree tree;
-    tree.fit_binned(binned, gradient, std::move(rows), tree_params, rng);
+    tree.fit_binned(binned, gradient, std::move(rows), tree_params, rng,
+                    fast_update ? &leaf_rows : nullptr);
 
-    for (std::size_t i = 0; i < n; ++i) {
-      prediction[i] += learning_rate_ * tree.predict(data.row(i));
+    if (fast_update) {
+      covered.assign(n, 0);
+      for (const auto& [r, leaf] : leaf_rows) {
+        prediction[r] += learning_rate_ * leaf;
+        covered[r] = 1;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!covered[i]) {
+          prediction[i] += learning_rate_ * tree.predict_binned(binned, i);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        prediction[i] += learning_rate_ * tree.predict(data.row(i));
+      }
     }
     trees_.push_back(std::move(tree));
   }
+  flat_ = FlatForest::build(trees_, base_, scale_, learning_rate_);
   fitted_ = true;
 }
 
@@ -68,6 +93,24 @@ double Gbdt::predict(std::span<const double> features) const {
     acc += learning_rate_ * tree.predict(features);
   }
   return base_ + scale_ * acc;
+}
+
+void Gbdt::predict_batch(std::span<const double> features, std::size_t rows,
+                         std::span<double> out) const {
+  AAL_CHECK(fitted_, "predict_batch on an unfitted GBDT");
+  AAL_CHECK(out.size() >= rows, "output span narrower than the batch");
+  if (rows == 0) return;
+  AAL_CHECK(features.size() % rows == 0,
+            "feature span is not a whole number of rows");
+  if (batch_scoring_enabled()) {
+    flat_.predict_batch(features, rows, out);
+    return;
+  }
+  // Scalar fallback: per-row reference path.
+  const std::size_t cols = features.size() / rows;
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = predict(features.subspan(r * cols, cols));
+  }
 }
 
 std::vector<double> Gbdt::predict_many(const Dataset& data) const {
@@ -90,6 +133,12 @@ std::vector<double> Gbdt::feature_importance(
   for (double c : counts) total += c;
   if (total > 0.0) {
     for (double& c : counts) c /= total;
+  } else if (num_features > 0) {
+    // Zero splits anywhere (every tree a single leaf): no feature carries
+    // information, so the importance is uniform — keeping the length and
+    // the sum-to-1 contract instead of an all-zero vector.
+    const double uniform = 1.0 / static_cast<double>(num_features);
+    for (double& c : counts) c = uniform;
   }
   return counts;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "ml/decision_tree.hpp"
+#include "ml/flat_forest.hpp"
 
 namespace aal {
 
@@ -30,19 +31,35 @@ class Gbdt {
 
   double predict(std::span<const double> features) const;
 
+  /// Batched prediction over a row-major feature matrix: out[i] receives
+  /// the prediction for row i (features.size() must be rows * width, width
+  /// >= the widest feature any tree splits on; out.size() >= rows). Routed
+  /// through the flattened level-order engine (ml/flat_forest.hpp) unless
+  /// the scalar fallback is forced; both paths are bitwise-identical to
+  /// per-row predict (pinned by tests/ml/test_batch_predict.cpp).
+  void predict_batch(std::span<const double> features, std::size_t rows,
+                     std::span<double> out) const;
+
   /// Batch prediction convenience.
   std::vector<double> predict_many(const Dataset& data) const;
 
   /// Split-count feature importance: how often each feature was chosen as a
-  /// split across the ensemble, normalized to sum to 1. Useful for
-  /// inspecting which schedule knobs the cost model considers decisive.
+  /// split across the ensemble, normalized to sum to 1. An ensemble with no
+  /// splits at all (every tree a single leaf — e.g. a constant target)
+  /// carries no preference, reported as the uniform distribution so the
+  /// sum-to-1 contract holds for every fitted model.
   std::vector<double> feature_importance(std::size_t num_features) const;
 
   bool fitted() const { return fitted_; }
   std::size_t num_trees() const { return trees_.size(); }
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+
+  /// The flattened scoring engine built at the end of fit().
+  const FlatForest& flat_forest() const { return flat_; }
 
  private:
   std::vector<DecisionTree> trees_;
+  FlatForest flat_;
   double base_ = 0.0;      // target mean
   double scale_ = 1.0;     // target std (>= epsilon)
   double learning_rate_ = 0.1;

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/thread_pool.hpp"
+
 namespace aal {
+
+void Surrogate::predict_batch(std::span<const double> features,
+                              std::size_t rows, std::span<double> out) const {
+  AAL_CHECK(out.size() >= rows, "output span narrower than the batch");
+  if (rows == 0) return;
+  AAL_CHECK(features.size() % rows == 0,
+            "feature span is not a whole number of rows");
+  const std::size_t cols = features.size() / rows;
+  const auto predict_row = [&](std::size_t r) {
+    out[r] = predict(features.subspan(r * cols, cols));
+  };
+  // Rows are independent, so the fan-out cannot change any value; the
+  // threshold only balances pool overhead against per-row model cost.
+  constexpr std::size_t kParallelMinRows = 256;
+  if (rows >= kParallelMinRows && ThreadPool::shared().size() > 1) {
+    ThreadPool::shared().parallel_for(rows, predict_row);
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) predict_row(r);
+  }
+}
 
 namespace {
 

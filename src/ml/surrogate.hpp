@@ -22,6 +22,15 @@ class Surrogate {
 
   virtual void fit(const Dataset& data) = 0;
   virtual double predict(std::span<const double> features) const = 0;
+
+  /// Batched prediction over a row-major feature matrix (features.size() ==
+  /// rows * width): out[i] = predict(row i), bitwise. The default walks the
+  /// rows through predict() — fanning large batches across the shared pool —
+  /// so every surrogate family gets the batch API; models with a native
+  /// batch engine (GBDT) override it.
+  virtual void predict_batch(std::span<const double> features,
+                             std::size_t rows, std::span<double> out) const;
+
   virtual bool fitted() const = 0;
   virtual std::string name() const = 0;
 };
@@ -44,7 +53,12 @@ class GbdtSurrogate final : public Surrogate {
   double predict(std::span<const double> features) const override {
     return model_.predict(features);
   }
+  void predict_batch(std::span<const double> features, std::size_t rows,
+                     std::span<double> out) const override {
+    model_.predict_batch(features, rows, out);
+  }
   bool fitted() const override { return model_.fitted(); }
+  const Gbdt& model() const { return model_; }
   std::string name() const override { return "gbdt"; }
 
  private:

@@ -27,6 +27,7 @@ ConfigSpace::ConfigSpace(std::vector<Knob> knobs) : knobs_(std::move(knobs)) {
     AAL_ASSERT(size_ <= (std::int64_t{1} << 62) / k.size(),
                "config space size overflow");
     size_ *= k.size();
+    feature_offsets_.push_back(feature_dim_);
     feature_dim_ += k.feature_width();
   }
 }
@@ -144,12 +145,32 @@ std::vector<Config> ConfigSpace::sample_distinct(std::int64_t n,
 }
 
 std::vector<double> ConfigSpace::features(const Config& config) const {
+  std::vector<double> out(static_cast<std::size_t>(feature_dim_));
+  features_into(config, out);
+  return out;
+}
+
+void ConfigSpace::features_into(const Config& config,
+                                std::span<double> out) const {
   AAL_CHECK(config.choices.size() == knobs_.size(),
             "config does not belong to this space");
-  std::vector<double> out;
-  out.reserve(static_cast<std::size_t>(feature_dim_));
+  AAL_CHECK(out.size() >= static_cast<std::size_t>(feature_dim_),
+            "feature output span narrower than feature_dim");
   for (std::size_t i = 0; i < knobs_.size(); ++i) {
-    knobs_[i].append_features(config.choices[i], out);
+    const Knob& k = knobs_[i];
+    const double* row = k.feature_row(config.choices[i]);
+    std::copy(row, row + k.feature_width(),
+              out.data() + feature_offsets_[i]);
+  }
+}
+
+dense::Matrix ConfigSpace::features_batch(
+    std::span<const Config> configs) const {
+  dense::Matrix out(configs.size(), static_cast<std::size_t>(feature_dim_));
+  for (std::size_t r = 0; r < configs.size(); ++r) {
+    features_into(configs[r],
+                  std::span<double>{out.row(r),
+                                    static_cast<std::size_t>(feature_dim_)});
   }
   return out;
 }

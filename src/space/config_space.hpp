@@ -14,10 +14,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "space/knob.hpp"
+#include "support/dense.hpp"
 #include "support/rng.hpp"
 
 namespace aal {
@@ -106,6 +108,16 @@ class ConfigSpace {
   /// features (log2-encoded; see Knob::append_features).
   std::vector<double> features(const Config& config) const;
 
+  /// Writes the feature vector into out[0..feature_dim) without allocating:
+  /// each knob's precomputed feature row is copied at its fixed column
+  /// offset. Values are bitwise-identical to features().
+  void features_into(const Config& config, std::span<double> out) const;
+
+  /// Featurizes a candidate block into one row-major matrix (rows ==
+  /// configs.size(), cols == feature_dim()), the input shape the batched
+  /// scoring engine consumes. Row i is bitwise features(configs[i]).
+  dense::Matrix features_batch(std::span<const Config> configs) const;
+
   int feature_dim() const { return feature_dim_; }
 
   /// Squared Euclidean distance in choice space, the metric BAO's
@@ -156,6 +168,8 @@ class ConfigSpace {
   std::vector<Knob> knobs_;
   std::int64_t size_ = 0;
   int feature_dim_ = 0;
+  /// Column offset of each knob's features in the concatenated vector.
+  std::vector<int> feature_offsets_;
   std::vector<SpaceConstraint> constraints_;
   std::shared_ptr<ConstraintStats> stats_ =
       std::make_shared<ConstraintStats>();

@@ -17,6 +17,7 @@ Knob Knob::split(std::string name, std::int64_t extent, int parts) {
   k.entities = ordered_factorizations(extent, parts);
   Knob out;
   out.data_ = std::move(k);
+  out.build_feature_table();
   return out;
 }
 
@@ -27,6 +28,7 @@ Knob Knob::option(std::string name, std::vector<std::int64_t> values) {
   k.values = std::move(values);
   Knob out;
   out.data_ = std::move(k);
+  out.build_feature_table();
   return out;
 }
 
@@ -55,22 +57,37 @@ int Knob::feature_width() const {
   return is_split() ? std::get<SplitKnob>(data_).parts : 1;
 }
 
-void Knob::append_features(std::int64_t choice,
-                           std::vector<double>& out) const {
+void Knob::build_feature_table() {
+  const auto width = static_cast<std::size_t>(feature_width());
+  feature_table_.resize(static_cast<std::size_t>(size()) * width);
+  double* row = feature_table_.data();
+  if (is_split()) {
+    for (const auto& entity : std::get<SplitKnob>(data_).entities) {
+      for (std::size_t p = 0; p < width; ++p) {
+        row[p] = std::log2(static_cast<double>(entity[p]));
+      }
+      row += width;
+    }
+  } else {
+    for (const std::int64_t v : std::get<OptionKnob>(data_).values) {
+      *row++ = std::log2(static_cast<double>(v) + 1.0);
+    }
+  }
+}
+
+const double* Knob::feature_row(std::int64_t choice) const {
   AAL_CHECK(choice >= 0 && choice < size(),
             "knob '" << name() << "' choice " << choice << " out of range "
                      << size());
-  if (is_split()) {
-    const auto& entity =
-        std::get<SplitKnob>(data_).entities[static_cast<std::size_t>(choice)];
-    for (std::int64_t f : entity) {
-      out.push_back(std::log2(static_cast<double>(f)));
-    }
-  } else {
-    const std::int64_t v =
-        std::get<OptionKnob>(data_).values[static_cast<std::size_t>(choice)];
-    out.push_back(std::log2(static_cast<double>(v) + 1.0));
-  }
+  return feature_table_.data() +
+         static_cast<std::size_t>(choice) *
+             static_cast<std::size_t>(feature_width());
+}
+
+void Knob::append_features(std::int64_t choice,
+                           std::vector<double>& out) const {
+  const double* row = feature_row(choice);
+  out.insert(out.end(), row, row + feature_width());
 }
 
 std::string Knob::entity_to_string(std::int64_t choice) const {

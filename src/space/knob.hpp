@@ -58,11 +58,20 @@ class Knob {
   /// the TED distance and the GBDT splits benefit from.
   void append_features(std::int64_t choice, std::vector<double>& out) const;
 
+  /// Pointer to this knob's feature_width() precomputed feature values for
+  /// entity `choice` — the same log2 encodings append_features emits,
+  /// materialized once at construction so batch featurization is a copy.
+  const double* feature_row(std::int64_t choice) const;
+
   /// Human-readable rendering of one entity, e.g. "[2, 4, 8, 1]" or "512".
   std::string entity_to_string(std::int64_t choice) const;
 
  private:
+  void build_feature_table();
+
   std::variant<SplitKnob, OptionKnob> data_;
+  /// size() x feature_width() row-major log2 feature table.
+  std::vector<double> feature_table_;
 };
 
 }  // namespace aal

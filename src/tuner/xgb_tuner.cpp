@@ -1,5 +1,6 @@
 #include "tuner/xgb_tuner.hpp"
 
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -71,11 +72,28 @@ std::vector<Config> XgbTuner::propose(std::int64_t k) {
   measured_flats.reserve(measured.size());
   for (const auto& r : measured) measured_flats.insert(r.config.flat);
 
+  // SA revisits configurations across its sweeps; the surrogate is fixed
+  // for the whole maximize() call, so each config's prediction is memoized
+  // by flat index (same double either way — the model is pure).
+  std::unordered_map<std::int64_t, double> score_memo;
+  std::vector<double> feature_row(static_cast<std::size_t>(space.feature_dim()));
+  std::int64_t memo_hits = 0, memo_misses = 0;
   const auto score = [&](const Config& c) {
-    return model->predict(space.features(c));
+    const auto it = score_memo.find(c.flat);
+    if (it != score_memo.end()) {
+      ++memo_hits;
+      return it->second;
+    }
+    ++memo_misses;
+    space.features_into(c, feature_row);
+    const double s = model->predict(feature_row);
+    score_memo.emplace(c.flat, s);
+    return s;
   };
   std::vector<Config> plan =
       sa_->maximize(score, tune_options_.batch_size, rng_, measured_flats);
+  obs_.count("surrogate.sa_memo_hits", memo_hits);
+  obs_.count("surrogate.sa_memo_misses", memo_misses);
 
   // ε-greedy exploration: the tail of each batch is random instead of
   // model-chosen.

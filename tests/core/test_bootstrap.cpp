@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
+#include "hwsim/target.hpp"
 #include "measure/tuning_task.hpp"
+#include "obs/metrics.hpp"
 #include "test_util.hpp"
 
 namespace aal {
@@ -156,6 +160,91 @@ TEST(BootstrapEnsemble, ParallelFitsMatchSerialBitwise) {
   }
   // Both constructions must consume the same number of Rng draws.
   EXPECT_EQ(rng_serial(), rng_parallel());
+}
+
+TEST(BootstrapEnsemble, ScoreConfigsCachedMatchesFreshBitwise) {
+  // The incremental cache must be invisible in the values: a re-scored
+  // candidate returns the exact double the fresh batch produced, and both
+  // equal per-candidate score() on the feature vector.
+  const TuningTask task(testing::small_conv_workload(),
+                        make_target("gpu-pascal"));
+  const ConfigSpace& space = task.space();
+  Rng rng(11);
+  Dataset d(static_cast<std::size_t>(space.feature_dim()));
+  for (const auto& c : space.sample_distinct(40, rng)) {
+    d.add_row(space.features(c), space.features(c)[0] + 1.0);
+  }
+  const GbdtSurrogateFactory factory;
+  const BootstrapEnsemble ensemble(d, factory, 3, rng);
+
+  const std::vector<Config> candidates = space.sample_distinct(30, rng);
+  const std::span<const Config> all{candidates.data(), candidates.size()};
+  const std::vector<double> fresh = ensemble.score_configs(space, all);
+  const std::vector<double> cached = ensemble.score_configs(space, all);
+  ASSERT_EQ(fresh.size(), candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(cached[i], fresh[i]) << i;  // exact, not approximate
+    EXPECT_EQ(fresh[i], ensemble.score(space.features(candidates[i]))) << i;
+  }
+}
+
+TEST(BootstrapEnsemble, ScoreConfigsCountsRowsAndHits) {
+  // surrogate.batch_rows counts freshly scored configs, surrogate.batch_hits
+  // counts cache hits — under a constrained space (CPU target prunes), so
+  // candidate generation goes through the feasibility filter first.
+  const TuningTask task(testing::small_conv_workload(),
+                        make_target("cpu-simd"));
+  const ConfigSpace& space = task.space();
+  ASSERT_GT(space.num_constraints(), 0u);
+  Rng rng(12);
+  Dataset d(static_cast<std::size_t>(space.feature_dim()));
+  for (const auto& c : space.sample_distinct(20, rng)) {
+    d.add_row(space.features(c), 1.0);
+  }
+  const FirstFeatureFactory factory;
+  BootstrapEnsemble ensemble(d, factory, 2, rng);
+  MetricsRegistry metrics;
+  ensemble.set_obs(Obs{nullptr, &metrics});
+
+  const std::vector<Config> first = space.sample_distinct(25, rng);
+  ensemble.score_configs(space, {first.data(), first.size()});
+  EXPECT_EQ(metrics.counter_value("surrogate.batch_rows"), 25);
+  EXPECT_EQ(metrics.counter_value("surrogate.batch_hits"), 0);
+
+  // Overlapping set: 10 repeats + 15 new configs (sample_distinct draws
+  // fresh points; dedup against `first` keeps the arithmetic exact).
+  std::vector<Config> mixed(first.begin(), first.begin() + 10);
+  std::unordered_set<std::int64_t> seen;
+  for (const Config& c : first) seen.insert(c.flat);
+  while (mixed.size() < 25) {
+    Config c = space.sample(rng);
+    if (seen.insert(c.flat).second) mixed.push_back(std::move(c));
+  }
+  ensemble.score_configs(space, {mixed.data(), mixed.size()});
+  EXPECT_EQ(metrics.counter_value("surrogate.batch_rows"), 25 + 15);
+  EXPECT_EQ(metrics.counter_value("surrogate.batch_hits"), 10);
+}
+
+TEST(BootstrapSelect, RepeatedSelectionHitsCacheAndAgrees) {
+  const TuningTask task(testing::small_conv_workload(),
+                        make_target("gpu-pascal"));
+  const ConfigSpace& space = task.space();
+  Rng rng(13);
+  Dataset d(static_cast<std::size_t>(space.feature_dim()));
+  for (const auto& c : space.sample_distinct(20, rng)) {
+    d.add_row(space.features(c), 1.0);
+  }
+  const FirstFeatureFactory factory;
+  BootstrapEnsemble ensemble(d, factory, 2, rng);
+  MetricsRegistry metrics;
+  ensemble.set_obs(Obs{nullptr, &metrics});
+
+  const std::vector<Config> candidates = space.sample_distinct(40, rng);
+  const std::size_t a = bootstrap_select(ensemble, space, candidates);
+  const std::size_t b = bootstrap_select(ensemble, space, candidates);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(metrics.counter_value("surrogate.batch_rows"), 40);
+  EXPECT_EQ(metrics.counter_value("surrogate.batch_hits"), 40);
 }
 
 TEST(BootstrapEnsemble, ScoreAllMatchesPerCandidateScore) {

@@ -156,6 +156,23 @@ TEST(Gbdt, FeatureImportanceFindsTheSignal) {
   EXPECT_GT(importance[0], 1.5 * importance[2]);
 }
 
+TEST(Gbdt, FeatureImportanceUniformWhenNoTreeSplits) {
+  // A constant target makes every boosted tree a single leaf: zero splits
+  // anywhere. The importance used to divide by the zero split total; it
+  // must instead fall back to the uniform distribution, keeping the
+  // sum-to-1 contract (and giving downstream consumers finite weights).
+  Dataset d(4);
+  for (int i = 0; i < 30; ++i) {
+    d.add_row(std::vector<double>{static_cast<double>(i), 1.0, 2.0, 3.0},
+              7.0);
+  }
+  Gbdt model;
+  model.fit(d, GbdtParams{});
+  const auto importance = model.feature_importance(4);
+  ASSERT_EQ(importance.size(), 4u);
+  for (double w : importance) EXPECT_DOUBLE_EQ(w, 0.25);
+}
+
 TEST(Gbdt, FeatureImportanceRequiresFit) {
   Gbdt model;
   EXPECT_THROW(model.feature_importance(3), InvalidArgument);

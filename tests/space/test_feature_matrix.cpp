@@ -1,0 +1,182 @@
+// Golden feature-matrix fixtures.
+//
+// The featurization contract — column order (knob order, split parts
+// in-order), scale (log2 factors, log2(v+1) options) and exact bit patterns
+// — is load-bearing: fitted surrogates, checked-in golden traces and the
+// batched scoring engine all assume rows produced today match rows produced
+// by every past and future session. These fixtures pin the encoding with
+// literal hex-float constants captured from the reference implementation;
+// if any test here fails, the feature encoding changed and every persisted
+// model/trace artifact is invalidated — that is a breaking change, not a
+// fixture to regenerate casually.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "hwsim/target.hpp"
+#include "measure/tuning_task.hpp"
+#include "space/config_space.hpp"
+#include "test_util.hpp"
+
+namespace aal {
+namespace {
+
+::testing::AssertionResult rows_bits_equal(std::span<const double> got,
+                                           std::span<const double> want) {
+  if (got.size() != want.size()) {
+    return ::testing::AssertionFailure()
+           << "width " << got.size() << " != " << want.size();
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(got[i]) !=
+        std::bit_cast<std::uint64_t>(want[i])) {
+      return ::testing::AssertionFailure()
+             << "column " << i << ": " << got[i] << " != " << want[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(FeatureMatrixGolden, SmallSpaceFullMatrixPinned) {
+  // split("tile", 8, 2) enumerates ordered factorizations in divisor order:
+  // [1,8] [2,4] [4,2] [8,1]; option values feed log2(v+1). Both the entity
+  // order and the encodings are pinned literally.
+  std::vector<Knob> knobs;
+  knobs.push_back(Knob::split("tile", 8, 2));
+  knobs.push_back(Knob::option("unroll", {0, 512, 1500}));
+  const ConfigSpace s(std::move(knobs));
+  ASSERT_EQ(s.size(), 12);
+  ASSERT_EQ(s.feature_dim(), 3);
+
+  const double kLog513 = 0x1.20170f83ff0a7p+3;   // log2(512 + 1)
+  const double kLog1501 = 0x1.51a798159301p+3;   // log2(1500 + 1)
+  const std::vector<std::vector<double>> expected = {
+      {0.0, 3.0, 0.0},      {0.0, 3.0, kLog513}, {0.0, 3.0, kLog1501},
+      {1.0, 2.0, 0.0},      {1.0, 2.0, kLog513}, {1.0, 2.0, kLog1501},
+      {2.0, 1.0, 0.0},      {2.0, 1.0, kLog513}, {2.0, 1.0, kLog1501},
+      {3.0, 0.0, 0.0},      {3.0, 0.0, kLog513}, {3.0, 0.0, kLog1501},
+  };
+  for (std::int64_t flat = 0; flat < s.size(); ++flat) {
+    const auto row = s.features(s.at(flat));
+    EXPECT_TRUE(
+        rows_bits_equal(row, expected[static_cast<std::size_t>(flat)]))
+        << "flat " << flat;
+  }
+
+  // The pinned entity order itself (the column semantics depend on it).
+  const SplitKnob& tile = s.knob(0).as_split();
+  const std::vector<std::vector<std::int64_t>> entities = {
+      {1, 8}, {2, 4}, {4, 2}, {8, 1}};
+  EXPECT_EQ(tile.entities, entities);
+}
+
+struct TargetFixture {
+  const char* target;
+  // Rows for flats {0, 12345, size() - 1}, captured from the reference
+  // featurization of testing::small_conv_workload().
+  std::vector<std::vector<double>> rows;
+};
+
+const std::vector<double>& conv_row_flat0() {
+  static const std::vector<double> row = {
+      0x0p+0, 0x0p+0, 0x0p+0, 0x1.4p+2,                      // tile_f [1,1,1,32]
+      0x0p+0, 0x0p+0, 0x0p+0, 0x1.33abb3faa0216p+2,          // tile_y [1,1,1,28]
+      0x0p+0, 0x0p+0, 0x0p+0, 0x1.33abb3faa0216p+2,          // tile_x [1,1,1,28]
+      0x0p+0, 0x1p+2,                                        // tile_rc [1,16]
+      0x0p+0, 0x1.95c01a39fbd68p+0,                          // tile_ry [1,3]
+      0x0p+0, 0x1.95c01a39fbd68p+0,                          // tile_rx [1,3]
+      0x0p+0,                                                // unroll 0
+      0x0p+0,                                                // explicit 0
+  };
+  return row;
+}
+
+const std::vector<double>& conv_row_flat12345() {
+  static const std::vector<double> row = {
+      0x0p+0, 0x0p+0, 0x0p+0, 0x1.4p+2,
+      0x0p+0, 0x0p+0, 0x1p+1, 0x1.675767f54042dp+1,
+      0x1p+0, 0x1p+0, 0x0p+0, 0x1.675767f54042dp+1,
+      0x1p+2, 0x0p+0,
+      0x0p+0, 0x1.95c01a39fbd68p+0,
+      0x1.95c01a39fbd68p+0, 0x0p+0,
+      0x1.20170f83ff0a7p+3,
+      0x1p+0,
+  };
+  return row;
+}
+
+const std::vector<double>& conv_row_last() {
+  static const std::vector<double> row = {
+      0x1.4p+2, 0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.33abb3faa0216p+2, 0x0p+0, 0x0p+0, 0x0p+0,
+      0x1.33abb3faa0216p+2, 0x0p+0, 0x0p+0, 0x0p+0,
+      0x1p+2, 0x0p+0,
+      0x1.95c01a39fbd68p+0, 0x0p+0,
+      0x1.95c01a39fbd68p+0, 0x0p+0,
+      0x1.51a798159301p+3,
+      0x1p+0,
+  };
+  return row;
+}
+
+TEST(FeatureMatrixGolden, Conv2dRowsPinnedPerTarget) {
+  // The encoding is a function of the workload alone; attaching any
+  // target's constraints must not bend a single bit of it. The same pinned
+  // rows therefore hold for the GPU, CPU and FPGA device models.
+  const std::vector<std::vector<double>> expected = {
+      conv_row_flat0(), conv_row_flat12345(), conv_row_last()};
+  for (const char* target : {"gpu-pascal", "cpu-simd", "fpga-systolic"}) {
+    const TuningTask task(testing::small_conv_workload(), make_target(target));
+    const ConfigSpace& s = task.space();
+    ASSERT_EQ(s.feature_dim(), 20) << target;
+    ASSERT_EQ(s.size(), 10752000) << target;
+
+    // Column layout: knob order with split parts in-order.
+    const std::vector<std::pair<std::string, int>> layout = {
+        {"tile_f", 4}, {"tile_y", 4}, {"tile_x", 4},
+        {"tile_rc", 2}, {"tile_ry", 2}, {"tile_rx", 2},
+        {"auto_unroll_max_step", 1}, {"unroll_explicit", 1}};
+    ASSERT_EQ(s.num_knobs(), layout.size()) << target;
+    for (std::size_t i = 0; i < layout.size(); ++i) {
+      EXPECT_EQ(s.knob(i).name(), layout[i].first) << target;
+      EXPECT_EQ(s.knob(i).feature_width(), layout[i].second) << target;
+    }
+
+    const std::int64_t flats[] = {0, 12345, s.size() - 1};
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_TRUE(
+          rows_bits_equal(s.features(s.at(flats[i])), expected[i]))
+          << target << " flat " << flats[i];
+    }
+  }
+}
+
+TEST(FeatureMatrixGolden, BatchPathsMatchScalarFeaturesBitwise) {
+  // features_into and features_batch are the batched spellings of
+  // features(); all three must agree bit for bit on arbitrary configs.
+  const TuningTask task(testing::small_conv_workload(),
+                        make_target("gpu-pascal"));
+  const ConfigSpace& s = task.space();
+  Rng rng(17);
+  const std::vector<Config> configs = s.sample_distinct(64, rng);
+  const auto dim = static_cast<std::size_t>(s.feature_dim());
+
+  const dense::Matrix batch =
+      s.features_batch({configs.data(), configs.size()});
+  ASSERT_EQ(batch.rows, configs.size());
+  ASSERT_EQ(batch.cols, dim);
+
+  std::vector<double> into(dim);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const std::vector<double> reference = s.features(configs[i]);
+    s.features_into(configs[i], into);
+    EXPECT_TRUE(rows_bits_equal(into, reference)) << "row " << i;
+    EXPECT_TRUE(rows_bits_equal({batch.row(i), dim}, reference))
+        << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace aal
