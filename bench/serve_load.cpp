@@ -1,0 +1,327 @@
+// Serve-layer load harness: drives the TuneServer daemon core with many
+// concurrent submitters over one shared record store and reports
+// machine-readable timings ("aaltune-bench/v1" JSON, suite "serve" —
+// see docs/PERF.md and docs/SERVING.md).
+//
+// Beyond timing, every drain run is a correctness check: the harness
+// asserts that no submitted job was lost or duplicated and that every job
+// finished, and exits non-zero otherwise — so the checked-in
+// BENCH_serve.json baselines double as a load-test record.
+//
+// Entries:
+//   serve_submit_drain       N jobs from T threads into a cold store
+//   serve_submit_drain_warm  same jobs against the store the cold run
+//                            filled (the store-hit fast path)
+//   serve_stream_replay      full trace replay of a finished job through
+//                            the cursor-based streaming API
+//   protocol_roundtrip       request parse + canonical re-serialization
+//
+// Usage: serve_load [--repeats N] [--scale full|smoke] [--out FILE].
+// --scale smoke shrinks the fleet so the CI bench-smoke job finishes in
+// seconds; checked-in numbers use full scale (128 concurrent jobs).
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "support/logging.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace aal;
+namespace fs = std::filesystem;
+
+double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  return n % 2 ? samples[n / 2]
+               : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+struct BenchEntry {
+  std::string name;
+  std::vector<std::pair<std::string, long long>> params;
+  double median_ms = 0.0;
+};
+
+void write_json(std::FILE* out, const std::string& scale, int repeats,
+                const std::vector<BenchEntry>& entries) {
+#ifdef NDEBUG
+  const char* build = "Release";
+#else
+  const char* build = "Debug";
+#endif
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"aaltune-bench/v1\",\n");
+  std::fprintf(out, "  \"suite\": \"serve\",\n");
+  std::fprintf(out, "  \"scale\": \"%s\",\n", scale.c_str());
+  std::fprintf(out, "  \"build\": \"%s\",\n", build);
+  std::fprintf(out, "  \"repeats\": %d,\n", repeats);
+  std::fprintf(out, "  \"threads\": %zu,\n", ThreadPool::shared().size());
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    std::fprintf(out, "    {\"name\": \"%s\", \"params\": {", e.name.c_str());
+    for (std::size_t p = 0; p < e.params.size(); ++p) {
+      std::fprintf(out, "%s\"%s\": %lld", p ? ", " : "",
+                   e.params[p].first.c_str(), e.params[p].second);
+    }
+    std::fprintf(out, "}, \"median_ms\": %.6f}%s\n", e.median_ms,
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  std::fprintf(stderr, "serve_load: FAILED: %s\n", what.c_str());
+  std::exit(1);
+}
+
+// ---------------------------------------------------------------------------
+// The fleet drain: submit `jobs` jobs from `submit_threads` threads, wait
+// for the server to drain, then audit the outcome.
+
+struct FleetShape {
+  int jobs = 0;
+  int submit_threads = 0;
+  int workers = 0;
+  int measure_threads = 0;
+  std::int64_t budget = 8;
+};
+
+double timed_drain(const FleetShape& shape, const std::string& store_dir,
+                   const std::string& model_path) {
+  TuneServerOptions options;
+  options.workers = shape.workers;
+  options.measure_threads = shape.measure_threads;
+  options.max_queued = static_cast<std::size_t>(shape.jobs) + 1;
+  options.tenant_quota = shape.jobs + 1;
+  options.store_dir = store_dir;
+  TuneServer server(options);
+
+  std::vector<std::vector<std::int64_t>> ids(
+      static_cast<std::size_t>(shape.submit_threads));
+  const int per_thread = shape.jobs / shape.submit_threads;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < shape.submit_threads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int j = 0; j < per_thread; ++j) {
+        JobSpec spec;
+        spec.model = model_path;
+        spec.budget = shape.budget;
+        spec.early_stop = 0;
+        spec.seed = t * per_thread + j + 1;
+        spec.tenant = "tenant" + std::to_string(t);
+        ids[static_cast<std::size_t>(t)].push_back(server.submit(spec));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  server.wait_idle();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Audit: exactly jobs unique ids, every job present and done.
+  std::set<std::int64_t> unique;
+  for (const auto& batch : ids) unique.insert(batch.begin(), batch.end());
+  if (unique.size() != static_cast<std::size_t>(shape.jobs)) {
+    fail("duplicated job ids: " + std::to_string(unique.size()) + " of " +
+         std::to_string(shape.jobs) + " unique");
+  }
+  const std::vector<JobInfo> infos = server.list();
+  if (infos.size() != static_cast<std::size_t>(shape.jobs)) {
+    fail("lost jobs: server tracks " + std::to_string(infos.size()) +
+         " of " + std::to_string(shape.jobs));
+  }
+  for (const JobInfo& info : infos) {
+    if (info.state != JobState::kDone) {
+      fail("job " + std::to_string(info.id) + " ended " +
+           info.state_name() + (info.error.empty() ? "" : ": " + info.error));
+    }
+    if (unique.count(info.id) == 0) {
+      fail("job " + std::to_string(info.id) + " was never submitted");
+    }
+  }
+  if (server.metrics().counter_value("serve.jobs_done") != shape.jobs) {
+    fail("serve.jobs_done disagrees with the fleet size");
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double timed_stream_replay(const std::string& model_path,
+                           std::int64_t budget) {
+  TuneServerOptions options;
+  options.workers = 1;
+  TuneServer server(options);
+  JobSpec spec;
+  spec.model = model_path;
+  spec.budget = budget;
+  spec.early_stop = 0;
+  const std::int64_t job = server.submit(spec);
+  const JobInfo done = server.wait_job(job);
+  if (done.state != JobState::kDone) fail("stream_replay job did not finish");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string text;
+  std::int64_t cursor = 0;
+  bool finished = false;
+  while (!finished) {
+    for (const std::string& line :
+         server.stream_lines(job, &cursor, &finished)) {
+      text += line;
+      text += '\n';
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (cursor != done.trace_steps || text.empty()) {
+    fail("stream replay drained " + std::to_string(cursor) + " of " +
+         std::to_string(done.trace_steps) + " events");
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double timed_protocol_roundtrip(int iters) {
+  ServeRequest req;
+  req.id = 1;
+  req.op = ServeOp::kSubmit;
+  req.spec.model = "resnet18";
+  req.spec.tenant = "bench";
+  const std::string line = req.to_line();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (ServeRequest::parse(line).to_line() != line) {
+      fail("protocol round trip is not canonical");
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_threshold(LogLevel::kWarn);
+  int repeats = 5;
+  std::string scale = "full";
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "serve_load: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--repeats") {
+      repeats = std::atoi(next().c_str());
+    } else if (arg == "--scale") {
+      scale = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_load [--repeats N] [--scale full|smoke] "
+                   "[--out FILE]\n");
+      return 2;
+    }
+  }
+  if ((scale != "full" && scale != "smoke") || repeats < 1) {
+    std::fprintf(stderr, "serve_load: bad --scale or --repeats\n");
+    return 2;
+  }
+  const bool smoke = scale == "smoke";
+
+  const fs::path dir =
+      fs::temp_directory_path() / ("aal_serve_load_" + std::to_string(
+                                       static_cast<long long>(::getpid())));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string model_path = (dir / "tiny.model").string();
+  std::ofstream(model_path) << "%data = input(shape=[1,8,16,16])\n"
+                               "%c1 = conv2d(%data, channels=16, kernel=3, "
+                               "pad=1)\n";
+
+  FleetShape shape;
+  shape.jobs = smoke ? 16 : 128;
+  shape.submit_threads = smoke ? 4 : 8;
+  shape.workers = smoke ? 4 : 8;
+  shape.measure_threads = smoke ? 2 : 4;
+  shape.budget = 8;
+
+  const auto shape_params = [&]() {
+    return std::vector<std::pair<std::string, long long>>{
+        {"jobs", shape.jobs},
+        {"submit_threads", shape.submit_threads},
+        {"workers", shape.workers},
+        {"measure_threads", shape.measure_threads},
+        {"budget", shape.budget}};
+  };
+
+  std::vector<BenchEntry> entries;
+  {
+    std::vector<double> cold;
+    for (int r = 0; r < repeats; ++r) {
+      const std::string store = (dir / ("cold" + std::to_string(r))).string();
+      cold.push_back(timed_drain(shape, store, model_path));
+    }
+    entries.push_back({"serve_submit_drain", shape_params(),
+                       median(std::move(cold))});
+  }
+  {
+    // One untimed pass fills the store; the timed passes then ride its
+    // warm-start records, the cross-job cache path docs/SERVING.md
+    // describes.
+    const std::string store = (dir / "warm").string();
+    (void)timed_drain(shape, store, model_path);
+    std::vector<double> warm;
+    for (int r = 0; r < repeats; ++r) {
+      warm.push_back(timed_drain(shape, store, model_path));
+    }
+    entries.push_back({"serve_submit_drain_warm", shape_params(),
+                       median(std::move(warm))});
+  }
+  {
+    const std::int64_t budget = smoke ? 16 : 64;
+    std::vector<double> replay;
+    for (int r = 0; r < repeats; ++r) {
+      replay.push_back(timed_stream_replay(model_path, budget));
+    }
+    entries.push_back({"serve_stream_replay",
+                       {{"budget", budget}},
+                       median(std::move(replay))});
+  }
+  {
+    const int iters = smoke ? 2000 : 20000;
+    std::vector<double> parse;
+    for (int r = 0; r < repeats; ++r) {
+      parse.push_back(timed_protocol_roundtrip(iters));
+    }
+    entries.push_back({"protocol_roundtrip",
+                       {{"iters", iters}},
+                       median(std::move(parse))});
+  }
+
+  fs::remove_all(dir);
+  std::FILE* out = out_path.empty() ? stdout
+                                    : std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "serve_load: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  write_json(out, scale, repeats, entries);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}

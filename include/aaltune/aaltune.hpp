@@ -60,3 +60,9 @@
 // Node-wise pipeline: tune a whole model, simulate deployed latency.
 #include "pipeline/latency.hpp"
 #include "pipeline/model_tuner.hpp"
+
+// Serving: the tuning-as-a-service daemon core, its wire protocol and the
+// Unix-domain socket transport (docs/SERVING.md).
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"

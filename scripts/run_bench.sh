@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Regenerates the checked-in benchmark baselines (BENCH_kernels.json and
-# BENCH_tuner.json) from a Release build of bench/micro_kernels, then
-# validates them against the aaltune-bench/v1 schema. See docs/PERF.md for
-# methodology and the schema definition.
+# Regenerates the checked-in benchmark baselines (BENCH_kernels.json,
+# BENCH_tuner.json from bench/micro_kernels; BENCH_serve.json from
+# bench/serve_load) from a Release build, then validates them against the
+# aaltune-bench/v1 schema. See docs/PERF.md for methodology and the schema
+# definition.
 #
 # Usage:
 #   scripts/run_bench.sh [--scale full|smoke] [--repeats N]
@@ -44,7 +45,7 @@ case "$SCALE" in
 esac
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target micro_kernels -j >/dev/null
+cmake --build "$BUILD_DIR" --target micro_kernels serve_load -j >/dev/null
 
 for suite in kernels tuner; do
   out="$OUT_DIR/BENCH_${suite}.json"
@@ -53,11 +54,18 @@ for suite in kernels tuner; do
     --suite "$suite" --repeats "$REPEATS" --scale "$SCALE" --out "$out"
 done
 
+# The serve suite audits itself (any lost or duplicated job aborts the
+# run), so a successful emit is also a daemon-core load test.
+out="$OUT_DIR/BENCH_serve.json"
+echo "bench: suite=serve scale=$SCALE repeats=$REPEATS -> $out"
+"$BUILD_DIR/bench/serve_load" \
+  --repeats "$REPEATS" --scale "$SCALE" --out "$out"
+
 # Schema check, plus coverage against the checked-in baseline: every
 # baseline entry (including the per-target profile_batch:<name> rows) must
 # still be emitted, so a dropped or renamed benchmark fails here instead of
 # silently vanishing from the comparison.
-for suite in kernels tuner; do
+for suite in kernels tuner serve; do
   covers=()
   if [ -f "$ROOT/BENCH_${suite}.json" ]; then
     covers=(--covers "$ROOT/BENCH_${suite}.json")

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 #include "hwsim/fault.hpp"
@@ -80,6 +81,17 @@ struct SessionOptions {
   /// `trace` / `metrics` fields). Non-owning; may be null.
   TraceSink* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
+
+  /// Cooperative cancellation flag (non-owning; may be null). Honored by
+  /// TuningSession — checked once per propose/measure/observe round, so a
+  /// raised flag stops the session at the next round boundary with
+  /// StopReason::kCancelled — and by tune_model, which additionally skips
+  /// every task that has not started yet. Cancellation is cooperative and
+  /// clean: completed measurements stay committed, the session_end event is
+  /// still emitted, and a writable store still receives the records measured
+  /// before the flag was raised. A session that never observes a raised flag
+  /// behaves (and traces) exactly as if the field were null.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 }  // namespace aal

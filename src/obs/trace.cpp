@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <fstream>
+#include <iterator>
 #include <limits>
 #include <utility>
 
@@ -104,63 +105,37 @@ std::string to_jsonl_line(const TraceEvent& event) {
 namespace {
 
 /// Strict cursor-based parser for the flat single-line JSON objects
-/// to_jsonl_line produces (plus the nan/inf/-inf double extension).
+/// to_jsonl_line / to_json_object_line produce (plus the nan/inf/-inf
+/// double extension).
 class LineParser {
  public:
   explicit LineParser(std::string_view line) : s_(line) {}
 
-  TraceEvent parse() {
+  std::vector<TraceField> parse() {
     expect('{');
-    TraceEvent event;
-    bool first = true;
+    std::vector<TraceField> fields;
     while (true) {
-      if (!first) {
-        if (peek() == '}') break;
-        expect(',');
-      } else if (peek() == '}') {
-        break;
-      }
+      if (peek() == '}') break;
+      if (!fields.empty()) expect(',');
       std::string key = parse_string();
       expect(':');
       TraceValue value = parse_value();
-      if (first) {
-        AAL_CHECK(key == "step" && value.kind() == TraceValue::Kind::kInt,
-                  "trace line must start with an integer \"step\" field: "
-                      << s_);
-        event.step = value.as_int();
-        first = false;
-        // "type" must follow immediately.
-        expect(',');
-        std::string type_key = parse_string();
-        expect(':');
-        TraceValue type_value = parse_value();
-        AAL_CHECK(type_key == "type" &&
-                      type_value.kind() == TraceValue::Kind::kString,
-                  "trace line must carry a string \"type\" field: " << s_);
-        const auto type = trace_event_type_from_name(type_value.as_string());
-        AAL_CHECK(type.has_value(),
-                  "unknown trace event type '" << type_value.as_string()
-                                               << "'");
-        event.type = *type;
-        continue;
-      }
-      event.fields.push_back(TraceField{std::move(key), std::move(value)});
+      fields.push_back(TraceField{std::move(key), std::move(value)});
     }
     expect('}');
-    AAL_CHECK(pos_ == s_.size(), "trailing input after trace event: " << s_);
-    AAL_CHECK(!first, "empty trace event: " << s_);
-    return event;
+    AAL_CHECK(pos_ == s_.size(), "trailing input after JSON object: " << s_);
+    return fields;
   }
 
  private:
   char peek() const {
-    AAL_CHECK(pos_ < s_.size(), "truncated trace event: " << s_);
+    AAL_CHECK(pos_ < s_.size(), "truncated JSON object: " << s_);
     return s_[pos_];
   }
 
   void expect(char c) {
     AAL_CHECK(pos_ < s_.size() && s_[pos_] == c,
-              "malformed trace event (expected '" << c << "' at offset "
+              "malformed JSON object (expected '" << c << "' at offset "
                                                   << pos_ << "): " << s_);
     ++pos_;
   }
@@ -175,14 +150,14 @@ class LineParser {
     expect('"');
     std::string out;
     while (true) {
-      AAL_CHECK(pos_ < s_.size(), "unterminated string in trace event: " << s_);
+      AAL_CHECK(pos_ < s_.size(), "unterminated string in JSON object: " << s_);
       const char c = s_[pos_++];
       if (c == '"') break;
       if (c != '\\') {
         out += c;
         continue;
       }
-      AAL_CHECK(pos_ < s_.size(), "truncated escape in trace event: " << s_);
+      AAL_CHECK(pos_ < s_.size(), "truncated escape in JSON object: " << s_);
       const char esc = s_[pos_++];
       switch (esc) {
         case '"': out += '"'; break;
@@ -193,7 +168,7 @@ class LineParser {
         case 't': out += '\t'; break;
         case 'u': {
           AAL_CHECK(pos_ + 4 <= s_.size(),
-                    "truncated \\u escape in trace event: " << s_);
+                    "truncated \\u escape in JSON object: " << s_);
           int code = 0;
           for (int i = 0; i < 4; ++i) {
             const char h = s_[pos_++];
@@ -201,7 +176,7 @@ class LineParser {
             if (h >= '0' && h <= '9') digit = h - '0';
             else if (h >= 'a' && h <= 'f') digit = h - 'a' + 10;
             else if (h >= 'A' && h <= 'F') digit = h - 'A' + 10;
-            else { AAL_CHECK(false, "bad \\u escape in trace event: " << s_); }
+            else { AAL_CHECK(false, "bad \\u escape in JSON object: " << s_); }
             code = code * 16 + digit;
           }
           AAL_CHECK(code < 0x80,
@@ -212,7 +187,7 @@ class LineParser {
         }
         default:
           AAL_CHECK(false, "unknown escape '\\" << esc
-                                                << "' in trace event: " << s_);
+                                                << "' in JSON object: " << s_);
       }
     }
     return out;
@@ -240,7 +215,7 @@ class LineParser {
       ++pos_;
     }
     const std::string_view token = s_.substr(start, pos_ - start);
-    AAL_CHECK(!token.empty(), "malformed value in trace event: " << s_);
+    AAL_CHECK(!token.empty(), "malformed value in JSON object: " << s_);
     if (token.find_first_of(".eE") != std::string_view::npos) {
       return TraceValue(parse_double_strict(token));
     }
@@ -253,8 +228,46 @@ class LineParser {
 
 }  // namespace
 
-TraceEvent trace_event_from_jsonl_line(std::string_view line) {
+std::string to_json_object_line(const std::vector<TraceField>& fields) {
+  std::string out;
+  out.reserve(16 + fields.size() * 16);
+  out += '{';
+  bool first = true;
+  for (const TraceField& f : fields) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(f.key);
+    out += "\":";
+    out += f.value.to_json();
+  }
+  out += '}';
+  return out;
+}
+
+std::vector<TraceField> fields_from_json_object_line(std::string_view line) {
   return LineParser(line).parse();
+}
+
+TraceEvent trace_event_from_jsonl_line(std::string_view line) {
+  std::vector<TraceField> fields = LineParser(line).parse();
+  AAL_CHECK(!fields.empty(), "empty trace event: " << line);
+  AAL_CHECK(fields[0].key == "step" &&
+                fields[0].value.kind() == TraceValue::Kind::kInt,
+            "trace line must start with an integer \"step\" field: " << line);
+  AAL_CHECK(fields.size() >= 2 && fields[1].key == "type" &&
+                fields[1].value.kind() == TraceValue::Kind::kString,
+            "trace line must carry a string \"type\" field: " << line);
+  const auto type = trace_event_type_from_name(fields[1].value.as_string());
+  AAL_CHECK(type.has_value(),
+            "unknown trace event type '" << fields[1].value.as_string()
+                                         << "'");
+  TraceEvent event;
+  event.step = fields[0].value.as_int();
+  event.type = *type;
+  event.fields.assign(std::make_move_iterator(fields.begin() + 2),
+                      std::make_move_iterator(fields.end()));
+  return event;
 }
 
 void TraceSink::emit(TraceEvent event) {

@@ -119,6 +119,19 @@ std::string to_jsonl_line(const TraceEvent& event);
 /// step/type, unknown event types and malformed JSON (InvalidArgument).
 TraceEvent trace_event_from_jsonl_line(std::string_view line);
 
+/// Serializes ordered fields as one compact flat JSON object (no trailing
+/// newline) under the same codec rules as to_jsonl_line: keys in order,
+/// minimal string escaping, shortest round-trip doubles with the
+/// nan/inf/-inf extension. The serve wire protocol (src/serve) frames its
+/// messages with this, so protocol lines and trace lines share one codec.
+std::string to_json_object_line(const std::vector<TraceField>& fields);
+
+/// Strict inverse of to_json_object_line for any flat JSON object: returns
+/// the fields in wire order. Rejects nesting, trailing input and malformed
+/// JSON (InvalidArgument).
+/// trace_event_from_jsonl_line layers step/type validation on top of this.
+std::vector<TraceField> fields_from_json_object_line(std::string_view line);
+
 /// Receives events from the pipeline. emit() is thread-safe; the step
 /// counter and the write are updated under one lock so steps appear in
 /// order even when lanes share a sink.

@@ -6,6 +6,7 @@
 
 #include "core/advanced_tuner.hpp"
 #include "core/bted.hpp"
+#include "support/common.hpp"
 #include "support/logging.hpp"
 #include "support/thread_pool.hpp"
 #include "tuner/ga_tuner.hpp"
@@ -56,6 +57,42 @@ TunerFactory ga_tuner_factory() {
   };
 }
 
+namespace {
+
+struct NamedTunerFactory {
+  const char* name;
+  TunerFactory (*make)();
+};
+
+constexpr NamedTunerFactory kTunerRegistry[] = {
+    {"autotvm", autotvm_tuner_factory},
+    {"bted", bted_tuner_factory},
+    {"bted+bao", bted_bao_tuner_factory},
+    {"random", random_tuner_factory},
+    {"ga", ga_tuner_factory},
+};
+
+}  // namespace
+
+std::vector<std::string> tuner_factory_names() {
+  std::vector<std::string> names;
+  for (const NamedTunerFactory& f : kTunerRegistry) names.emplace_back(f.name);
+  return names;
+}
+
+TunerFactory tuner_factory_by_name(const std::string& name) {
+  for (const NamedTunerFactory& f : kTunerRegistry) {
+    if (name == f.name) return f.make();
+  }
+  std::string valid;
+  for (const NamedTunerFactory& f : kTunerRegistry) {
+    if (!valid.empty()) valid += ", ";
+    valid += f.name;
+  }
+  throw InvalidArgument("unknown tuner '" + name + "' (expected " + valid +
+                        ")");
+}
+
 std::int64_t ModelTuneReport::total_measured() const {
   std::int64_t total = 0;
   for (const auto& t : tasks) total += t.result.num_measured;
@@ -86,12 +123,36 @@ ModelTuneReport tune_model(const Graph& graph, const TargetSpec& target,
         task.count(), TuneResult{}});
   }
 
-  // Per-task trace buffers: lanes may interleave arbitrarily, so each task
-  // writes to its own MemoryTraceSink and the buffers are replayed into
-  // options.trace in model order after the lanes join — the final trace is
-  // the same bytes at any jobs value.
+  // Lane decomposition (computed up front so the serial path can map each
+  // task to its lane's transfer context). The transfer pool is keyed by
+  // workload kind and seed_for() only reads same-kind rows, so giving each
+  // kind its own lane (and its own TransferContext) yields exactly the
+  // state the serial run's shared context would expose to every task.
+  // Without transfer, every task is independent and becomes its own lane.
+  std::vector<std::vector<std::size_t>> lanes;
+  if (options.use_transfer) {
+    std::unordered_map<int, std::size_t> lane_of_kind;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const int kind = static_cast<int>(tasks[i].workload.kind());
+      auto [it, inserted] = lane_of_kind.emplace(kind, lanes.size());
+      if (inserted) lanes.emplace_back();
+      lanes[it->second].push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < tasks.size(); ++i) lanes.push_back({i});
+  }
+  const bool parallel = options.jobs > 1 && lanes.size() > 1;
+
+  // Per-task trace buffers, parallel runs only: lanes may interleave
+  // arbitrarily, so each task writes to its own MemoryTraceSink and the
+  // buffers are replayed into options.trace in model order after the lanes
+  // join. Serial runs execute tasks in model order (see below) and emit
+  // into options.trace directly — same bytes, since replay preserves event
+  // order and re-stamps steps into the same consecutive sequence — which
+  // gives live consumers (the serve daemon's stream op) events as they
+  // happen instead of at the end of the run.
   std::vector<std::unique_ptr<MemoryTraceSink>> task_traces;
-  if (options.trace != nullptr) {
+  if (options.trace != nullptr && parallel) {
     task_traces.reserve(tasks.size());
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       auto sink = std::make_unique<MemoryTraceSink>();
@@ -124,7 +185,9 @@ ModelTuneReport tune_model(const Graph& graph, const TargetSpec& target,
         faulty.has_value() ? static_cast<const Device&>(*faulty) : device;
     Measurer measurer(tuning_task, measured_device, options.measure);
     Obs obs;
-    obs.trace = options.trace != nullptr ? task_traces[i].get() : nullptr;
+    obs.trace = options.trace == nullptr ? nullptr
+                : parallel              ? task_traces[i].get()
+                                        : options.trace;
     obs.metrics = options.metrics;
     obs.lane = task.workload.key();
     // Attach before preload so resumed records count measure.preloaded.
@@ -162,6 +225,10 @@ ModelTuneReport tune_model(const Graph& graph, const TargetSpec& target,
     TuneOptions tune_options = options.tune;
     tune_options.seed = options.tune.seed * 7907 + task_index;
     tune_options.obs = obs;
+    if (options.cancel != nullptr) tune_options.cancel = options.cancel;
+    if (options.measure_backend != nullptr) {
+      tune_options.backend = options.measure_backend;
+    }
     TuneResult result = tuner->tune(measurer, tune_options);
 
     // Constraint-pruning tally for this task's space. GPU targets attach no
@@ -204,33 +271,39 @@ ModelTuneReport tune_model(const Graph& graph, const TargetSpec& target,
     report.tasks[i].result = std::move(result);
   };
 
-  // Lane decomposition. The transfer pool is keyed by workload kind and
-  // seed_for() only reads same-kind rows, so giving each kind its own lane
-  // (and its own TransferContext) yields exactly the state the serial run's
-  // shared context would expose to every task. Without transfer, every task
-  // is independent and becomes its own lane.
-  std::vector<std::vector<std::size_t>> lanes;
-  if (options.use_transfer) {
-    std::unordered_map<int, std::size_t> lane_of_kind;
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      const int kind = static_cast<int>(tasks[i].workload.kind());
-      auto [it, inserted] = lane_of_kind.emplace(kind, lanes.size());
-      if (inserted) lanes.emplace_back();
-      lanes[it->second].push_back(i);
-    }
-  } else {
-    for (std::size_t i = 0; i < tasks.size(); ++i) lanes.push_back({i});
-  }
-
-  const auto run_lane = [&](const std::vector<std::size_t>& lane) {
-    TransferContext transfer;
-    TransferContext* transfer_ptr = options.use_transfer ? &transfer : nullptr;
-    for (const std::size_t i : lane) tune_one(i, transfer_ptr);
+  // Cooperative cancellation: a task that has not started when the flag is
+  // raised is skipped (its report slot stays empty); the in-flight session
+  // stops itself at its next round boundary via SessionOptions::cancel.
+  const auto cancelled = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
   };
 
-  if (options.jobs <= 1 || lanes.size() <= 1) {
-    for (const auto& lane : lanes) run_lane(lane);
+  if (!parallel) {
+    // Serial runs execute tasks in model order, not lane order. Each task
+    // only ever reads its own lane's transfer context, so the state every
+    // task sees is identical either way — but model order means trace
+    // events reach options.trace already in their final order (no buffer /
+    // replay), so a live sink streams the run as it happens.
+    std::vector<TransferContext> contexts(lanes.size());
+    std::vector<std::size_t> lane_of_task(tasks.size(), 0);
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      for (const std::size_t i : lanes[l]) lane_of_task[i] = l;
+    }
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (cancelled()) break;
+      tune_one(i, options.use_transfer ? &contexts[lane_of_task[i]] : nullptr);
+    }
   } else {
+    const auto run_lane = [&](const std::vector<std::size_t>& lane) {
+      TransferContext transfer;
+      TransferContext* transfer_ptr =
+          options.use_transfer ? &transfer : nullptr;
+      for (const std::size_t i : lane) {
+        if (cancelled()) return;
+        tune_one(i, transfer_ptr);
+      }
+    };
     // A dedicated pool, NOT ThreadPool::shared(): lane bodies block on BTED
     // and batched measurement which fan out over the shared pool — waiting
     // on it from inside it would deadlock.
@@ -242,12 +315,12 @@ ModelTuneReport tune_model(const Graph& graph, const TargetSpec& target,
       futures.push_back(pool.submit([&run_lane, &lane] { run_lane(lane); }));
     }
     for (auto& f : futures) f.get();  // rethrows lane failures
-  }
 
-  // Replay per-task buffers into the model sink in model order; the target
-  // re-stamps the step counters into one consecutive sequence.
-  if (options.trace != nullptr) {
-    for (const auto& sink : task_traces) sink->replay_into(*options.trace);
+    // Replay per-task buffers into the model sink in model order; the
+    // target re-stamps the step counters into one consecutive sequence.
+    if (options.trace != nullptr) {
+      for (const auto& sink : task_traces) sink->replay_into(*options.trace);
+    }
   }
 
   // Flush this run's fresh records back to the store, in model order.

@@ -47,6 +47,14 @@ TunerFactory bted_bao_tuner_factory();         // full advanced framework
 TunerFactory random_tuner_factory();
 TunerFactory ga_tuner_factory();
 
+/// The stable tuner names the CLI's --tuner flag and the serve protocol's
+/// "tuner" field accept, in registry order.
+std::vector<std::string> tuner_factory_names();
+
+/// Factory for a registry name; throws InvalidArgument (naming the valid
+/// set) on an unknown name.
+TunerFactory tuner_factory_by_name(const std::string& name);
+
 struct TaskTuneReport {
   std::string task_key;
   Workload workload;
@@ -92,6 +100,12 @@ struct ModelTuneOptions : SessionOptions {
   /// Per-task measurement options (timing repeats, retry policy). The
   /// defaults reproduce the historical single-attempt behavior.
   MeasureOptions measure;
+  /// Shared measurement backend for every task's session (non-owning; may
+  /// be null = serial per-config measurement). The serve daemon points all
+  /// concurrent jobs at one ParallelBackend so measurement work multiplexes
+  /// over shared lanes; results and traces are backend-invariant, so this
+  /// never changes what a run computes.
+  MeasureBackend* measure_backend = nullptr;
 
   // Inherited from SessionOptions (historical field names unchanged):
   //   device_seed — measurement-noise stream
@@ -99,11 +113,17 @@ struct ModelTuneOptions : SessionOptions {
   //                 is wrapped in a FaultyDevice with a per-task seed
   //                 derived from faults.seed and the task's model-order
   //                 position, deterministic at any jobs value
-  //   trace       — whole-run trace sink: each task buffers its events in a
-  //                 private MemoryTraceSink replayed in model order after
-  //                 the lanes join, so the trace is byte-identical for
-  //                 every jobs value (non-owning; may be null)
+  //   trace       — whole-run trace sink: with jobs > 1 each task buffers
+  //                 its events in a private MemoryTraceSink replayed in
+  //                 model order after the lanes join; serial runs execute
+  //                 tasks in model order and emit directly, so the sink sees
+  //                 live events and the final bytes are identical for every
+  //                 jobs value (non-owning; may be null)
   //   metrics     — metrics registry shared by every task (may be null)
+  //   cancel      — cooperative cancellation flag: tasks not yet started are
+  //                 skipped, the running session stops at its next round
+  //                 boundary, and records measured so far still flush to a
+  //                 writable store (non-owning; may be null)
 };
 
 /// Tunes every task of `graph` with tuners from `factory` against `target`.

@@ -1,0 +1,208 @@
+// TuneServer: the transport-independent core of the tuning daemon.
+//
+// The server multiplexes many concurrent tuning jobs over shared
+// infrastructure: one RecordStore (so every job pays for each measurement
+// once, fleet-wide), one ParallelBackend whose measurement lanes all
+// sessions share, and a pool of worker threads draining a priority queue
+// (higher `priority` first, submit order within a priority). Admission
+// control is per-tenant: a tenant may hold at most `tenant_quota`
+// queued+running jobs, and the whole queue is bounded by `max_queued`.
+//
+// Every job gets its own trace sink, metrics registry and cooperative
+// cancel flag. Jobs run with the exact option derivations of the CLI's
+// `tune` subcommand at jobs=1, so a job's trace is byte-identical to the
+// standalone run of the same spec (the determinism contract the serve
+// tests and the CI smoke job pin). Streaming is cursor-based fan-out over
+// the job's buffered events: any number of subscribers replay the trace
+// live without perturbing it.
+//
+// Transports sit on top: handle_line() serves every one-shot op;
+// stream_lines()/wait_progress() give transports (and in-process tests)
+// incremental access to a job's trace. socket.hpp adds the Unix-domain
+// socket front end the aaltune_serve tool runs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "measure/backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/protocol.hpp"
+#include "store/record_store.hpp"
+
+namespace aal {
+
+/// Job lifecycle: kQueued -> kRunning -> one of the terminal states.
+enum class JobState : int { kQueued, kRunning, kDone, kFailed, kCancelled };
+
+/// Stable wire name ("queued", ...). A running job whose cancel flag is
+/// already raised reports "cancelling".
+const char* job_state_name(JobState state, bool cancelling = false);
+
+/// Per-job trace buffer: MemoryTraceSink semantics plus an atomic event
+/// count and ranged snapshots, so stream subscribers poll with a cursor
+/// instead of copying the whole trace each round.
+class JobTraceSink final : public TraceSink {
+ public:
+  std::int64_t count() const {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  /// Events with index >= cursor, in emission order.
+  std::vector<TraceEvent> events_from(std::int64_t cursor) const;
+
+ protected:
+  void write(const TraceEvent& event) override;
+
+ private:
+  mutable std::mutex events_mutex_;
+  std::vector<TraceEvent> events_;
+  std::atomic<std::int64_t> count_{0};
+};
+
+/// Point-in-time job snapshot, as returned by status() and list().
+struct JobInfo {
+  std::int64_t id = -1;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  bool cancelling = false;       // running with the cancel flag raised
+  std::int64_t trace_steps = 0;  // events emitted so far
+  std::int64_t measured = 0;     // fresh configs measured so far
+  double best_gflops = 0.0;      // filled when the job finishes
+  std::string error;             // non-empty iff state == kFailed
+
+  const char* state_name() const { return job_state_name(state, cancelling); }
+};
+
+struct TuneServerOptions {
+  int workers = 2;          // concurrent tuning jobs
+  int measure_threads = 0;  // >0: shared ParallelBackend with that many lanes
+  std::size_t max_queued = 256;   // server-wide queued-job bound
+  int tenant_quota = 8;           // queued+running jobs per tenant
+  std::int64_t max_budget = 1 << 20;  // per-job budget ceiling
+  std::string store_dir;    // empty = no shared record store
+  bool store_readonly = false;
+};
+
+class TuneServer {
+ public:
+  explicit TuneServer(TuneServerOptions options = {});
+
+  TuneServer(const TuneServer&) = delete;
+  TuneServer& operator=(const TuneServer&) = delete;
+
+  /// Cancels queued jobs, raises the cancel flag of running ones, joins
+  /// the workers. Records measured before the flag landed are already
+  /// flushed to the store by each job's own run.
+  ~TuneServer();
+
+  const TuneServerOptions& options() const { return options_; }
+  RecordStore* store() { return store_.get(); }
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Admits a job; returns its id. Throws ServeError with kShuttingDown /
+  /// kQueueFull / kQuotaExceeded / kBadModel / kBadTarget / kBadTuner /
+  /// kBadRequest on rejection (every rejection also bumps the
+  /// serve.rejected counter and its per-code sibling).
+  std::int64_t submit(const JobSpec& spec);
+
+  /// Snapshot of one job; throws ServeError(kUnknownJob).
+  JobInfo status(std::int64_t job) const;
+
+  /// Snapshots of every job, in id (= submit) order.
+  std::vector<JobInfo> list() const;
+
+  /// Cancels a job: a queued job goes terminal immediately, a running one
+  /// gets its cooperative flag raised and stops at the session's next
+  /// round boundary. Returns true if this call changed anything, false if
+  /// the job was already terminal or already cancelling (idempotent).
+  /// Throws ServeError(kUnknownJob).
+  bool cancel(std::int64_t job);
+
+  /// Trace lines of `job` with step >= *cursor, serialized exactly as a
+  /// JsonlTraceSink would write them (no trailing newline); advances
+  /// *cursor. Sets *finished once the job is terminal and fully drained.
+  /// Throws ServeError(kUnknownJob).
+  std::vector<std::string> stream_lines(std::int64_t job,
+                                        std::int64_t* cursor,
+                                        bool* finished) const;
+
+  /// Blocks until `job` is terminal or has events past `cursor`, or the
+  /// timeout elapses. Throws ServeError(kUnknownJob).
+  void wait_progress(std::int64_t job, std::int64_t cursor,
+                     std::chrono::milliseconds timeout) const;
+
+  /// Blocks until `job` is terminal; returns its final snapshot.
+  JobInfo wait_job(std::int64_t job);
+
+  /// Blocks until no job is queued or running.
+  void wait_idle() const;
+
+  /// Stops admitting jobs (submit -> kShuttingDown); queued and running
+  /// jobs still drain. The daemon exits via wait_idle() afterwards.
+  void begin_shutdown();
+  bool shutting_down() const;
+
+  /// Serves one request line: parse, dispatch, serialize. Returns the
+  /// response frames (one line each, no trailing newline). Never throws —
+  /// failures become typed error frames echoing the request id (or -1
+  /// when the id itself was unparseable). The stream op is the one
+  /// exception handled by transports via stream_lines(); here it yields a
+  /// bad_request error.
+  std::vector<std::string> handle_line(const std::string& line);
+
+  /// Dispatches an already-parsed request; throws ServeError on failure.
+  std::vector<std::string> handle_request(const ServeRequest& req);
+
+ private:
+  struct Job {
+    std::int64_t id = -1;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    std::atomic<bool> cancel{false};
+    JobTraceSink trace;
+    MetricsRegistry job_metrics;
+    std::string error;
+    double best_gflops = 0.0;
+    std::int64_t measured = 0;  // final count, set at completion
+  };
+
+  void worker_loop();
+  void run_job(Job& job);
+  Job& find_job_locked(std::int64_t id) const;
+  JobInfo snapshot_locked(const Job& job) const;
+  void finish_locked(Job& job, JobState state);
+  void reject(ServeErrorCode code, const std::string& message);
+
+  TuneServerOptions options_;
+  std::unique_ptr<RecordStore> store_;
+  std::unique_ptr<ParallelBackend> backend_;
+  MetricsRegistry metrics_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;              // workers: work available
+  mutable std::condition_variable progress_cv_;   // watchers: state changed
+  std::map<std::int64_t, std::unique_ptr<Job>> jobs_;
+  /// (-priority, submit id): lexicographically first = next to run.
+  std::set<std::tuple<std::int64_t, std::int64_t>> queue_;
+  std::map<std::string, int> tenant_active_;      // queued + running
+  std::int64_t next_id_ = 1;
+  int running_ = 0;
+  bool shutting_down_ = false;
+  bool stop_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aal

@@ -28,6 +28,10 @@ void Tuner::observe(std::span<const MeasureResult> results) { (void)results; }
 void Tuner::finalize(const Measurer& measurer) { (void)measurer; }
 
 TuneResult Tuner::tune(Measurer& measurer, const TuneOptions& options) {
+  if (options.backend != nullptr) {
+    TuningSession session(*this, measurer, options, *options.backend);
+    return session.run();
+  }
   TuningSession session(*this, measurer, options);
   return session.run();
 }

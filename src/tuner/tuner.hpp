@@ -26,15 +26,25 @@
 
 namespace aal {
 
+class MeasureBackend;
+
 /// Policy-loop options. Composes the shared SessionOptions knobs — the
-/// session honors `budget`, `early_stopping` and `seed`; `device_seed`,
-/// `retry` and `faults` are inert here (they configure the measurer the
-/// caller builds separately).
+/// session honors `budget`, `early_stopping`, `seed` and `cancel`;
+/// `device_seed`, `retry` and `faults` are inert here (they configure the
+/// measurer the caller builds separately).
 struct TuneOptions : SessionOptions {
   int batch_size = 64;   // configs measured per optimization round
 
   /// Number of initial samples (AutoTVM default: 64).
   int num_initial = 64;
+
+  /// Measurement backend for the blocking tune() driver (non-owning; may be
+  /// null = serial on the calling thread). Many sessions may share one
+  /// backend — the serve daemon multiplexes every job's measurement batches
+  /// over one ParallelBackend's lanes this way. Results and traces are
+  /// backend-invariant (see DESIGN.md §3), so sharing lanes never changes
+  /// what any session computes.
+  MeasureBackend* backend = nullptr;
 
   /// Observability handle (trace sink + metrics registry + lane label).
   /// Inactive by default; the session forwards it to the measurer and the

@@ -35,6 +35,7 @@ const char* TuningSession::stop_reason_name(StopReason reason) {
     case StopReason::kSpaceExhausted: return "space_exhausted";
     case StopReason::kPolicyExhausted: return "policy_exhausted";
     case StopReason::kBarren: return "barren";
+    case StopReason::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -99,6 +100,12 @@ bool TuningSession::stop(StopReason reason) {
 bool TuningSession::step() {
   if (done_) return false;
   ensure_begun();
+  // Cooperative cancellation: checked once per round, so a raised flag stops
+  // the session at the next round boundary. Already-committed history stays.
+  if (options_.cancel != nullptr &&
+      options_.cancel->load(std::memory_order_relaxed)) {
+    return stop(StopReason::kCancelled);
+  }
   if (const StopReason reason = check_stop(); reason != StopReason::kNone) {
     return stop(reason);
   }

@@ -29,6 +29,7 @@ class TuningSession {
     kSpaceExhausted,   // every configuration in the space measured
     kPolicyExhausted,  // the policy proposed nothing fresh
     kBarren,           // too many consecutive zero-fresh rounds
+    kCancelled,        // the cooperative cancel flag was raised
   };
 
   /// Stable wire name ("budget", "early_stop", ...), used in the

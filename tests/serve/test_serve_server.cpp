@@ -1,0 +1,401 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/model_parser.hpp"
+#include "hwsim/target.hpp"
+#include "pipeline/model_tuner.hpp"
+#include "store/record_store.hpp"
+
+namespace aal {
+namespace {
+
+namespace fs = std::filesystem;
+using std::chrono::milliseconds;
+
+/// Small one-conv model used by every job in these tests.
+constexpr const char* kTinyModelText =
+    "%data = input(shape=[1,8,16,16])\n"
+    "%c1 = conv2d(%data, channels=16, kernel=3, pad=1)\n";
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("aal_serve_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    model_path_ = (dir_ / "tiny.model").string();
+    std::ofstream(model_path_) << kTinyModelText;
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  JobSpec tiny_spec(std::int64_t budget = 16) const {
+    JobSpec spec;
+    spec.model = model_path_;
+    spec.budget = budget;
+    spec.early_stop = 0;
+    return spec;
+  }
+
+  /// Drains the full trace of `job` via the streaming API, blocking until
+  /// the job is terminal. Returns the reconstructed JSONL text.
+  static std::string drain_trace(TuneServer& server, std::int64_t job) {
+    std::string text;
+    std::int64_t cursor = 0;
+    bool finished = false;
+    while (!finished) {
+      for (const std::string& line :
+           server.stream_lines(job, &cursor, &finished)) {
+        text += line;
+        text += '\n';
+      }
+      if (!finished) server.wait_progress(job, cursor, milliseconds(50));
+    }
+    return text;
+  }
+
+  /// The standalone equivalent of a daemon job: the CLI `tune` derivations
+  /// at jobs=1, against its own fresh store.
+  std::string standalone_trace(const JobSpec& spec,
+                               const std::string& store_dir) const {
+    const Graph g = parse_model_file(spec.model);
+    const TargetSpec target = make_target(spec.target);
+    ModelTuneOptions options;
+    options.tune.budget = spec.budget;
+    options.tune.early_stopping = spec.early_stop;
+    options.tune.seed = static_cast<std::uint64_t>(spec.seed);
+    options.device_seed = options.tune.seed * 1009 + 7;
+    options.jobs = 1;
+    MemoryTraceSink sink;
+    options.trace = &sink;
+    std::unique_ptr<RecordStore> store;
+    if (!store_dir.empty()) {
+      store = std::make_unique<RecordStore>(store_dir);
+      options.store = store.get();
+    }
+    tune_model(g, target, tuner_factory_by_name(spec.tuner), options);
+    return sink.to_jsonl();
+  }
+
+  fs::path dir_;
+  std::string model_path_;
+};
+
+TEST_F(ServeServerTest, JobTraceIsByteIdenticalToTheStandaloneRun) {
+  TuneServerOptions options;
+  options.workers = 1;
+  options.store_dir = (dir_ / "daemon_store").string();
+  TuneServer server(options);
+
+  const std::int64_t job = server.submit(tiny_spec());
+  const std::string daemon = drain_trace(server, job);
+  const JobInfo info = server.wait_job(job);
+  EXPECT_EQ(info.state, JobState::kDone);
+  EXPECT_EQ(info.measured, 16);
+  EXPECT_GT(info.best_gflops, 0.0);
+  EXPECT_EQ(info.trace_steps,
+            static_cast<std::int64_t>(
+                std::count(daemon.begin(), daemon.end(), '\n')));
+
+  const std::string standalone =
+      standalone_trace(tiny_spec(), (dir_ / "solo_store").string());
+  EXPECT_EQ(daemon, standalone);  // byte-identical — the serve contract
+}
+
+TEST_F(ServeServerTest, SharedMeasureLanesPreserveTheTraceBytes) {
+  TuneServerOptions options;
+  options.workers = 2;
+  options.measure_threads = 2;  // jobs multiplex over shared lanes
+  TuneServer server(options);
+
+  const std::int64_t a = server.submit(tiny_spec());
+  JobSpec other = tiny_spec();
+  other.seed = 3;
+  const std::int64_t b = server.submit(other);
+  const std::string trace_a = drain_trace(server, a);
+  const std::string trace_b = drain_trace(server, b);
+
+  EXPECT_EQ(trace_a, standalone_trace(tiny_spec(), ""));
+  EXPECT_EQ(trace_b, standalone_trace(other, ""));
+  EXPECT_NE(trace_a, trace_b);  // seeds differ, so the tunes differ
+}
+
+TEST_F(ServeServerTest, QuotaRejectionIsTypedAndCounted) {
+  TuneServerOptions options;
+  options.workers = 1;
+  options.tenant_quota = 2;
+  TuneServer server(options);
+
+  // Two long jobs fill the tenant's quota (one running + one queued).
+  (void)server.submit(tiny_spec(/*budget=*/160));
+  (void)server.submit(tiny_spec(/*budget=*/160));
+  try {
+    (void)server.submit(tiny_spec());
+    FAIL() << "expected quota rejection";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kQuotaExceeded);
+  }
+  // A different tenant is unaffected by this tenant's quota.
+  JobSpec other = tiny_spec();
+  other.tenant = "other";
+  EXPECT_NO_THROW((void)server.submit(other));
+
+  EXPECT_EQ(server.metrics().counter_value("serve.rejected"), 1);
+  EXPECT_EQ(
+      server.metrics().counter_value("serve.rejected.quota_exceeded"), 1);
+  server.wait_idle();
+}
+
+TEST_F(ServeServerTest, QueueBoundRejectsWithQueueFull) {
+  TuneServerOptions options;
+  options.workers = 1;
+  options.max_queued = 1;
+  options.tenant_quota = 100;
+  TuneServer server(options);
+
+  const std::int64_t first = server.submit(tiny_spec(/*budget=*/160));
+  // Wait until the worker picked the first job up, so the queue is empty.
+  while (server.status(first).state == JobState::kQueued) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  (void)server.submit(tiny_spec());  // fills the single queue slot
+  try {
+    (void)server.submit(tiny_spec());
+    FAIL() << "expected queue-full rejection";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kQueueFull);
+  }
+  EXPECT_EQ(server.metrics().counter_value("serve.rejected.queue_full"), 1);
+  server.wait_idle();
+}
+
+TEST_F(ServeServerTest, BadSpecsRejectWithTypedCodes) {
+  TuneServer server{TuneServerOptions{}};
+  const auto code_of = [&](const JobSpec& spec) {
+    try {
+      (void)server.submit(spec);
+    } catch (const ServeError& e) {
+      return e.code();
+    }
+    ADD_FAILURE() << "expected rejection";
+    return ServeErrorCode::kInternalError;
+  };
+  JobSpec bad_model = tiny_spec();
+  bad_model.model = "no-such-model";
+  EXPECT_EQ(code_of(bad_model), ServeErrorCode::kBadModel);
+  JobSpec bad_target = tiny_spec();
+  bad_target.target = "gpu-imaginary";
+  EXPECT_EQ(code_of(bad_target), ServeErrorCode::kBadTarget);
+  JobSpec bad_tuner = tiny_spec();
+  bad_tuner.tuner = "gradient-descent";
+  EXPECT_EQ(code_of(bad_tuner), ServeErrorCode::kBadTuner);
+  JobSpec over_budget = tiny_spec();
+  over_budget.budget = TuneServerOptions{}.max_budget + 1;
+  EXPECT_EQ(code_of(over_budget), ServeErrorCode::kBadRequest);
+}
+
+TEST_F(ServeServerTest, CancelReleasesTheLaneAndLeavesTheStoreLoadable) {
+  const std::string store_dir = (dir_ / "store").string();
+  std::int64_t measured_before_cancel = 0;
+  {
+    TuneServerOptions options;
+    options.workers = 1;
+    options.store_dir = store_dir;
+    TuneServer server(options);
+
+    const std::int64_t victim = server.submit(tiny_spec(/*budget=*/100000));
+    // Let it produce some trace before cancelling mid-tune.
+    server.wait_progress(victim, 2, milliseconds(10000));
+    EXPECT_TRUE(server.cancel(victim));
+    const JobInfo info = server.wait_job(victim);
+    EXPECT_EQ(info.state, JobState::kCancelled);
+    EXPECT_STREQ(info.state_name(), "cancelled");
+    EXPECT_LT(info.measured, 100000);
+    EXPECT_FALSE(server.cancel(victim));  // idempotent on terminal jobs
+    measured_before_cancel = info.measured;
+
+    // The worker lane is free again: a fresh job completes normally.
+    const JobInfo after = server.wait_job(server.submit(tiny_spec()));
+    EXPECT_EQ(after.state, JobState::kDone);
+    EXPECT_EQ(server.metrics().counter_value("serve.jobs_cancelled"), 1);
+    EXPECT_EQ(server.metrics().counter_value("serve.jobs_done"), 1);
+  }
+  // Partial results were flushed and the store reopens cleanly.
+  RecordStore reopened(store_dir);
+  EXPECT_GE(reopened.size(),
+            static_cast<std::size_t>(measured_before_cancel));
+}
+
+TEST_F(ServeServerTest, HigherPriorityJobsJumpTheQueue) {
+  TuneServerOptions options;
+  options.workers = 1;
+  TuneServer server(options);
+
+  const std::int64_t blocker = server.submit(tiny_spec(/*budget=*/160));
+  JobSpec low = tiny_spec(/*budget=*/160);
+  low.priority = 0;
+  JobSpec high = tiny_spec(/*budget=*/160);
+  high.priority = 5;
+  const std::int64_t low_id = server.submit(low);
+  const std::int64_t high_id = server.submit(high);
+  ASSERT_EQ(server.status(blocker).spec.priority, 0);
+
+  // When the high-priority job leaves the queue, the earlier-submitted
+  // low-priority one must still be waiting.
+  while (server.status(high_id).state == JobState::kQueued) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  EXPECT_EQ(server.status(low_id).state, JobState::kQueued);
+  EXPECT_TRUE(server.cancel(low_id));
+  EXPECT_TRUE(server.cancel(high_id));
+  server.wait_idle();
+}
+
+TEST_F(ServeServerTest, ShutdownRejectsNewSubmitsAndDrains) {
+  TuneServer server{TuneServerOptions{}};
+  const std::int64_t job = server.submit(tiny_spec());
+  server.begin_shutdown();
+  EXPECT_TRUE(server.shutting_down());
+  try {
+    (void)server.submit(tiny_spec());
+    FAIL() << "expected shutdown rejection";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kShuttingDown);
+  }
+  server.wait_idle();
+  EXPECT_EQ(server.status(job).state, JobState::kDone);
+}
+
+TEST_F(ServeServerTest, ConcurrentSubmitsOverOneStoreLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr int kJobsPerThread = 4;
+  const std::string store_dir = (dir_ / "store").string();
+  {
+    TuneServerOptions options;
+    options.workers = 4;
+    options.measure_threads = 2;
+    options.tenant_quota = 1000;
+    options.store_dir = store_dir;
+    TuneServer server(options);
+
+    std::vector<std::vector<std::int64_t>> ids(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int j = 0; j < kJobsPerThread; ++j) {
+          JobSpec spec = tiny_spec(/*budget=*/8);
+          spec.seed = t * kJobsPerThread + j + 1;
+          spec.tenant = "tenant" + std::to_string(t);
+          ids[t].push_back(server.submit(spec));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    server.wait_idle();
+
+    constexpr std::size_t kTotal = kThreads * kJobsPerThread;
+    std::set<std::int64_t> unique;
+    for (const auto& batch : ids) unique.insert(batch.begin(), batch.end());
+    EXPECT_EQ(unique.size(), kTotal);  // no duplicate ids
+
+    const std::vector<JobInfo> jobs = server.list();
+    ASSERT_EQ(jobs.size(), kTotal);  // no lost jobs
+    for (const JobInfo& info : jobs) {
+      EXPECT_EQ(info.state, JobState::kDone) << "job " << info.id;
+      EXPECT_EQ(info.measured, 8) << "job " << info.id;
+      EXPECT_TRUE(unique.count(info.id)) << "job " << info.id;
+    }
+    EXPECT_EQ(server.metrics().counter_value("serve.submitted"),
+              kThreads * kJobsPerThread);
+    EXPECT_EQ(server.metrics().counter_value("serve.jobs_done"),
+              kThreads * kJobsPerThread);
+    EXPECT_GE(server.metrics().gauge_value("serve.queue_high_water"), 1);
+  }
+  RecordStore reopened(store_dir);
+  EXPECT_GT(reopened.size(), 0);
+}
+
+TEST_F(ServeServerTest, HandleLineServesTheOneShotOps) {
+  TuneServer server{TuneServerOptions{}};
+
+  // Unparseable input -> parse_error with id -1.
+  std::vector<std::string> frames = server.handle_line("not json");
+  ASSERT_EQ(frames.size(), 1u);
+  ServeResponse resp = ServeResponse::parse(frames[0]);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.id, -1);
+  EXPECT_EQ(resp.error, ServeErrorCode::kParseError);
+
+  // Unknown job -> unknown_job echoing the request id.
+  frames = server.handle_line(R"({"id":5,"op":"status","job":99})");
+  ASSERT_EQ(frames.size(), 1u);
+  resp = ServeResponse::parse(frames[0]);
+  EXPECT_EQ(resp.id, 5);
+  EXPECT_EQ(resp.error, ServeErrorCode::kUnknownJob);
+
+  // hello reports the protocol version.
+  frames = server.handle_line(R"({"id":1,"op":"hello"})");
+  ASSERT_EQ(frames.size(), 1u);
+  resp = ServeResponse::parse(frames[0]);
+  ASSERT_TRUE(resp.ok);
+  ASSERT_NE(resp.find("version"), nullptr);
+  EXPECT_EQ(resp.find("version")->as_string(), kServeProtocolVersion);
+
+  // submit -> job id; status over the wire tracks it; list brackets jobs
+  // in begin/end frames.
+  ServeRequest submit;
+  submit.id = 2;
+  submit.op = ServeOp::kSubmit;
+  submit.spec = tiny_spec();
+  frames = server.handle_line(submit.to_line());
+  ASSERT_EQ(frames.size(), 1u);
+  resp = ServeResponse::parse(frames[0]);
+  ASSERT_TRUE(resp.ok);
+  const std::int64_t job = resp.find("job")->as_int();
+  (void)server.wait_job(job);
+
+  frames = server.handle_line(
+      R"({"id":3,"op":"status","job":)" + std::to_string(job) + "}");
+  resp = ServeResponse::parse(frames[0]);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.find("state")->as_string(), "done");
+  EXPECT_EQ(resp.find("measured")->as_int(), 16);
+
+  frames = server.handle_line(R"({"id":4,"op":"list"})");
+  ASSERT_EQ(frames.size(), 3u);  // begin, one job, end
+  EXPECT_EQ(ServeResponse::parse(frames[0]).frame, "begin");
+  EXPECT_EQ(ServeResponse::parse(frames[1]).find("job")->as_int(), job);
+  EXPECT_EQ(ServeResponse::parse(frames[2]).frame, "end");
+
+  // stats carries the lifecycle counters.
+  frames = server.handle_line(R"({"id":6,"op":"stats"})");
+  resp = ServeResponse::parse(frames[0]);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.find("submitted")->as_int(), 1);
+  EXPECT_EQ(resp.find("done")->as_int(), 1);
+
+  // stream is transport-level; handle_line answers with bad_request.
+  frames = server.handle_line(
+      R"({"id":7,"op":"stream","job":)" + std::to_string(job) + "}");
+  resp = ServeResponse::parse(frames[0]);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.error, ServeErrorCode::kBadRequest);
+}
+
+}  // namespace
+}  // namespace aal

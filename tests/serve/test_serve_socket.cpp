@@ -1,0 +1,195 @@
+#include "serve/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "graph/model_parser.hpp"
+#include "hwsim/target.hpp"
+#include "pipeline/model_tuner.hpp"
+
+namespace aal {
+namespace {
+
+namespace fs = std::filesystem;
+using std::chrono::milliseconds;
+
+constexpr const char* kTinyModelText =
+    "%data = input(shape=[1,8,16,16])\n"
+    "%c1 = conv2d(%data, channels=16, kernel=3, pad=1)\n";
+
+/// Daemon-in-a-thread fixture: a TuneServer behind a ServeSocketServer on
+/// a temp-dir socket, serviced by a background thread, plus a tiny model
+/// file for jobs to tune.
+class ServeSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("aal_serve_sock_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    model_path_ = (dir_ / "tiny.model").string();
+    std::ofstream(model_path_) << kTinyModelText;
+
+    TuneServerOptions options;
+    options.workers = 2;
+    server_ = std::make_unique<TuneServer>(options);
+    socket_server_ = std::make_unique<ServeSocketServer>(
+        *server_, (dir_ / "serve.sock").string());
+    serve_thread_ = std::thread([this] { socket_server_->serve_forever(); });
+  }
+
+  void TearDown() override {
+    socket_server_->stop();
+    serve_thread_.join();
+    socket_server_.reset();
+    server_.reset();
+    fs::remove_all(dir_);
+  }
+
+  ServeClient connect() {
+    return ServeClient(socket_server_->socket_path(), milliseconds(2000));
+  }
+
+  JobSpec tiny_spec(std::int64_t budget = 16) const {
+    JobSpec spec;
+    spec.model = model_path_;
+    spec.budget = budget;
+    spec.early_stop = 0;
+    return spec;
+  }
+
+  fs::path dir_;
+  std::string model_path_;
+  std::unique_ptr<TuneServer> server_;
+  std::unique_ptr<ServeSocketServer> socket_server_;
+  std::thread serve_thread_;
+};
+
+TEST_F(ServeSocketTest, HelloNegotiatesTheProtocolVersion) {
+  ServeClient client = connect();
+  ServeRequest hello;
+  hello.id = 1;
+  hello.op = ServeOp::kHello;
+  hello.version = kServeProtocolVersion;
+  const ServeResponse resp = client.call(hello);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.find("version")->as_string(), kServeProtocolVersion);
+
+  // A client speaking a different version gets the typed rejection.
+  ServeClient stale = connect();
+  hello.version = "aaltune-serve/v0";
+  const ServeResponse reject = stale.call(hello);
+  EXPECT_FALSE(reject.ok);
+  EXPECT_EQ(reject.error, ServeErrorCode::kVersionMismatch);
+}
+
+TEST_F(ServeSocketTest, StreamedTraceMatchesTheStandaloneRunByteForByte) {
+  ServeClient client = connect();
+  ServeRequest submit;
+  submit.id = 1;
+  submit.op = ServeOp::kSubmit;
+  submit.spec = tiny_spec();
+  const ServeResponse admitted = client.call(submit);
+  ASSERT_TRUE(admitted.ok) << admitted.message;
+  const std::int64_t job = admitted.find("job")->as_int();
+
+  std::ostringstream streamed;
+  const ServeResponse end = client.stream(job, streamed);
+  EXPECT_EQ(end.find("state")->as_string(), "done");
+  EXPECT_EQ(end.find("measured")->as_int(), 16);
+  EXPECT_GT(end.find("best_gflops")->as_double(), 0.0);
+
+  // The standalone equivalent of the daemon job (CLI derivations, jobs=1).
+  const Graph g = parse_model_file(model_path_);
+  ModelTuneOptions options;
+  options.tune.budget = 16;
+  options.tune.early_stopping = 0;
+  options.tune.seed = 1;
+  options.device_seed = options.tune.seed * 1009 + 7;
+  options.jobs = 1;
+  MemoryTraceSink sink;
+  options.trace = &sink;
+  tune_model(g, make_target("gpu-pascal"),
+             tuner_factory_by_name("bted+bao"), options);
+
+  EXPECT_EQ(streamed.str(), sink.to_jsonl());
+  EXPECT_EQ(end.find("trace_steps")->as_int(),
+            static_cast<std::int64_t>(sink.events().size()));
+}
+
+TEST_F(ServeSocketTest, StreamOfUnknownJobFailsTyped) {
+  ServeClient client = connect();
+  std::ostringstream sink;
+  try {
+    (void)client.stream(1234, sink);
+    FAIL() << "expected unknown_job";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kUnknownJob);
+  }
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST_F(ServeSocketTest, CancelOverTheWireIsAcknowledged) {
+  ServeClient client = connect();
+  ServeRequest submit;
+  submit.id = 1;
+  submit.op = ServeOp::kSubmit;
+  submit.spec = tiny_spec(/*budget=*/100000);
+  const std::int64_t job = client.call(submit).find("job")->as_int();
+
+  server_->wait_progress(job, 2, milliseconds(10000));
+  ServeRequest cancel;
+  cancel.id = 2;
+  cancel.op = ServeOp::kCancel;
+  cancel.job = job;
+  const ServeResponse resp = client.call(cancel);
+  ASSERT_TRUE(resp.ok);
+  EXPECT_TRUE(resp.find("changed")->as_bool());
+
+  const JobInfo info = server_->wait_job(job);
+  EXPECT_EQ(info.state, JobState::kCancelled);
+
+  ServeRequest status;
+  status.id = 3;
+  status.op = ServeOp::kStatus;
+  status.job = job;
+  EXPECT_EQ(client.call(status).find("state")->as_string(), "cancelled");
+}
+
+TEST_F(ServeSocketTest, ShutdownRequestDrainsTheDaemon) {
+  ServeClient client = connect();
+  ServeRequest submit;
+  submit.id = 1;
+  submit.op = ServeOp::kSubmit;
+  submit.spec = tiny_spec();
+  const std::int64_t job = client.call(submit).find("job")->as_int();
+
+  ServeRequest shutdown;
+  shutdown.id = 2;
+  shutdown.op = ServeOp::kShutdown;
+  ASSERT_TRUE(client.call(shutdown).ok);
+
+  // serve_forever notices the shutdown, drains the job, and returns.
+  serve_thread_.join();
+  serve_thread_ = std::thread([] {});  // keep TearDown's join() valid
+  EXPECT_EQ(server_->status(job).state, JobState::kDone);
+  try {
+    (void)server_->submit(tiny_spec());
+    FAIL() << "expected shutdown rejection";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrorCode::kShuttingDown);
+  }
+}
+
+}  // namespace
+}  // namespace aal

@@ -6,14 +6,20 @@
 //                               [--store dir] [--store-readonly]
 //                               [--trace f.jsonl] [--metrics]
 //   aaltune_cli deploy  <model> [--records f] [--runs N]
+//   aaltune_cli serve   <hello|submit|status|cancel|list|stream|stats|
+//                        shutdown> --socket path [...]
 //
 // <model> is either a zoo name (alexnet, resnet18, vgg16, mobilenet_v1,
 // squeezenet_v11) or a path to a .model description file (see
 // src/graph/model_parser.hpp for the format). `tune` writes an AutoTVM-style
 // record log that `deploy` replays — the standard tune-once / deploy-many
-// workflow.
+// workflow. `serve` is the client side of a running aaltune_serve daemon
+// (docs/SERVING.md).
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "core/advanced_tuner.hpp"
@@ -26,6 +32,7 @@
 #include "obs/trace.hpp"
 #include "pipeline/latency.hpp"
 #include "pipeline/model_tuner.hpp"
+#include "serve/socket.hpp"
 #include "store/record_store.hpp"
 #include "support/arg_parser.hpp"
 #include "support/logging.hpp"
@@ -70,13 +77,7 @@ int cmd_list_targets() {
 }
 
 TunerFactory load_tuner(const std::string& name) {
-  if (name == "autotvm") return autotvm_tuner_factory();
-  if (name == "bted") return bted_tuner_factory();
-  if (name == "bted+bao") return bted_bao_tuner_factory();
-  if (name == "random") return random_tuner_factory();
-  if (name == "ga") return ga_tuner_factory();
-  throw InvalidArgument("unknown tuner '" + name +
-                        "' (expected autotvm, bted, bted+bao, random, ga)");
+  return tuner_factory_by_name(name);
 }
 
 int cmd_zoo() {
@@ -236,13 +237,166 @@ int cmd_deploy(const ArgParser& args) {
   return 0;
 }
 
+/// Prints an error response frame and returns the exit code.
+int report_serve_error(const ServeResponse& resp) {
+  std::fprintf(stderr, "error: %s: %s\n", serve_error_code_name(resp.error),
+               resp.message.c_str());
+  return 1;
+}
+
+/// Dumps a response frame's payload fields as key=value lines.
+void print_serve_fields(const ServeResponse& resp) {
+  for (const TraceField& f : resp.fields) {
+    std::printf("%s=%s\n", f.key.c_str(), f.value.to_json().c_str());
+  }
+}
+
+/// Streams a job's trace to `trace_path` (or stdout when empty) and prints
+/// a completion summary. Exit code 0 only when the job finished "done".
+int stream_serve_job(ServeClient& client, std::int64_t job,
+                     const std::string& trace_path) {
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (!trace_path.empty()) {
+    file.open(trace_path);
+    if (!file) throw InvalidArgument("cannot open " + trace_path);
+    out = &file;
+  }
+  const ServeResponse end = client.stream(job, *out);
+  out->flush();
+  const TraceValue* state = end.find("state");
+  const TraceValue* steps = end.find("trace_steps");
+  const TraceValue* measured = end.find("measured");
+  const TraceValue* best = end.find("best_gflops");
+  // The summary goes to stderr when the trace occupies stdout.
+  std::FILE* sink = trace_path.empty() ? stderr : stdout;
+  std::fprintf(sink,
+               "job %lld %s: %lld trace events, %lld measured, best %.1f "
+               "GFLOPS\n",
+               static_cast<long long>(job),
+               state != nullptr ? state->as_string().c_str() : "?",
+               static_cast<long long>(steps != nullptr ? steps->as_int() : 0),
+               static_cast<long long>(
+                   measured != nullptr ? measured->as_int() : 0),
+               best != nullptr ? best->as_double() : 0.0);
+  return state != nullptr && state->as_string() == "done" ? 0 : 1;
+}
+
+int cmd_serve(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s serve <hello|submit|status|cancel|list|stream|"
+                 "stats|shutdown> [...]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string op = argv[2];
+  ArgParser args("Client for a running aaltune_serve daemon; speaks the "
+                 "protocol documented in docs/SERVING.md.");
+  args.add_flag("socket", "daemon socket path", "aaltune.sock");
+  args.add_int_flag("connect-timeout-ms",
+                    "retry window while connecting to the daemon", 2000);
+  if (op == "submit") {
+    args.add_flag("model", "zoo name or .model file path (required)", "");
+    args.add_flag("target", "deployment target registry name", "gpu-pascal");
+    args.add_flag("tuner", "autotvm, bted, bted+bao, random, ga", "bted+bao");
+    args.add_int_flag("budget", "measurement budget per task", 512);
+    args.add_int_flag("early-stop", "early-stopping patience", 400);
+    args.add_int_flag("seed", "random seed", 1);
+    args.add_flag("tenant", "admission-control bucket", "default");
+    args.add_int_flag("priority", "higher runs first", 0);
+    args.add_switch("stream", "follow the job's trace until it finishes");
+    args.add_flag("trace", "write the streamed trace JSONL here "
+                  "(with --stream)", "");
+  } else if (op == "status" || op == "cancel" || op == "stream") {
+    args.add_int_flag("job", "job id (required)", -1);
+    if (op == "stream") {
+      args.add_flag("trace", "write the trace JSONL here (default stdout)",
+                    "");
+    }
+  } else if (op != "hello" && op != "list" && op != "stats" &&
+             op != "shutdown") {
+    std::fprintf(stderr, "unknown serve op '%s'\n", op.c_str());
+    return 2;
+  }
+  args.parse(argc - 3, argv + 3);
+  if (args.help_requested()) {
+    std::printf("%s", args.usage(std::string(argv[0]) + " serve " + op).c_str());
+    return 0;
+  }
+
+  ServeClient client(
+      args.get("socket"),
+      std::chrono::milliseconds(args.get_int("connect-timeout-ms")));
+  ServeRequest req;
+  req.id = 1;
+
+  if (op == "hello") {
+    req.op = ServeOp::kHello;
+    req.version = kServeProtocolVersion;
+    const ServeResponse resp = client.call(req);
+    if (!resp.ok) return report_serve_error(resp);
+    print_serve_fields(resp);
+    return 0;
+  }
+  if (op == "submit") {
+    req.op = ServeOp::kSubmit;
+    req.spec.model = args.get("model");
+    if (req.spec.model.empty()) {
+      throw InvalidArgument("serve submit requires --model");
+    }
+    req.spec.target = args.get("target");
+    req.spec.tuner = args.get("tuner");
+    req.spec.budget = args.get_int("budget");
+    req.spec.early_stop = args.get_int("early-stop");
+    req.spec.seed = args.get_int("seed");
+    req.spec.tenant = args.get("tenant");
+    req.spec.priority = args.get_int("priority");
+    const ServeResponse resp = client.call(req);
+    if (!resp.ok) return report_serve_error(resp);
+    const TraceValue* job = resp.find("job");
+    std::printf("job %lld queued\n",
+                static_cast<long long>(job != nullptr ? job->as_int() : -1));
+    if (args.get_switch("stream") && job != nullptr) {
+      return stream_serve_job(client, job->as_int(), args.get("trace"));
+    }
+    return 0;
+  }
+  if (op == "status" || op == "cancel") {
+    req.op = op == "status" ? ServeOp::kStatus : ServeOp::kCancel;
+    req.job = args.get_int("job");
+    const ServeResponse resp = client.call(req);
+    if (!resp.ok) return report_serve_error(resp);
+    print_serve_fields(resp);
+    return 0;
+  }
+  if (op == "stream") {
+    return stream_serve_job(client, args.get_int("job"), args.get("trace"));
+  }
+  if (op == "list") {
+    req.op = ServeOp::kList;
+    const std::vector<ServeResponse> frames = client.call_frames(req);
+    for (const ServeResponse& frame : frames) {
+      if (!frame.ok) return report_serve_error(frame);
+      if (frame.frame != "job") continue;
+      print_serve_fields(frame);
+    }
+    return 0;
+  }
+  req.op = op == "stats" ? ServeOp::kStats : ServeOp::kShutdown;
+  const ServeResponse resp = client.call(req);
+  if (!resp.ok) return report_serve_error(resp);
+  print_serve_fields(resp);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   set_log_threshold(LogLevel::kWarn);
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <zoo|inspect|tune|deploy> [...]\n"
+                 "usage: %s <zoo|inspect|tune|deploy|serve> [...]\n"
                  "run '%s <command> --help' for command flags\n",
                  argv[0], argv[0]);
     return 2;
@@ -250,6 +404,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "zoo") return cmd_zoo();
+    if (command == "serve") return cmd_serve(argc, argv);
     // --list-targets needs no model argument, so it is answered before the
     // parser would reject the missing positional.
     for (int i = 2; i < argc; ++i) {
