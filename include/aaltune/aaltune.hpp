@@ -57,6 +57,14 @@
 // Persistent cross-run record store.
 #include "store/record_store.hpp"
 
+// Fleet-scale transfer priors: task embeddings over store history, the
+// nearest-prior-task index, and the warm-start prior builder
+// (DESIGN.md §15).
+#include "transfer/task_embedding.hpp"
+#include "transfer/task_index.hpp"
+#include "transfer/transfer_prior.hpp"
+#include "transfer/workload_key.hpp"
+
 // Node-wise pipeline: tune a whole model, simulate deployed latency.
 #include "pipeline/latency.hpp"
 #include "pipeline/model_tuner.hpp"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates the checked-in benchmark baselines (BENCH_kernels.json,
 # BENCH_tuner.json from bench/micro_kernels; BENCH_serve.json from
-# bench/serve_load) from a Release build, then validates them against the
+# bench/serve_load; BENCH_transfer.json from bench/transfer_warm) from a
+# Release build, then validates them against the
 # aaltune-bench/v1 schema. See docs/PERF.md for methodology and the schema
 # definition.
 #
@@ -45,7 +46,7 @@ case "$SCALE" in
 esac
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target micro_kernels serve_load -j >/dev/null
+cmake --build "$BUILD_DIR" --target micro_kernels serve_load transfer_warm -j >/dev/null
 
 for suite in kernels tuner; do
   out="$OUT_DIR/BENCH_${suite}.json"
@@ -61,11 +62,19 @@ echo "bench: suite=serve scale=$SCALE repeats=$REPEATS -> $out"
 "$BUILD_DIR/bench/serve_load" \
   --repeats "$REPEATS" --scale "$SCALE" --out "$out"
 
+# The transfer suite audits itself too: it aborts unless the warm run
+# activates a prior on every task and halves the cold run's measured-config
+# count, so a successful emit is also a transfer-quality check.
+out="$OUT_DIR/BENCH_transfer.json"
+echo "bench: suite=transfer scale=$SCALE repeats=$REPEATS -> $out"
+"$BUILD_DIR/bench/transfer_warm" \
+  --repeats "$REPEATS" --scale "$SCALE" --out "$out"
+
 # Schema check, plus coverage against the checked-in baseline: every
 # baseline entry (including the per-target profile_batch:<name> rows) must
 # still be emitted, so a dropped or renamed benchmark fails here instead of
 # silently vanishing from the comparison.
-for suite in kernels tuner serve; do
+for suite in kernels tuner serve transfer; do
   covers=()
   if [ -f "$ROOT/BENCH_${suite}.json" ]; then
     covers=(--covers "$ROOT/BENCH_${suite}.json")

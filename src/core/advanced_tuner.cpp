@@ -1,6 +1,10 @@
 #include "core/advanced_tuner.hpp"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "support/logging.hpp"
+#include "transfer/transfer_prior.hpp"
 
 namespace aal {
 
@@ -21,6 +25,7 @@ void AdvancedActiveLearningTuner::begin(const Measurer& measurer,
   rng_.reseed(options.seed);
   bao_search_ = std::make_unique<BaoSearch>(bao_);
   bao_search_->set_obs(obs_);
+  bao_search_->set_transfer_prior(transfer_prior_);
   initialized_ = false;
   bao_active_ = false;
 }
@@ -34,7 +39,33 @@ std::vector<Config> AdvancedActiveLearningTuner::propose(std::int64_t k) {
     initialized_ = true;
     BtedParams bted = bted_;
     bted.num_select = tune_options_.num_initial;
-    std::vector<Config> initial = bted_sample(measurer_->task(), bted, rng_);
+    std::vector<Config> initial;
+    if (transfer_prior_ != nullptr && transfer_prior_->active()) {
+      // Warm start: fleet history replaces breadth. The initial set is the
+      // prior's seeds (prior-task bests + HW-ranked feasible picks) capped
+      // at warm_num_initial, with BTED topping up any shortfall — so the
+      // warm run measures far fewer initialization configs than the cold
+      // num_initial-wide sweep.
+      int m = tune_options_.num_initial;
+      if (transfer_prior_->warm_num_initial > 0) {
+        m = std::min(m, transfer_prior_->warm_num_initial);
+      }
+      initial = transfer_prior_->seeds;
+      if (initial.size() > static_cast<std::size_t>(m)) initial.resize(m);
+      obs_.count("transfer.init_seeds",
+                 static_cast<std::int64_t>(initial.size()));
+      if (initial.size() < static_cast<std::size_t>(m)) {
+        std::unordered_set<std::int64_t> taken;
+        for (const Config& c : initial) taken.insert(c.flat);
+        bted.num_select = m;
+        for (Config& c : bted_sample(measurer_->task(), bted, rng_)) {
+          if (initial.size() >= static_cast<std::size_t>(m)) break;
+          if (taken.insert(c.flat).second) initial.push_back(std::move(c));
+        }
+      }
+    } else {
+      initial = bted_sample(measurer_->task(), bted, rng_);
+    }
     obs_.count("bted.initial_proposed",
                static_cast<std::int64_t>(initial.size()));
     AAL_LOG_DEBUG << "bted+bao: proposing " << initial.size()

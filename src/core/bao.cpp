@@ -1,10 +1,12 @@
 #include "core/bao.hpp"
 
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 #include <utility>
 
 #include "support/logging.hpp"
+#include "transfer/transfer_prior.hpp"
 
 namespace aal {
 
@@ -130,7 +132,43 @@ std::optional<Config> BaoSearch::next(const Measurer& measurer,
              {"gamma", TraceValue(params_.gamma)},
              {"rows", TraceValue(data.num_rows())},
              {"candidates", TraceValue(candidates.size())}});
-  const std::size_t pick = bootstrap_select(ensemble, space, candidates);
+  // With a meta-surrogate attached, blend fleet history into the selection:
+  // the prior's normalized predictions are rescaled to the ensemble's units
+  // (gamma summed models x the live best GFLOPS) and weighted by a
+  // confidence that halves every `half_life` fresh observations. Once the
+  // weight decays away (or before any live success exists to set the
+  // scale), selection falls back to the pure Algorithm 3 argmax.
+  std::size_t pick;
+  double meta_weight = 0.0;
+  const std::optional<MeasureResult> live_best = measurer.best();
+  if (transfer_prior_ != nullptr && transfer_prior_->meta != nullptr &&
+      live_best && live_best->gflops > 0.0) {
+    std::int64_t live = 0;
+    for (const auto& m : measured) {
+      if (!m.preloaded) ++live;
+    }
+    meta_weight = transfer_prior_->weight_at(live);
+  }
+  if (meta_weight > 1e-3) {
+    const std::vector<double> ens = ensemble.score_configs(space, candidates);
+    const dense::Matrix feats = space.features_batch(candidates);
+    std::vector<double> meta(candidates.size(), 0.0);
+    transfer_prior_->meta->predict_batch(feats.data, feats.rows, meta);
+    const double scale = meta_weight * static_cast<double>(params_.gamma) *
+                         live_best->gflops;
+    pick = 0;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double s = ens[i] + scale * meta[i];
+      if (s > best_score) {  // ties break toward the lower index
+        best_score = s;
+        pick = i;
+      }
+    }
+    obs_.count("transfer.meta_blends");
+  } else {
+    pick = bootstrap_select(ensemble, space, candidates);
+  }
   AAL_LOG_DEBUG << "BAO iter " << iterations_ << ": radius " << radius << ", "
                 << candidates.size() << " candidates";
   return candidates[pick];

@@ -30,6 +30,8 @@
 
 namespace aal {
 
+struct TransferPrior;  // src/transfer: cross-run warm-start prior
+
 /// Which metric R is measured in: the paper says "Euclidean distance
 /// between points" where a point x is defined as the configuration's
 /// feature vector, so kFeature (log2-factor space) is the faithful default;
@@ -75,6 +77,16 @@ class BaoSearch {
   /// surrogate_fit event per bootstrap ensemble, plus bao.* counters.
   void set_obs(Obs obs) { obs_ = std::move(obs); }
 
+  /// Attaches a cross-run transfer prior (non-owning; null detaches). When
+  /// the prior carries a meta-surrogate, the selection step maximizes
+  ///   ensemble_score + w(n) * gamma * best_gflops * meta_prediction
+  /// instead of the raw ensemble score, where w(n) decays geometrically in
+  /// the number of *fresh* live observations n — fleet history dominates
+  /// early, live evidence takes over as it accumulates.
+  void set_transfer_prior(const TransferPrior* prior) {
+    transfer_prior_ = prior;
+  }
+
   /// Algorithm 4, one iteration: adapts the radius from the y* series,
   /// materializes the neighborhood C_t of the current center (widening
   /// geometrically while it contains no unmeasured point), fits the
@@ -94,6 +106,7 @@ class BaoSearch {
  private:
   BaoParams params_;
   Obs obs_;
+  const TransferPrior* transfer_prior_ = nullptr;
   std::optional<Config> center_;
   std::vector<double> y_series_;
   int stagnant_steps_ = 0;

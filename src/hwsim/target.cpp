@@ -1,6 +1,9 @@
 #include "hwsim/target.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
 
 #include "support/common.hpp"
 
@@ -29,6 +32,43 @@ struct RegistryEntry {
   const char* description;
   TargetSpec (*make)();
 };
+
+/// FNV-1a over the spec's identity — device name plus every performance
+/// field. Two distinct custom machines must never share a target name:
+/// the name qualifies record-store task keys, and a shared "gpu-custom"
+/// would leak one machine's tuning records into the other's warm starts.
+std::uint64_t gpu_spec_fingerprint(const GpuSpec& spec) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix_bytes = [&h](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix_int = [&](std::int64_t v) { mix_bytes(&v, sizeof(v)); };
+  const auto mix_double = [&](double v) { mix_bytes(&v, sizeof(v)); };
+  mix_bytes(spec.name, std::char_traits<char>::length(spec.name));
+  mix_int(spec.num_sms);
+  mix_int(spec.cores_per_sm);
+  mix_double(spec.clock_ghz);
+  mix_int(spec.warp_size);
+  mix_int(spec.max_threads_per_block);
+  mix_int(spec.max_threads_per_sm);
+  mix_int(spec.max_blocks_per_sm);
+  mix_int(spec.registers_per_sm);
+  mix_int(spec.max_registers_per_thread);
+  mix_int(spec.shared_mem_per_block);
+  mix_int(spec.shared_mem_per_sm);
+  mix_double(spec.dram_bw_gbps);
+  mix_int(spec.l2_bytes);
+  mix_double(spec.l2_bw_multiplier);
+  mix_int(spec.smem_bytes_per_cycle);
+  mix_double(spec.fp16_rate);
+  mix_double(spec.int8_rate);
+  mix_double(spec.kernel_launch_overhead_us);
+  return h;
+}
 
 TargetSpec make_gpu_target(const char* name, GpuSpec spec) {
   TargetSpec t;
@@ -144,7 +184,16 @@ TargetSpec TargetSpec::from_gpu(const GpuSpec& spec) {
   } else if (device == "small-embedded") {
     t.name = "gpu-embedded";
   } else {
-    t.name = "gpu-custom";
+    // Fingerprint-qualified: distinct custom machines get distinct names
+    // (and therefore distinct "@target"-qualified store keys). The bare
+    // "gpu-custom" of earlier releases made every unknown GPU share one
+    // key namespace, leaking records — and transfer priors — across
+    // unrelated machines.
+    char suffix[20];
+    std::snprintf(suffix, sizeof(suffix), "%08llx",
+                  static_cast<unsigned long long>(
+                      gpu_spec_fingerprint(spec) & 0xFFFFFFFFULL));
+    t.name = std::string("gpu-custom-") + suffix;
   }
   return t;
 }

@@ -138,7 +138,10 @@ struct TargetSpec {
 
   /// Wraps a raw GpuSpec as a GPU target (compatibility path for the many
   /// call sites that still speak GpuSpec). Known specs map back to their
-  /// registry names; unknown ones become "gpu-custom".
+  /// registry names; unknown ones get a fingerprint-qualified name
+  /// ("gpu-custom-xxxxxxxx" over the spec's fields) so two distinct custom
+  /// machines never share a store key namespace — a shared name would leak
+  /// tuning records and transfer priors across unrelated hardware.
   static TargetSpec from_gpu(const GpuSpec& spec);
 };
 

@@ -34,6 +34,8 @@ constexpr TypeName kTypeNames[] = {
     {TraceEventType::kQuarantine, "quarantine"},
     {TraceEventType::kStoreHit, "store_hit"},
     {TraceEventType::kConstraintPrune, "constraint_prune"},
+    {TraceEventType::kTransferSeed, "transfer_seed"},
+    {TraceEventType::kMetaFit, "meta_fit"},
 };
 
 }  // namespace

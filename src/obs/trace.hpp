@@ -47,6 +47,8 @@ enum class TraceEventType : int {
   kQuarantine,         // a config's retry budget ran dry
   kStoreHit,           // a RecordStore preload seeded the memo cache
   kConstraintPrune,    // target constraints pruned sampled configs this run
+  kTransferSeed,       // a cross-run transfer prior seeded this task
+  kMetaFit,            // a meta-surrogate was fit on pooled store history
 };
 
 /// Stable wire name of an event type ("session_begin", ...).

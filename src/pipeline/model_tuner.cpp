@@ -221,7 +221,21 @@ ModelTuneReport tune_model(const Graph& graph, const TargetSpec& target,
       if (!preloaded.empty()) transfer_ptr->absorb(tuning_task, preloaded);
     }
 
+    // Cross-run transfer prior, built against the store snapshot this run
+    // started from (fresh records append only after the lanes join, so the
+    // snapshot — and the prior — is identical at any jobs value). The
+    // builder emits transfer_seed/meta_fit events into this task's obs
+    // handle; when the store offers nothing usable it bumps only
+    // transfer.skipped and the run stays bitwise on the cold-start path.
+    TransferPrior prior;
+    if (options.transfer.enabled && options.store != nullptr) {
+      prior = build_transfer_prior(tuning_task, *options.store,
+                                   options.transfer,
+                                   options.tune.seed * 6151 + task_index, obs);
+    }
+
     auto tuner = factory(transfer_ptr);
+    if (prior.active()) tuner->set_transfer_prior(&prior);
     TuneOptions tune_options = options.tune;
     tune_options.seed = options.tune.seed * 7907 + task_index;
     tune_options.obs = obs;

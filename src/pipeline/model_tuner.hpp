@@ -31,6 +31,7 @@
 #include "ml/transfer.hpp"
 #include "obs/obs.hpp"
 #include "store/record_store.hpp"
+#include "transfer/transfer_prior.hpp"
 #include "tuner/tuner.hpp"
 
 namespace aal {
@@ -92,6 +93,16 @@ struct ModelTuneOptions : SessionOptions {
   /// run's fresh records are appended back in model order and flushed
   /// (skipped when the store is read-only). Non-owning; may be null.
   RecordStore* store = nullptr;
+  /// Cross-run transfer priors (src/transfer). With `transfer.enabled` and
+  /// a store attached, each task builds a prior from the store's *other*
+  /// tasks (nearest by embedding, same kind, same target): warm seeds +
+  /// HW-aware picks shrink the initialization sweep and a meta-surrogate
+  /// blends into BAO scoring with a decaying weight. The prior reads the
+  /// store snapshot taken at run start (fresh records append only after the
+  /// lanes join), so warm runs are deterministic at any jobs value.
+  /// Default-off: without the flag, runs are byte-identical to pre-transfer
+  /// builds.
+  TransferParams transfer;
   /// Task-level parallelism: number of tuning lanes running concurrently.
   /// Tasks are grouped into lanes by workload kind so the transfer-learning
   /// chain within a kind is preserved — results are bitwise-identical for

@@ -54,6 +54,14 @@ const std::string& expect_string(const TraceField& f) {
   return f.value.as_string();
 }
 
+bool expect_bool(const TraceField& f) {
+  if (f.value.kind() != TraceValue::Kind::kBool) {
+    throw ServeError(ServeErrorCode::kBadRequest,
+                     "field \"" + f.key + "\" must be a boolean");
+  }
+  return f.value.as_bool();
+}
+
 }  // namespace
 
 const char* serve_op_name(ServeOp op) {
@@ -86,7 +94,7 @@ std::optional<ServeErrorCode> serve_error_code_from_name(
 }
 
 std::vector<TraceField> JobSpec::to_fields() const {
-  return {
+  std::vector<TraceField> fields = {
       {"model", TraceValue(model)},
       {"target", TraceValue(target)},
       {"tuner", TraceValue(tuner)},
@@ -96,6 +104,11 @@ std::vector<TraceField> JobSpec::to_fields() const {
       {"tenant", TraceValue(tenant)},
       {"priority", TraceValue(priority)},
   };
+  // Optional additive field (aaltune-serve/v1 unchanged): omitted when at
+  // its default so pre-transfer clients and pinned wire examples still see
+  // byte-identical canonical lines.
+  if (transfer) fields.push_back({"transfer", TraceValue(true)});
+  return fields;
 }
 
 void JobSpec::validate() const {
@@ -205,6 +218,10 @@ ServeRequest ServeRequest::parse(std::string_view line,
         if (f.key == "tenant") { req.spec.tenant = expect_string(f); continue; }
         if (f.key == "priority") {
           req.spec.priority = expect_int(f);
+          continue;
+        }
+        if (f.key == "transfer") {
+          req.spec.transfer = expect_bool(f);
           continue;
         }
         break;

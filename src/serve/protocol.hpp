@@ -101,8 +101,14 @@ struct JobSpec {
   std::int64_t seed = 1;           // tuner seed; device seed derives from it
   std::string tenant = "default";  // admission-control bucket
   std::int64_t priority = 0;       // higher runs first; ties by submit order
+  /// Warm-start from the daemon's shared record store: seed the job's tasks
+  /// from the store's nearest prior tasks and blend a meta-surrogate into
+  /// the search (docs/SERVING.md). No-op when the daemon has no --store.
+  bool transfer = false;
 
-  /// Canonical wire form: every field, in the order above.
+  /// Canonical wire form: the fields above in order, except `transfer`,
+  /// which is additive-optional and omitted at its default (false) so
+  /// pre-transfer clients see unchanged canonical lines.
   std::vector<TraceField> to_fields() const;
 
   /// Throws ServeError(kBadRequest) on out-of-range numeric fields or an

@@ -358,6 +358,9 @@ void TuneServer::run_job(Job& job) {
     options.metrics = &job.job_metrics;
     options.cancel = &job.cancel;
     options.store = store_.get();
+    // Warm-start from fleet history on request; degrades to a no-op when
+    // the daemon runs storeless (the prior needs store history to read).
+    options.transfer.enabled = job.spec.transfer;
     options.measure_backend = backend_.get();
 
     const ModelTuneReport report = tune_model(g, target, factory, options);

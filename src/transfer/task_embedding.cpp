@@ -1,0 +1,88 @@
+#include "transfer/task_embedding.hpp"
+
+#include <cmath>
+
+#include "space/config_space.hpp"
+#include "space/schedule_template.hpp"
+#include "support/common.hpp"
+
+namespace aal {
+
+namespace {
+
+double log2p(double v) { return std::log2(v + 1.0); }
+
+}  // namespace
+
+std::vector<double> embed_task(const Workload& workload,
+                               const TargetSpec& target) {
+  std::vector<double> e;
+  e.reserve(kTaskEmbeddingDim);
+
+  // Operator kind, one-hot (the transfer layer never crosses kinds, but the
+  // embedding is self-describing so distances between kinds stay large).
+  e.push_back(workload.kind() == WorkloadKind::kConv2d ? 1.0 : 0.0);
+  e.push_back(workload.kind() == WorkloadKind::kDepthwiseConv2d ? 1.0 : 0.0);
+  e.push_back(workload.kind() == WorkloadKind::kDense ? 1.0 : 0.0);
+  e.push_back(std::log2(static_cast<double>(workload.flops())));
+
+  // Shape slots, log2-encoded. Dense workloads reuse the batch /
+  // in-channels / out-channels slots and zero the spatial ones.
+  if (workload.is_conv()) {
+    const Conv2dWorkload& c = workload.as_conv2d();
+    e.push_back(std::log2(static_cast<double>(c.batch)));
+    e.push_back(std::log2(static_cast<double>(c.in_channels)));
+    e.push_back(std::log2(static_cast<double>(c.height)));
+    e.push_back(std::log2(static_cast<double>(c.width)));
+    e.push_back(std::log2(static_cast<double>(c.out_channels)));
+    e.push_back(std::log2(static_cast<double>(c.kernel_h * c.kernel_w)));
+    e.push_back(std::log2(static_cast<double>(c.stride_h * c.stride_w)));
+    e.push_back(log2p(static_cast<double>(c.pad_h + c.pad_w)));
+    e.push_back(std::log2(static_cast<double>(c.groups)));
+  } else {
+    const DenseWorkload& d = workload.as_dense();
+    e.push_back(std::log2(static_cast<double>(d.batch)));
+    e.push_back(std::log2(static_cast<double>(d.in_features)));
+    e.push_back(0.0);
+    e.push_back(0.0);
+    e.push_back(std::log2(static_cast<double>(d.out_features)));
+    e.push_back(0.0);
+    e.push_back(0.0);
+    e.push_back(0.0);
+    e.push_back(0.0);
+  }
+
+  // Target machine envelope: backend kind one-hot plus the three
+  // backend-neutral magnitudes every DeviceModel exposes.
+  e.push_back(target.kind == TargetKind::kGpu ? 1.0 : 0.0);
+  e.push_back(target.kind == TargetKind::kCpu ? 1.0 : 0.0);
+  e.push_back(target.kind == TargetKind::kFpga ? 1.0 : 0.0);
+  e.push_back(std::log2(target.peak_gflops()));
+  e.push_back(std::log2(target.dram_bw_gbps()));
+  e.push_back(log2p(target.launch_overhead_us()));
+
+  // Configuration-space signature: the schedule template is a pure function
+  // of the workload, so these are identity features, not run state.
+  const ConfigSpace space = build_config_space(workload);
+  e.push_back(static_cast<double>(space.num_knobs()));
+  e.push_back(std::log2(static_cast<double>(space.size())));
+  e.push_back(static_cast<double>(space.feature_dim()));
+
+  AAL_CHECK(static_cast<int>(e.size()) == kTaskEmbeddingDim,
+            "task embedding width drifted from kTaskEmbeddingDim");
+  return e;
+}
+
+double embedding_distance(std::span<const double> a,
+                          std::span<const double> b) {
+  AAL_CHECK(a.size() == b.size(), "embedding width mismatch: "
+                                      << a.size() << " vs " << b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace aal

@@ -1,0 +1,38 @@
+// Deterministic task embeddings for cross-run transfer.
+//
+// A task's embedding is a fixed-width real vector computed purely from its
+// identity — operator kind and shape parameters, target machine envelope,
+// and the signature of the configuration space the schedule template builds
+// for it. No measurements, wall-clock or store layout enter the embedding,
+// so two processes (or the same store before and after compaction, or with
+// a different shard count) embed a task to bitwise-identical vectors — the
+// invariance the property suite in tests/transfer pins.
+//
+// Distances between embeddings rank *prior* store tasks by similarity to
+// the task about to be tuned; the transfer layer only ever compares tasks
+// of the same workload kind on the same target, so the metric's job is to
+// order siblings by shape proximity (log2-encoded, like the config feature
+// encoding, so "twice the channels" is one unit apart at every scale).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hwsim/target.hpp"
+#include "ir/workload.hpp"
+
+namespace aal {
+
+/// Width of every task embedding.
+inline constexpr int kTaskEmbeddingDim = 22;
+
+/// Embeds a task identity. Pure: same (workload, target) -> same bits.
+std::vector<double> embed_task(const Workload& workload,
+                               const TargetSpec& target);
+
+/// Euclidean distance between two embeddings (symmetric, non-negative,
+/// zero iff the vectors are bitwise equal). Widths must match.
+double embedding_distance(std::span<const double> a,
+                          std::span<const double> b);
+
+}  // namespace aal

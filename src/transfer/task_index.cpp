@@ -1,0 +1,54 @@
+#include "transfer/task_index.hpp"
+
+#include <algorithm>
+
+#include "measure/tuning_task.hpp"
+
+namespace aal {
+
+TaskIndex::TaskIndex(const RecordStore& store) {
+  for (const std::string& key : store.task_keys()) {
+    TaskKeyParts parts = split_task_key(key);
+    std::optional<Workload> workload = workload_from_key(parts.workload_key);
+    if (!workload) {
+      ++unparsed_;
+      continue;
+    }
+    tasks_.push_back(PriorTask{key, std::move(parts.workload_key),
+                               std::move(parts.target_name),
+                               std::move(*workload),
+                               /*embedding=*/{}, /*distance=*/0.0});
+  }
+}
+
+std::vector<PriorTask> TaskIndex::nearest(const Workload& workload,
+                                          const TargetSpec& target,
+                                          std::size_t k,
+                                          double max_distance) const {
+  const std::string self_key = TuningTask::key_for(workload, target);
+  const std::vector<double> query = embed_task(workload, target);
+  std::vector<PriorTask> out;
+  for (const PriorTask& task : tasks_) {
+    if (task.task_key == self_key) continue;
+    if (task.workload.kind() != workload.kind()) continue;
+    if (task.target_name != target.name) continue;
+    // Same target name means same machine spec, so the query's own
+    // TargetSpec is the right envelope to embed the prior task with (and
+    // fingerprint-named custom targets need no registry lookup).
+    PriorTask candidate = task;
+    candidate.embedding = embed_task(candidate.workload, target);
+    candidate.distance = embedding_distance(candidate.embedding, query);
+    if (candidate.distance > max_distance) continue;
+    out.push_back(std::move(candidate));
+  }
+  std::sort(out.begin(), out.end(), [](const PriorTask& a, const PriorTask& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.task_key < b.task_key;
+  });
+  if (out.size() > k) {
+    out.erase(out.begin() + static_cast<std::ptrdiff_t>(k), out.end());
+  }
+  return out;
+}
+
+}  // namespace aal

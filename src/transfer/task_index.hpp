@@ -1,0 +1,65 @@
+// Store-side task index: "which prior tasks are nearest to this one?"
+//
+// The index is derived entirely from a RecordStore's sorted task keys —
+// each key splits into (workload key, target name), the workload key parses
+// back into a Workload, and the pair embeds deterministically. Nothing is
+// persisted: the index is a pure function of the store's key set, so it is
+// automatically invariant to shard order, compaction and process restarts,
+// and legacy stores (bare keys, written before target qualification) index
+// exactly like fresh ones.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hwsim/target.hpp"
+#include "ir/workload.hpp"
+#include "store/record_store.hpp"
+#include "transfer/task_embedding.hpp"
+#include "transfer/workload_key.hpp"
+
+namespace aal {
+
+/// One indexed prior task, plus its distance to the query task when
+/// returned from nearest().
+struct PriorTask {
+  std::string task_key;      // the store key, verbatim
+  std::string workload_key;  // key minus any "@target" qualifier
+  std::string target_name;   // qualifier, or "gpu-pascal" for legacy keys
+  Workload workload;
+  // Filled by nearest(): the embedding under the query's machine spec, and
+  // its distance to the query task.
+  std::vector<double> embedding;
+  double distance = 0.0;
+};
+
+class TaskIndex {
+ public:
+  /// Indexes every parseable task key of `store` (a snapshot: keys appended
+  /// to the store later are not seen). Unparseable keys — foreign schema
+  /// versions, corrupt entries — are counted, not fatal.
+  explicit TaskIndex(const RecordStore& store);
+
+  /// Number of indexed (parseable) tasks.
+  std::size_t size() const { return tasks_.size(); }
+
+  /// Number of store keys that failed to split/parse and were skipped.
+  std::size_t unparsed() const { return unparsed_; }
+
+  /// The indexed prior tasks nearest to (workload, target), ascending by
+  /// (distance, task key) — a total order, so results are deterministic.
+  /// Only tasks of the same workload kind on the *same target name* are
+  /// eligible (records measured on one backend must never warm another),
+  /// and the query task itself is excluded: its own records reach the run
+  /// through the store preload path, not through transfer.
+  std::vector<PriorTask> nearest(const Workload& workload,
+                                 const TargetSpec& target, std::size_t k,
+                                 double max_distance) const;
+
+ private:
+  std::vector<PriorTask> tasks_;  // in sorted-task-key order
+  std::size_t unparsed_ = 0;
+};
+
+}  // namespace aal

@@ -1,0 +1,206 @@
+#include "transfer/transfer_prior.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+#include "space/schedule_template.hpp"
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "transfer/task_index.hpp"
+
+namespace aal {
+
+namespace {
+
+/// One source task's usable history: its space (for featurization), its
+/// successful records ranked best-first, and its best GFLOPS (the score
+/// normalizer).
+struct SourceHistory {
+  ConfigSpace space;
+  std::vector<TuningRecord> ranked_ok;  // by (gflops desc, flat asc)
+  std::vector<TuningRecord> all;        // in-range records, store order
+  double best_gflops = 0.0;
+};
+
+/// Maps a source-space config onto the target space knob-by-knob: same
+/// kind means the same knob list, but entity counts differ with shape, so
+/// each choice index is clamped into the target knob's range. The result
+/// lands "near" the source optimum in choice space — exactly the locality
+/// BAO's neighborhood search exploits.
+Config map_config(const ConfigSpace& source_space,
+                  const ConfigSpace& target_space, std::int64_t source_flat) {
+  std::vector<std::int32_t> choices = source_space.at(source_flat).choices;
+  for (std::size_t k = 0; k < choices.size(); ++k) {
+    const auto limit =
+        static_cast<std::int32_t>(target_space.knob(k).size() - 1);
+    choices[k] = std::min(choices[k], limit);
+  }
+  return target_space.make(std::move(choices));
+}
+
+}  // namespace
+
+double TransferPrior::weight_at(std::int64_t live) const {
+  if (half_life <= 0.0) return 0.0;
+  return initial_weight * std::exp2(-static_cast<double>(live) / half_life);
+}
+
+TransferPrior build_transfer_prior(const TuningTask& task,
+                                   const RecordStore& store,
+                                   const TransferParams& params,
+                                   std::uint64_t seed, const Obs& obs) {
+  TransferPrior prior;
+  if (!params.enabled) return prior;
+
+  const ConfigSpace& space = task.space();
+  const TaskIndex index(store);
+  const std::vector<PriorTask> nearest = index.nearest(
+      task.workload(), task.target(), params.max_source_tasks,
+      params.max_task_distance);
+
+  // Collect usable sources: parseable, knob/feature-compatible, and with at
+  // least one successful record (a quarantined/failed-only history teaches
+  // nothing worth seeding from).
+  std::vector<SourceHistory> sources;
+  for (const PriorTask& candidate : nearest) {
+    SourceHistory src;
+    src.space = build_config_space(candidate.workload);
+    if (src.space.num_knobs() != space.num_knobs() ||
+        src.space.feature_dim() != space.feature_dim()) {
+      continue;
+    }
+    for (TuningRecord& r : store.records_for(candidate.task_key)) {
+      if (r.config_flat < 0 || r.config_flat >= src.space.size()) continue;
+      if (r.ok && r.gflops > src.best_gflops) src.best_gflops = r.gflops;
+      src.all.push_back(std::move(r));
+    }
+    if (src.best_gflops <= 0.0) continue;
+    src.ranked_ok.reserve(src.all.size());
+    for (const TuningRecord& r : src.all) {
+      if (r.ok) src.ranked_ok.push_back(r);
+    }
+    std::sort(src.ranked_ok.begin(), src.ranked_ok.end(),
+              [](const TuningRecord& a, const TuningRecord& b) {
+                if (a.gflops != b.gflops) return a.gflops > b.gflops;
+                return a.config_flat < b.config_flat;
+              });
+    sources.push_back(std::move(src));
+  }
+  if (sources.empty()) {
+    // Nothing transferable: stay bitwise on the cold-start path (no trace
+    // events), recording only why.
+    obs.count("transfer.skipped");
+    return prior;
+  }
+
+  // --- Pooled history rows (meta-surrogate training set) ---------------
+  // Nearest sources first; failed records train at 0 so the meta learns to
+  // steer around them, successes at gflops normalized by the source best.
+  prior.rows = Dataset(static_cast<std::size_t>(space.feature_dim()));
+  for (const SourceHistory& src : sources) {
+    for (const TuningRecord& r : src.all) {
+      if (prior.rows.num_rows() >= params.max_meta_rows) break;
+      prior.rows.add_row(src.space.features(src.space.at(r.config_flat)),
+                         r.ok ? r.gflops / src.best_gflops : 0.0);
+    }
+  }
+
+  // --- Warm seeds: prior-task bests, round-robin across sources --------
+  std::unordered_set<std::int64_t> seed_flats;
+  for (std::size_t rank = 0; prior.seeds.size() < params.max_seeds; ++rank) {
+    bool any = false;
+    for (const SourceHistory& src : sources) {
+      if (rank >= src.ranked_ok.size()) continue;
+      any = true;
+      if (prior.seeds.size() >= params.max_seeds) break;
+      Config mapped =
+          map_config(src.space, space, src.ranked_ok[rank].config_flat);
+      if (!seed_flats.insert(mapped.flat).second) continue;
+      if (!space.feasible(mapped)) continue;
+      prior.seeds.push_back(std::move(mapped));
+    }
+    if (!any) break;
+  }
+
+  // --- HW-aware fill: feasible pool ranked by the analytical profile ---
+  // sample_distinct() already rejects constraint-infeasible points, so on
+  // constraint-heavy targets (the FPGA rejects ~66% of uniform draws) the
+  // pool is all-feasible by construction; the DeviceModel profile then
+  // orders it by predicted throughput.
+  if (prior.seeds.size() < params.max_seeds && params.hw_pool > 0) {
+    Rng hw_rng(splitmix64(seed ^ 0x48575345454453ULL));  // "HWSEEDS"
+    std::vector<Config> pool = space.sample_distinct(
+        static_cast<std::int64_t>(params.hw_pool), hw_rng);
+    std::vector<std::pair<double, std::size_t>> ranked;  // (-gflops, idx)
+    ranked.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const KernelProfile profile = task.profile(pool[i]);
+      if (!profile.valid) continue;
+      ranked.emplace_back(-profile.gflops(task.workload().flops()), i);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [&pool](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return pool[a.second].flat < pool[b.second].flat;
+              });
+    for (const auto& [neg_gflops, i] : ranked) {
+      if (prior.seeds.size() >= params.max_seeds) break;
+      if (!seed_flats.insert(pool[i].flat).second) continue;
+      prior.seeds.push_back(pool[i]);
+      ++prior.hw_seeds;
+    }
+  }
+
+  // --- Meta-surrogate ---------------------------------------------------
+  if (prior.rows.num_rows() >= params.min_meta_rows) {
+    GbdtParams gbdt;
+    gbdt.num_trees = 32;
+    gbdt.max_depth = 4;
+    gbdt.row_subsample = 1.0;
+    gbdt.seed = splitmix64(seed ^ 0x4d455441464954ULL);  // "METAFIT"
+    auto meta = std::make_shared<GbdtSurrogate>(gbdt);
+    meta->fit(prior.rows);
+    prior.meta = std::move(meta);
+  }
+
+  if (!prior.active()) {
+    obs.count("transfer.skipped");
+    return prior;
+  }
+
+  prior.initial_weight = params.initial_weight;
+  prior.half_life = params.half_life;
+  prior.warm_num_initial = params.warm_num_initial;
+  prior.source_tasks = static_cast<int>(sources.size());
+
+  obs.count("transfer.activations");
+  obs.count("transfer.sources", prior.source_tasks);
+  obs.count("transfer.seeds", static_cast<std::int64_t>(prior.seeds.size()));
+  obs.count("transfer.hw_seeds", static_cast<std::int64_t>(prior.hw_seeds));
+  obs.count("transfer.rows",
+            static_cast<std::int64_t>(prior.rows.num_rows()));
+  obs.emit(TraceEventType::kTransferSeed,
+           {{"sources", TraceValue(prior.source_tasks)},
+            {"rows", TraceValue(prior.rows.num_rows())},
+            {"seeds", TraceValue(prior.seeds.size())},
+            {"hw_seeds", TraceValue(prior.hw_seeds)},
+            {"warm_initial", TraceValue(prior.warm_num_initial)}});
+  if (prior.meta != nullptr) {
+    obs.count("transfer.meta_fits");
+    obs.emit(TraceEventType::kMetaFit,
+             {{"model", TraceValue("gbdt")},
+              {"sources", TraceValue(prior.source_tasks)},
+              {"rows", TraceValue(prior.rows.num_rows())},
+              {"weight", TraceValue(prior.initial_weight)},
+              {"half_life", TraceValue(prior.half_life)}});
+  }
+  AAL_LOG_INFO << "transfer: " << prior.source_tasks << " source task(s), "
+               << prior.rows.num_rows() << " rows, " << prior.seeds.size()
+               << " seeds (" << prior.hw_seeds << " HW-ranked) for "
+               << task.key();
+  return prior;
+}
+
+}  // namespace aal

@@ -1,0 +1,118 @@
+// Cross-run transfer priors: warm seeds + a meta-surrogate from fleet
+// history.
+//
+// Given the task about to be tuned and a RecordStore accumulated over prior
+// runs, build_transfer_prior() assembles everything the tuning policies can
+// reuse from similar tasks (nearest by task embedding, same workload kind,
+// same target — records measured on one backend never warm another):
+//
+//   * seeds — the best configurations of the nearest prior tasks, mapped
+//     knob-by-knob into this task's space, feasibility-filtered against the
+//     target's hardware constraints, then topped up with HW-aware picks: a
+//     deterministic feasible sample pool ranked by the target DeviceModel's
+//     analytical profile. Policies start from these instead of a full-width
+//     random/BTED initial set.
+//   * meta — a GBDT meta-surrogate fit on the pooled (features, normalized
+//     score) rows of the source tasks. BAO blends its predictions into
+//     bootstrap-ensemble scoring with a confidence weight that decays
+//     geometrically as live observations arrive: weight_at(n) =
+//     initial_weight * 2^(-n / half_life).
+//
+// Everything is a pure function of (task identity, store snapshot, seed,
+// params), so warm runs are exactly as deterministic as cold ones. When the
+// store offers nothing usable — empty, failed-records-only, different
+// target, different kind — the returned prior is inactive, no trace events
+// are emitted, and only the transfer.skipped counter moves: the run is then
+// bitwise-identical to one with transfer disabled (the adversarial suite in
+// tests/transfer pins this).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "measure/tuning_task.hpp"
+#include "ml/dataset.hpp"
+#include "ml/surrogate.hpp"
+#include "obs/obs.hpp"
+#include "space/config_space.hpp"
+#include "store/record_store.hpp"
+
+namespace aal {
+
+struct TransferParams {
+  /// Master switch. Off by default: the cross-run prior changes proposal
+  /// order, so it must be opted into (--transfer) to keep default traces
+  /// byte-identical across releases.
+  bool enabled = false;
+
+  /// Nearest prior tasks consulted (same kind, same target).
+  std::size_t max_source_tasks = 4;
+  /// Embedding-distance ceiling; farther tasks are ignored.
+  double max_task_distance = 12.0;
+
+  /// Pooled history rows cap (nearest sources first) for the meta fit.
+  std::size_t max_meta_rows = 512;
+  /// Below this many pooled rows no meta-surrogate is fit (tiny histories
+  /// produce noise, not priors); seeds may still activate.
+  std::size_t min_meta_rows = 16;
+
+  /// Warm-start seed budget: prior-task bests first, HW-ranked feasible
+  /// samples fill the remainder.
+  std::size_t max_seeds = 12;
+  /// Deterministic feasible-sample pool size for the HW-aware ranking.
+  std::size_t hw_pool = 96;
+
+  /// Initial-set width when a prior is active: the policy proposes at most
+  /// this many initialization configs (seeds first) instead of the full
+  /// TuneOptions::num_initial — the prior replaces breadth with history,
+  /// which is where the measured-config reduction comes from.
+  int warm_num_initial = 12;
+
+  /// Meta-blend confidence at zero live observations, and the number of
+  /// live observations that halves it.
+  double initial_weight = 0.6;
+  double half_life = 16.0;
+};
+
+/// The assembled prior a tuning policy consumes. Inactive (default-built)
+/// priors change nothing anywhere.
+struct TransferPrior {
+  /// Warm-start proposals in this task's space: distinct, feasible, prior
+  /// bests first, HW-ranked fills after.
+  std::vector<Config> seeds;
+  /// How many of `seeds` came from the HW-aware ranking (trailing entries).
+  std::size_t hw_seeds = 0;
+
+  /// Meta-surrogate over this task's feature encoding, predicting scores
+  /// normalized to each source task's best (~[0, 1]); null when history was
+  /// too thin. Shared so copies of the prior stay cheap.
+  std::shared_ptr<Surrogate> meta;
+  /// The pooled history rows the meta was (or would have been) fit on;
+  /// XgbTuner blends these into its per-round model fits directly.
+  Dataset rows;
+
+  double initial_weight = 0.0;
+  double half_life = 1.0;
+  int warm_num_initial = 0;
+  int source_tasks = 0;
+
+  bool active() const { return !seeds.empty() || meta != nullptr; }
+
+  /// Meta-blend confidence after `live` fresh observations of this task:
+  /// initial_weight * 2^(-live / half_life).
+  double weight_at(std::int64_t live) const;
+};
+
+/// Builds the prior for `task` from `store` history. Emits a transfer_seed
+/// trace event (plus meta_fit when a meta-surrogate is fit) and transfer.*
+/// metrics via `obs` when the prior activates; bumps only transfer.skipped
+/// when it cannot. `seed` feeds the HW-pool sampling and the meta fit, and
+/// must be derived from the run's tuner seed so warm runs stay
+/// schedule-independent.
+TransferPrior build_transfer_prior(const TuningTask& task,
+                                   const RecordStore& store,
+                                   const TransferParams& params,
+                                   std::uint64_t seed, const Obs& obs);
+
+}  // namespace aal

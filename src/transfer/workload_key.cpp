@@ -1,0 +1,143 @@
+#include "transfer/workload_key.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace aal {
+
+namespace {
+
+/// Minimal cursor over a key body: consumes literal markers and base-10
+/// integers, flagging failure instead of throwing (malformed keys are a
+/// skip, not an error — see workload_from_key's contract).
+class KeyCursor {
+ public:
+  explicit KeyCursor(std::string_view text) : text_(text) {}
+
+  bool literal(std::string_view expect) {
+    if (!ok_ || text_.substr(pos_, expect.size()) != expect) return fail();
+    pos_ += expect.size();
+    return true;
+  }
+
+  bool integer(std::int64_t* out) {
+    if (!ok_ || pos_ >= text_.size()) return fail();
+    std::size_t i = pos_;
+    std::int64_t value = 0;
+    while (i < text_.size() && text_[i] >= '0' && text_[i] <= '9') {
+      value = value * 10 + (text_[i] - '0');
+      ++i;
+    }
+    if (i == pos_) return fail();
+    pos_ = i;
+    *out = value;
+    return true;
+  }
+
+  /// The unconsumed remainder (used for the trailing dtype name).
+  std::string_view rest() const { return ok_ ? text_.substr(pos_) : ""; }
+
+  bool ok() const { return ok_; }
+
+ private:
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::optional<DType> dtype_from_key(std::string_view name) {
+  try {
+    return dtype_from_name(std::string(name));
+  } catch (const InvalidArgument&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<Workload> parse_conv(std::string_view body) {
+  Conv2dWorkload w;
+  KeyCursor c(body);
+  c.literal("n") && c.integer(&w.batch);
+  c.literal("_c") && c.integer(&w.in_channels);
+  c.literal("_hw") && c.integer(&w.height);
+  c.literal("x") && c.integer(&w.width);
+  c.literal("_o") && c.integer(&w.out_channels);
+  c.literal("_k") && c.integer(&w.kernel_h);
+  c.literal("x") && c.integer(&w.kernel_w);
+  c.literal("_s") && c.integer(&w.stride_h);
+  c.literal("x") && c.integer(&w.stride_w);
+  c.literal("_p") && c.integer(&w.pad_h);
+  c.literal("x") && c.integer(&w.pad_w);
+  c.literal("_g") && c.integer(&w.groups);
+  c.literal("_");
+  if (!c.ok()) return std::nullopt;
+  const std::optional<DType> dtype = dtype_from_key(c.rest());
+  if (!dtype) return std::nullopt;
+  w.dtype = *dtype;
+  try {
+    return Workload::conv2d(w);
+  } catch (const InvalidArgument&) {
+    return std::nullopt;  // shape parameters that fail validation
+  }
+}
+
+std::optional<Workload> parse_dense(std::string_view body) {
+  DenseWorkload w;
+  KeyCursor c(body);
+  c.literal("n") && c.integer(&w.batch);
+  c.literal("_i") && c.integer(&w.in_features);
+  c.literal("_o") && c.integer(&w.out_features);
+  c.literal("_");
+  if (!c.ok()) return std::nullopt;
+  const std::optional<DType> dtype = dtype_from_key(c.rest());
+  if (!dtype) return std::nullopt;
+  w.dtype = *dtype;
+  try {
+    return Workload::dense(w);
+  } catch (const InvalidArgument&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+TaskKeyParts split_task_key(std::string_view task_key) {
+  TaskKeyParts parts;
+  const std::size_t at = task_key.rfind('@');
+  if (at == std::string_view::npos) {
+    parts.workload_key = std::string(task_key);
+    parts.target_name = "gpu-pascal";
+  } else {
+    parts.workload_key = std::string(task_key.substr(0, at));
+    parts.target_name = std::string(task_key.substr(at + 1));
+  }
+  return parts;
+}
+
+std::optional<Workload> workload_from_key(std::string_view workload_key) {
+  const std::size_t slash = workload_key.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const std::string_view kind = workload_key.substr(0, slash);
+  const std::string_view body = workload_key.substr(slash + 1);
+  std::optional<Workload> parsed;
+  if (kind == "conv2d" || kind == "depthwise_conv2d") {
+    parsed = parse_conv(body);
+  } else if (kind == "dense") {
+    parsed = parse_dense(body);
+  } else {
+    return std::nullopt;
+  }
+  // Round-trip guard: a key whose reconstruction does not re-encode to the
+  // input (e.g. a depthwise key whose groups field says plain conv) is not
+  // a faithful identity and must not seed transfer.
+  if (parsed && parsed->key() != workload_key) return std::nullopt;
+  return parsed;
+}
+
+}  // namespace aal

@@ -1,0 +1,41 @@
+// Inverting the task-identity keys the RecordStore files on.
+//
+// Cross-run transfer has to reason about *prior* tasks it only knows by
+// their store keys. Workload::key() is a lossless canonical encoding of the
+// workload parameters ("conv2d/n1_c3_hw224x224_o64_k3x3_s1x1_p1x1_g1_
+// float32"), and TuningTask::key_for() appends "@<target-name>" for
+// non-default targets — so the store key alone reconstructs both halves of
+// a task's identity. This header is that inverse: split a store key into
+// (workload key, target name) and parse the workload key back into a
+// Workload, without any side index file that would change store bytes or
+// orphan legacy stores.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ir/workload.hpp"
+
+namespace aal {
+
+/// A store task key split into its two identity halves. Legacy keys carry
+/// no "@target" qualifier; they were written by the single-backend pipeline
+/// whose only device was the default target, so they resolve to gpu-pascal
+/// (the same convention TuningTask::key_for still encodes today).
+struct TaskKeyParts {
+  std::string workload_key;  // e.g. "conv2d/n1_c3_hw8x8_o4_k3x3_s1x1_p1x1_g1_float32"
+  std::string target_name;   // e.g. "gpu-pascal" (legacy bare keys), "fpga-systolic"
+};
+
+/// Splits a task key at the last '@'. Keys without one are legacy
+/// default-target keys and report target_name == "gpu-pascal".
+TaskKeyParts split_task_key(std::string_view task_key);
+
+/// Parses a canonical workload key (the Workload::key() encoding) back into
+/// a Workload. Returns nullopt for malformed or unknown-kind keys — store
+/// directories may contain keys written by future schema versions, and the
+/// transfer layer must skip those rather than fail the run.
+std::optional<Workload> workload_from_key(std::string_view workload_key);
+
+}  // namespace aal

@@ -27,6 +27,7 @@
 namespace aal {
 
 class MeasureBackend;
+struct TransferPrior;  // src/transfer: cross-run warm-start prior
 
 /// Policy-loop options. Composes the shared SessionOptions knobs — the
 /// session honors `budget`, `early_stopping`, `seed` and `cancel`;
@@ -112,10 +113,21 @@ class Tuner {
   /// Compatibility driver: runs a serial TuningSession to completion.
   TuneResult tune(Measurer& measurer, const TuneOptions& options);
 
+  /// Attaches a cross-run transfer prior (non-owning; must outlive the
+  /// session; call before begin()). Policies that support warm starts seed
+  /// their initialization stage from it and blend its meta-surrogate into
+  /// scoring; policies that don't simply ignore it. Null detaches.
+  void set_transfer_prior(const TransferPrior* prior) {
+    transfer_prior_ = prior;
+  }
+
  protected:
   /// Copied from options by the base begin(); subclasses that override
   /// begin() must call Tuner::begin() first to pick it up.
   Obs obs_;
+
+  /// Cross-run prior attached via set_transfer_prior() (null = cold start).
+  const TransferPrior* transfer_prior_ = nullptr;
 };
 
 /// Initial-set sampler signature: produces `m` distinct configurations to

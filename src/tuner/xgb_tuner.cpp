@@ -1,10 +1,12 @@
 #include "tuner/xgb_tuner.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "support/logging.hpp"
+#include "transfer/transfer_prior.hpp"
 
 namespace aal {
 
@@ -33,6 +35,29 @@ std::vector<Config> XgbTuner::propose(std::int64_t k) {
   // --- Stage 1: initialization -------------------------------------------
   if (!initialized_) {
     initialized_ = true;
+    if (transfer_prior_ != nullptr && transfer_prior_->active()) {
+      // Warm start from fleet history: the prior's seeds (prior-task bests
+      // + HW-ranked feasible picks) replace most of the initial sweep,
+      // capped at warm_num_initial; the regular init sampler tops up any
+      // shortfall.
+      int m = tune_options_.num_initial;
+      if (transfer_prior_->warm_num_initial > 0) {
+        m = std::min(m, transfer_prior_->warm_num_initial);
+      }
+      std::vector<Config> initial = transfer_prior_->seeds;
+      if (initial.size() > static_cast<std::size_t>(m)) initial.resize(m);
+      obs_.count("transfer.init_seeds",
+                 static_cast<std::int64_t>(initial.size()));
+      if (initial.size() < static_cast<std::size_t>(m)) {
+        std::unordered_set<std::int64_t> taken;
+        for (const Config& c : initial) taken.insert(c.flat);
+        for (Config& c : init_sampler_(task, m, rng_)) {
+          if (initial.size() >= static_cast<std::size_t>(m)) break;
+          if (taken.insert(c.flat).second) initial.push_back(std::move(c));
+        }
+      }
+      return initial;
+    }
     return init_sampler_(task, tune_options_.num_initial, rng_);
   }
 
@@ -57,6 +82,20 @@ std::vector<Config> XgbTuner::propose(std::int64_t k) {
       // range so they blend with native rows.
       data.add_row(seed.row(i), seed.target(i) * best);
     }
+  }
+  if (transfer_prior_ != nullptr && best > 0.0 &&
+      transfer_prior_->rows.num_features() == data.num_features()) {
+    // Cross-run prior rows blend exactly like within-run transfer rows:
+    // normalized scores rescaled by the live best. As live measurements
+    // accumulate they outnumber the capped prior rows, so the prior's pull
+    // fades naturally round over round.
+    const Dataset& rows = transfer_prior_->rows;
+    const std::size_t cap =
+        std::min(rows.num_rows(), xgb_options_.max_transfer_rows);
+    for (std::size_t i = 0; i < cap; ++i) {
+      data.add_row(rows.row(i), rows.target(i) * best);
+    }
+    transfer_rows += cap;
   }
 
   auto model = surrogate_factory_->create(tune_options_.seed * 7919 + ++round_);

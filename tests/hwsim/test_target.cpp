@@ -65,7 +65,29 @@ TEST(Target, FromGpuMapsKnownSpecsToRegistryNames) {
             "gpu-embedded");
   GpuSpec custom = GpuSpec::gtx1080ti();
   custom.name = "my-weird-gpu";
-  EXPECT_EQ(TargetSpec::from_gpu(custom).name, "gpu-custom");
+  EXPECT_TRUE(
+      TargetSpec::from_gpu(custom).name.starts_with("gpu-custom-"))
+      << TargetSpec::from_gpu(custom).name;
+}
+
+TEST(Target, DistinctCustomGpusGetDistinctFingerprintedNames) {
+  // Regression: unknown specs used to collapse onto one shared
+  // "gpu-custom" name, so two unrelated machines wrote records under the
+  // same "@gpu-custom" task keys and cross-contaminated each other's
+  // warm starts. The name must now be a pure, stable function of the spec
+  // that separates distinct machines.
+  GpuSpec a = GpuSpec::gtx1080ti();
+  a.name = "machine-a";
+  GpuSpec b = a;
+  b.name = "machine-b";                  // same numbers, different device
+  GpuSpec c = a;
+  c.dram_bw_gbps = a.dram_bw_gbps * 2;   // same device, different numbers
+  const std::string name_a = TargetSpec::from_gpu(a).name;
+  EXPECT_NE(name_a, TargetSpec::from_gpu(b).name);
+  EXPECT_NE(name_a, TargetSpec::from_gpu(c).name);
+  // Deterministic: the same spec always maps to the same name (the store
+  // key namespace must be stable across processes and runs).
+  EXPECT_EQ(name_a, TargetSpec::from_gpu(a).name);
 }
 
 TEST(Target, DefaultTargetMatchesHistoricalPascalSpec) {

@@ -25,6 +25,7 @@ TEST(ObsTrace, EventTypeNamesRoundTrip) {
       TraceEventType::kEarlyStop,         TraceEventType::kMeasureRetry,
       TraceEventType::kFaultInjected,     TraceEventType::kQuarantine,
       TraceEventType::kStoreHit,          TraceEventType::kConstraintPrune,
+      TraceEventType::kTransferSeed,      TraceEventType::kMetaFit,
   };
   for (const TraceEventType type : all) {
     const char* name = trace_event_type_name(type);

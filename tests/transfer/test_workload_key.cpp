@@ -1,0 +1,88 @@
+// Task-key inversion: the store keys must reconstruct task identity
+// losslessly, and anything that doesn't round-trip must be skipped (not
+// crash the run) — store directories outlive schema versions.
+#include <gtest/gtest.h>
+
+#include "hwsim/target.hpp"
+#include "measure/tuning_task.hpp"
+#include "transfer/workload_key.hpp"
+#include "test_util.hpp"
+
+namespace aal {
+namespace {
+
+TEST(WorkloadKey, SplitQualifiedKey) {
+  const TaskKeyParts parts = split_task_key("dense/n1_i256_o128_float32@fpga-systolic");
+  EXPECT_EQ(parts.workload_key, "dense/n1_i256_o128_float32");
+  EXPECT_EQ(parts.target_name, "fpga-systolic");
+}
+
+TEST(WorkloadKey, BareKeyIsLegacyDefaultTarget) {
+  // Keys written before target qualification carry no '@'; they came from
+  // the single-backend pipeline whose only device was the default target.
+  const TaskKeyParts parts = split_task_key("dense/n1_i256_o128_float32");
+  EXPECT_EQ(parts.workload_key, "dense/n1_i256_o128_float32");
+  EXPECT_EQ(parts.target_name, "gpu-pascal");
+}
+
+TEST(WorkloadKey, SplitsAtLastAtSign) {
+  const TaskKeyParts parts = split_task_key("a@b@gpu-volta");
+  EXPECT_EQ(parts.workload_key, "a@b");
+  EXPECT_EQ(parts.target_name, "gpu-volta");
+}
+
+TEST(WorkloadKey, RoundTripsEveryTestWorkloadKind) {
+  for (const Workload& w :
+       {testing::small_conv_workload(), testing::small_depthwise_workload(),
+        testing::small_dense_workload()}) {
+    const std::optional<Workload> parsed = workload_from_key(w.key());
+    ASSERT_TRUE(parsed.has_value()) << w.key();
+    EXPECT_EQ(parsed->key(), w.key());
+    EXPECT_EQ(parsed->kind(), w.kind());
+  }
+}
+
+TEST(WorkloadKey, RoundTripsThroughTaskKeyForEveryTarget) {
+  // The full inverse: key_for() -> split -> parse recovers both identity
+  // halves for every registered target, legacy bare spelling included.
+  const Workload w = testing::small_conv_workload();
+  for (const std::string& name : target_names()) {
+    const TargetSpec target = make_target(name);
+    const TaskKeyParts parts = split_task_key(TuningTask::key_for(w, target));
+    EXPECT_EQ(parts.target_name, name);
+    const std::optional<Workload> parsed =
+        workload_from_key(parts.workload_key);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(parsed->key(), w.key());
+  }
+}
+
+TEST(WorkloadKey, MalformedKeysParseToNullopt) {
+  const char* bad[] = {
+      "",                                        // empty
+      "conv2d",                                  // no parameters
+      "conv2d/",                                 // empty parameters
+      "unknown_kind/n1_i256_o128_float32",       // foreign operator
+      "dense/n1_i256_o128",                      // missing dtype
+      "dense/n1_i256_o128_float99",              // unknown dtype
+      "dense/nX_i256_o128_float32",              // non-numeric field
+      "dense/n1_i256_o128_float32_extra",        // trailing garbage
+      "conv2d/n1_c16_hw28x28_o32_k3x3_s1x1",     // truncated conv
+      "dense/n0_i256_o128_float32",              // fails Workload validation
+  };
+  for (const char* key : bad) {
+    EXPECT_FALSE(workload_from_key(key).has_value()) << key;
+  }
+}
+
+TEST(WorkloadKey, DepthwiseKeyDoesNotParseAsPlainConv) {
+  // The groups field is what separates the two conv kinds; the round-trip
+  // guard must keep each key resolving to the kind that produced it.
+  const Workload dw = testing::small_depthwise_workload();
+  const std::optional<Workload> parsed = workload_from_key(dw.key());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind(), WorkloadKind::kDepthwiseConv2d);
+}
+
+}  // namespace
+}  // namespace aal

@@ -3,7 +3,7 @@
 //   aaltune_cli zoo
 //   aaltune_cli inspect <model>
 //   aaltune_cli tune    <model> [--tuner bted+bao] [--budget N] [--records f]
-//                               [--store dir] [--store-readonly]
+//                               [--store dir] [--store-readonly] [--transfer]
 //                               [--trace f.jsonl] [--metrics]
 //   aaltune_cli deploy  <model> [--records f] [--runs N]
 //   aaltune_cli serve   <hello|submit|status|cancel|list|stream|stats|
@@ -153,6 +153,14 @@ int cmd_tune(const ArgParser& args) {
                 store_dir.c_str(), store->size(), store->num_shards(),
                 store_readonly ? " (read-only)" : "");
   }
+  if (args.get_switch("transfer")) {
+    if (store == nullptr) {
+      throw InvalidArgument("--transfer requires --store <dir>");
+    }
+    options.transfer.enabled = true;
+    std::printf("cross-run transfer on: warm-starting from store history\n");
+  }
+  if (args.get_switch("transfer-off")) options.use_transfer = false;
 
   std::unique_ptr<JsonlTraceSink> trace;
   const std::string trace_path = args.get("trace");
@@ -305,6 +313,8 @@ int cmd_serve(int argc, char** argv) {
     args.add_int_flag("seed", "random seed", 1);
     args.add_flag("tenant", "admission-control bucket", "default");
     args.add_int_flag("priority", "higher runs first", 0);
+    args.add_switch("transfer", "warm-start from the daemon's shared record "
+                    "store (no-op when the daemon runs without --store)");
     args.add_switch("stream", "follow the job's trace until it finishes");
     args.add_flag("trace", "write the streamed trace JSONL here "
                   "(with --stream)", "");
@@ -352,6 +362,7 @@ int cmd_serve(int argc, char** argv) {
     req.spec.seed = args.get_int("seed");
     req.spec.tenant = args.get("tenant");
     req.spec.priority = args.get_int("priority");
+    req.spec.transfer = args.get_switch("transfer");
     const ServeResponse resp = client.call(req);
     if (!resp.ok) return report_serve_error(resp);
     const TraceValue* job = resp.find("job");
@@ -434,6 +445,11 @@ int main(int argc, char** argv) {
                     "flush back on completion", "");
       args.add_switch("store-readonly", "open --store read-only (consume "
                       "records, never write back)");
+      args.add_switch("transfer", "warm-start from fleet history: seed each "
+                      "task from the --store's nearest prior tasks and blend "
+                      "a meta-surrogate into the search (requires --store)");
+      args.add_switch("transfer-off", "disable within-model transfer "
+                      "learning between the model's own tasks");
       args.add_int_flag("jobs", "concurrent tuning lanes (results are "
                         "identical for any value)", 1);
       args.add_flag("trace", "write a JSONL trace of the run (byte-identical "
