@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates the checked-in benchmark baselines (BENCH_kernels.json,
 # BENCH_tuner.json from bench/micro_kernels; BENCH_serve.json from
-# bench/serve_load; BENCH_transfer.json from bench/transfer_warm) from a
+# bench/serve_load; BENCH_transfer.json from bench/transfer_warm;
+# BENCH_templates.json from bench/template_native) from a
 # Release build, then validates them against the
 # aaltune-bench/v1 schema. See docs/PERF.md for methodology and the schema
 # definition.
@@ -46,7 +47,9 @@ case "$SCALE" in
 esac
 
 cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target micro_kernels serve_load transfer_warm -j >/dev/null
+cmake --build "$BUILD_DIR" \
+  --target micro_kernels serve_load transfer_warm template_native \
+  -j >/dev/null
 
 for suite in kernels tuner; do
   out="$OUT_DIR/BENCH_${suite}.json"
@@ -70,16 +73,24 @@ echo "bench: suite=transfer scale=$SCALE repeats=$REPEATS -> $out"
 "$BUILD_DIR/bench/transfer_warm" \
   --repeats "$REPEATS" --scale "$SCALE" --out "$out"
 
+# The template_native suite audits itself as well: it aborts unless the
+# target-native spaces sample mostly feasible (>= 90% on fpga-systolic,
+# never below the CUDA-shaped space) and every tune finds a best config.
+out="$OUT_DIR/BENCH_templates.json"
+echo "bench: suite=template_native scale=$SCALE repeats=$REPEATS -> $out"
+"$BUILD_DIR/bench/template_native" \
+  --repeats "$REPEATS" --scale "$SCALE" --out "$out"
+
 # Schema check, plus coverage against the checked-in baseline: every
 # baseline entry (including the per-target profile_batch:<name> rows) must
 # still be emitted, so a dropped or renamed benchmark fails here instead of
 # silently vanishing from the comparison.
-for suite in kernels tuner serve transfer; do
+for stem in kernels tuner serve transfer templates; do
   covers=()
-  if [ -f "$ROOT/BENCH_${suite}.json" ]; then
-    covers=(--covers "$ROOT/BENCH_${suite}.json")
+  if [ -f "$ROOT/BENCH_${stem}.json" ]; then
+    covers=(--covers "$ROOT/BENCH_${stem}.json")
   fi
   python3 "$ROOT/scripts/validate_bench.py" "${covers[@]}" \
-    "$OUT_DIR/BENCH_${suite}.json"
+    "$OUT_DIR/BENCH_${stem}.json"
 done
 echo "bench: OK"

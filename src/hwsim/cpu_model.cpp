@@ -144,8 +144,13 @@ CacheLevel serving_level(const CpuSpec& spec, std::int64_t working_set) {
 
 }  // namespace
 
-CpuDeviceModel::CpuDeviceModel(Workload workload, TargetSpec target)
-    : workload_(std::move(workload)), target_(std::move(target)) {
+CpuDeviceModel::CpuDeviceModel(Workload workload, TargetSpec target,
+                               const ScheduleTemplate* tmpl)
+    : workload_(std::move(workload)),
+      target_(std::move(target)),
+      template_(tmpl != nullptr
+                    ? tmpl
+                    : &TemplateRegistry::instance().get(kDefaultTemplateName)) {
   AAL_CHECK(target_.kind == TargetKind::kCpu,
             "CpuDeviceModel needs a CPU target");
 }
@@ -160,13 +165,15 @@ std::vector<SpaceConstraint> CpuDeviceModel::constraints() const {
   const CpuSpec spec = target_.cpu;
   const Workload workload = workload_;
   const bool is_conv = workload.is_conv();
-  const auto mapping = [workload, spec, is_conv](const ConfigSpace& space,
-                                                 const Config& config) {
+  // Registry singleton: safe to capture by pointer beyond the model's life.
+  const ScheduleTemplate* tmpl = template_;
+  const auto mapping = [workload, spec, is_conv, tmpl](const ConfigSpace& space,
+                                                       const Config& config) {
     return is_conv
                ? conv_mapping(workload, spec,
-                              decode_conv_schedule(workload, space, config))
+                              tmpl->decode_conv(workload, space, config))
                : dense_mapping(workload, spec,
-                               decode_dense_schedule(workload, space, config));
+                               tmpl->decode_dense(workload, space, config));
   };
   std::vector<SpaceConstraint> out;
   out.push_back({"cpu.parallel-grain",
@@ -193,7 +200,7 @@ KernelProfile CpuDeviceModel::profile_conv(const ConfigSpace& space,
   AAL_CHECK(depthwise || w.groups == 1,
             "cpu model supports groups==1 or depthwise convolutions");
   const CpuSpec& spec = target_.cpu;
-  const ConvSchedule s = decode_conv_schedule(workload_, space, config);
+  const ConvSchedule s = template_->decode_conv(workload_, space, config);
   const CpuMapping m = conv_mapping(workload_, spec, s);
 
   const FeasibilityVerdict verdict = check_mapping(m, spec);
@@ -286,7 +293,7 @@ KernelProfile CpuDeviceModel::profile_dense(const ConfigSpace& space,
                                             const Config& config) const {
   const DenseWorkload& w = workload_.as_dense();
   const CpuSpec& spec = target_.cpu;
-  const DenseSchedule s = decode_dense_schedule(workload_, space, config);
+  const DenseSchedule s = template_->decode_dense(workload_, space, config);
   const CpuMapping m = dense_mapping(workload_, spec, s);
 
   const FeasibilityVerdict verdict = check_mapping(m, spec);

@@ -24,7 +24,10 @@ namespace aal {
 
 class CpuDeviceModel final : public DeviceModel {
  public:
-  CpuDeviceModel(Workload workload, TargetSpec target);
+  /// `tmpl` is the schedule template that built (and decodes) the config
+  /// space this model profiles — a registry singleton, nullptr = "cuda".
+  CpuDeviceModel(Workload workload, TargetSpec target,
+                 const ScheduleTemplate* tmpl = nullptr);
 
   const TargetSpec& target() const override { return target_; }
   const Workload& workload() const override { return workload_; }
@@ -45,6 +48,7 @@ class CpuDeviceModel final : public DeviceModel {
 
   Workload workload_;
   TargetSpec target_;
+  const ScheduleTemplate* template_;  // registry singleton, never null
 };
 
 }  // namespace aal

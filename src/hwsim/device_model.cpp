@@ -34,14 +34,25 @@ class GpuDeviceModel final : public DeviceModel {
 }  // namespace
 
 std::unique_ptr<DeviceModel> make_device_model(Workload workload,
-                                               const TargetSpec& target) {
+                                               const TargetSpec& target,
+                                               const ScheduleTemplate* tmpl) {
+  if (tmpl == nullptr) {
+    tmpl = &TemplateRegistry::instance().get(kDefaultTemplateName);
+  }
   switch (target.kind) {
     case TargetKind::kGpu:
+      // The GPU model keeps its CUDA-only decode path: the registry resolves
+      // every template request on a GPU target to "cuda".
+      AAL_CHECK(tmpl->name() == kDefaultTemplateName,
+                "GPU targets only support the '" << kDefaultTemplateName
+                                                 << "' template");
       return std::make_unique<GpuDeviceModel>(std::move(workload), target);
     case TargetKind::kCpu:
-      return std::make_unique<CpuDeviceModel>(std::move(workload), target);
+      return std::make_unique<CpuDeviceModel>(std::move(workload), target,
+                                              tmpl);
     case TargetKind::kFpga:
-      return std::make_unique<FpgaDeviceModel>(std::move(workload), target);
+      return std::make_unique<FpgaDeviceModel>(std::move(workload), target,
+                                               tmpl);
   }
   throw InvalidArgument("unknown target kind");
 }

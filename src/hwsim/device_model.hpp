@@ -25,6 +25,7 @@
 #include "hwsim/target.hpp"
 #include "ir/workload.hpp"
 #include "space/config_space.hpp"
+#include "space/template_registry.hpp"
 
 namespace aal {
 
@@ -44,8 +45,13 @@ class DeviceModel {
   virtual std::vector<SpaceConstraint> constraints() const { return {}; }
 };
 
-/// Builds the analytical model for `workload` on `target`.
-std::unique_ptr<DeviceModel> make_device_model(Workload workload,
-                                               const TargetSpec& target);
+/// Builds the analytical model for `workload` on `target`. The model decodes
+/// configs through `tmpl` (a registry singleton; nullptr selects the default
+/// "cuda" template), so spaces built by a native template profile through
+/// the same knob layout that produced them. The caller must pass the
+/// template that built the space later handed to profile()/constraints().
+std::unique_ptr<DeviceModel> make_device_model(
+    Workload workload, const TargetSpec& target,
+    const ScheduleTemplate* tmpl = nullptr);
 
 }  // namespace aal

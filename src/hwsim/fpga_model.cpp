@@ -166,8 +166,13 @@ KernelProfile assemble(const Workload& workload, const FpgaSpec& spec,
 
 }  // namespace
 
-FpgaDeviceModel::FpgaDeviceModel(Workload workload, TargetSpec target)
-    : workload_(std::move(workload)), target_(std::move(target)) {
+FpgaDeviceModel::FpgaDeviceModel(Workload workload, TargetSpec target,
+                                 const ScheduleTemplate* tmpl)
+    : workload_(std::move(workload)),
+      target_(std::move(target)),
+      template_(tmpl != nullptr
+                    ? tmpl
+                    : &TemplateRegistry::instance().get(kDefaultTemplateName)) {
   AAL_CHECK(target_.kind == TargetKind::kFpga,
             "FpgaDeviceModel needs an FPGA target");
 }
@@ -182,13 +187,15 @@ std::vector<SpaceConstraint> FpgaDeviceModel::constraints() const {
   const FpgaSpec spec = target_.fpga;
   const Workload workload = workload_;
   const bool is_conv = workload.is_conv();
-  const auto mapping = [workload, is_conv](const ConfigSpace& space,
-                                           const Config& config) {
+  // Registry singleton: safe to capture by pointer beyond the model's life.
+  const ScheduleTemplate* tmpl = template_;
+  const auto mapping = [workload, is_conv, tmpl](const ConfigSpace& space,
+                                                 const Config& config) {
     return is_conv
                ? conv_mapping(workload,
-                              decode_conv_schedule(workload, space, config))
+                              tmpl->decode_conv(workload, space, config))
                : dense_mapping(workload,
-                               decode_dense_schedule(workload, space, config));
+                               tmpl->decode_dense(workload, space, config));
   };
   std::vector<SpaceConstraint> out;
   out.push_back({"fpga.pe-array",
@@ -219,7 +226,7 @@ KernelProfile FpgaDeviceModel::profile_conv(const ConfigSpace& space,
   const bool depthwise = workload_.kind() == WorkloadKind::kDepthwiseConv2d;
   AAL_CHECK(depthwise || w.groups == 1,
             "fpga model supports groups==1 or depthwise convolutions");
-  const ConvSchedule s = decode_conv_schedule(workload_, space, config);
+  const ConvSchedule s = template_->decode_conv(workload_, space, config);
   const FpgaMapping m = conv_mapping(workload_, s);
 
   const std::int64_t elem = dtype_bytes(w.dtype);
@@ -241,7 +248,7 @@ KernelProfile FpgaDeviceModel::profile_conv(const ConfigSpace& space,
 KernelProfile FpgaDeviceModel::profile_dense(const ConfigSpace& space,
                                              const Config& config) const {
   const DenseWorkload& w = workload_.as_dense();
-  const DenseSchedule s = decode_dense_schedule(workload_, space, config);
+  const DenseSchedule s = template_->decode_dense(workload_, space, config);
   const FpgaMapping m = dense_mapping(workload_, s);
 
   const std::int64_t elem = dtype_bytes(w.dtype);

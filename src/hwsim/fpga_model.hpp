@@ -23,7 +23,10 @@ namespace aal {
 
 class FpgaDeviceModel final : public DeviceModel {
  public:
-  FpgaDeviceModel(Workload workload, TargetSpec target);
+  /// `tmpl` is the schedule template that built (and decodes) the config
+  /// space this model profiles — a registry singleton, nullptr = "cuda".
+  FpgaDeviceModel(Workload workload, TargetSpec target,
+                  const ScheduleTemplate* tmpl = nullptr);
 
   const TargetSpec& target() const override { return target_; }
   const Workload& workload() const override { return workload_; }
@@ -44,6 +47,7 @@ class FpgaDeviceModel final : public DeviceModel {
 
   Workload workload_;
   TargetSpec target_;
+  const ScheduleTemplate* template_;  // registry singleton, never null
 };
 
 }  // namespace aal

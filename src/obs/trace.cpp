@@ -36,6 +36,7 @@ constexpr TypeName kTypeNames[] = {
     {TraceEventType::kConstraintPrune, "constraint_prune"},
     {TraceEventType::kTransferSeed, "transfer_seed"},
     {TraceEventType::kMetaFit, "meta_fit"},
+    {TraceEventType::kTemplateSelect, "template_select"},
 };
 
 }  // namespace

@@ -49,6 +49,7 @@ enum class TraceEventType : int {
   kConstraintPrune,    // target constraints pruned sampled configs this run
   kTransferSeed,       // a cross-run transfer prior seeded this task
   kMetaFit,            // a meta-surrogate was fit on pooled store history
+  kTemplateSelect,     // a non-default schedule template built a task's space
 };
 
 /// Stable wire name of an event type ("session_begin", ...).

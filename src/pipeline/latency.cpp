@@ -28,8 +28,12 @@ Config fallback_config(const TuningTask& task) {
 
 }  // namespace
 
-LatencyEvaluator::LatencyEvaluator(const Graph& graph, TargetSpec target)
-    : graph_(graph), target_(std::move(target)), fused_(fuse(graph)) {}
+LatencyEvaluator::LatencyEvaluator(const Graph& graph, TargetSpec target,
+                                   std::string template_request)
+    : graph_(graph),
+      target_(std::move(target)),
+      template_request_(std::move(template_request)),
+      fused_(fuse(graph)) {}
 
 LatencyEvaluator::LatencyEvaluator(const Graph& graph, const GpuSpec& spec)
     : LatencyEvaluator(graph, TargetSpec::from_gpu(spec)) {}
@@ -53,14 +57,15 @@ std::vector<LatencyEvaluator::KernelEntry> LatencyEvaluator::kernel_breakdown(
       const std::string key = group.workload->key();
       auto it = tasks.find(key);
       if (it == tasks.end()) {
-        it = tasks.emplace(key, std::make_unique<TuningTask>(*group.workload,
-                                                             target_))
+        it = tasks.emplace(key,
+                           std::make_unique<TuningTask>(
+                               *group.workload, target_, template_request_))
                  .first;
       }
       const TuningTask& task = *it->second;
-      // Tune reports key tasks by TuningTask::key(), which is target-
-      // qualified for non-default targets — match on that, not the bare
-      // workload key.
+      // Tune reports key tasks by TuningTask::key(), which is target- and
+      // template-qualified for non-default targets/templates — match on
+      // that, not the bare workload key.
       const auto flat_it = best_flat_by_task.find(task.key());
       const Config config = flat_it != best_flat_by_task.end()
                                 ? task.space().at(flat_it->second)

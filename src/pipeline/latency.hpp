@@ -37,8 +37,13 @@ struct LatencyReport {
 class LatencyEvaluator {
  public:
   /// Binds the evaluator to a model and a deployment target. The graph must
-  /// outlive the evaluator.
-  LatencyEvaluator(const Graph& graph, TargetSpec target);
+  /// outlive the evaluator. `template_request` selects the schedule template
+  /// (TemplateRegistry vocabulary, "" = default) and must match the template
+  /// the configs in `best_flat_by_task` were tuned with — tune reports key
+  /// tasks with the template-qualified TuningTask::key(), so deploying a
+  /// native-template record log requires the same request here.
+  explicit LatencyEvaluator(const Graph& graph, TargetSpec target,
+                            std::string template_request = std::string());
 
   /// Compatibility: deploys to a raw GpuSpec (the historical single-backend
   /// spelling).
@@ -73,6 +78,7 @@ class LatencyEvaluator {
  private:
   const Graph& graph_;
   TargetSpec target_;
+  std::string template_request_;
   FusedGraph fused_;
 };
 

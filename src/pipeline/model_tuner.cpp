@@ -1,6 +1,7 @@
 #include "pipeline/model_tuner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
 #include <optional>
 
@@ -119,8 +120,8 @@ ModelTuneReport tune_model(const Graph& graph, const TargetSpec& target,
   report.tasks.reserve(tasks.size());
   for (const Task& task : tasks) {
     report.tasks.push_back(TaskTuneReport{
-        TuningTask::key_for(task.workload, target), task.workload,
-        task.count(), TuneResult{}});
+        TuningTask::key_for(task.workload, target, options.schedule_template),
+        task.workload, task.count(), TuneResult{}});
   }
 
   // Lane decomposition (computed up front so the serial path can map each
@@ -170,7 +171,7 @@ ModelTuneReport tune_model(const Graph& graph, const TargetSpec& target,
   const auto tune_one = [&](std::size_t i, TransferContext* transfer_ptr) {
     const Task& task = tasks[i];
     const std::uint64_t task_index = static_cast<std::uint64_t>(i) + 1;
-    TuningTask tuning_task(task.workload, target);
+    TuningTask tuning_task(task.workload, target, options.schedule_template);
     SimulatedDevice device(target, options.device_seed * 1000003 + task_index);
     // The fault plan gets a per-task seed the same way the device does, so
     // fault draws are pure in (plan seed, task position, flat, attempt) and
@@ -192,6 +193,20 @@ ModelTuneReport tune_model(const Graph& graph, const TargetSpec& target,
     obs.lane = task.workload.key();
     // Attach before preload so resumed records count measure.preloaded.
     if (obs.active()) measurer.set_obs(obs);
+    // Template identity, announced before any preload/transfer event so a
+    // trace reader knows which space shape the task's records refer to.
+    // Default-template runs emit nothing — traces and metrics stay
+    // byte-identical to pre-registry builds.
+    if (tuning_task.template_name() != kDefaultTemplateName) {
+      obs.gauge_set("space.native_template", 1);
+      obs.emit(TraceEventType::kTemplateSelect,
+               {{"template", TraceValue(tuning_task.template_name())},
+                {"target", TraceValue(tuning_task.target().name)},
+                {"knobs", TraceValue(tuning_task.space().num_knobs())},
+                {"log2_size",
+                 TraceValue(std::log2(
+                     static_cast<double>(tuning_task.space().size())))}});
+    }
     if (options.resume_from != nullptr) {
       const std::size_t adopted =
           measurer.preload(options.resume_from->records_for(tuning_task.key()));
@@ -371,8 +386,9 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
 
 TuneResult tune_workload(const Workload& workload, const TargetSpec& target,
                          Tuner& tuner, const TuneOptions& options,
-                         std::uint64_t device_seed) {
-  TuningTask task(workload, target);
+                         std::uint64_t device_seed,
+                         const std::string& template_request) {
+  TuningTask task(workload, target, template_request);
   SimulatedDevice device(target, device_seed);
   Measurer measurer(task, device);
   return tuner.tune(measurer, options);

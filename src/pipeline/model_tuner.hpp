@@ -111,6 +111,12 @@ struct ModelTuneOptions : SessionOptions {
   /// Per-task measurement options (timing repeats, retry policy). The
   /// defaults reproduce the historical single-attempt behavior.
   MeasureOptions measure;
+  /// Schedule-template request, in the TemplateRegistry vocabulary: "" or
+  /// "default" for the CUDA-shaped space (byte-identical to pre-registry
+  /// runs), "native" for the target family's native template, or an exact
+  /// template name. Non-default templates qualify every task key with
+  /// "#<template>" and emit a `template_select` trace event per task.
+  std::string schedule_template;
   /// Shared measurement backend for every task's session (non-owning; may
   /// be null = serial per-config measurement). The serve daemon points all
   /// concurrent jobs at one ParallelBackend so measurement work multiplexes
@@ -153,10 +159,12 @@ ModelTuneReport tune_model(const Graph& graph, const GpuSpec& spec,
 
 /// Tunes a single workload (used by the per-layer figures). Returns the
 /// tuner's result; `device_seed` controls the measurement noise stream and
-/// `options.seed` the tuner's own randomness.
+/// `options.seed` the tuner's own randomness. `template_request` selects the
+/// schedule template in the TemplateRegistry vocabulary ("" = default).
 TuneResult tune_workload(const Workload& workload, const TargetSpec& target,
                          Tuner& tuner, const TuneOptions& options,
-                         std::uint64_t device_seed);
+                         std::uint64_t device_seed,
+                         const std::string& template_request = std::string());
 
 TuneResult tune_workload(const Workload& workload, const GpuSpec& spec,
                          Tuner& tuner, const TuneOptions& options,

@@ -104,10 +104,13 @@ std::vector<TraceField> JobSpec::to_fields() const {
       {"tenant", TraceValue(tenant)},
       {"priority", TraceValue(priority)},
   };
-  // Optional additive field (aaltune-serve/v1 unchanged): omitted when at
-  // its default so pre-transfer clients and pinned wire examples still see
-  // byte-identical canonical lines.
+  // Optional additive fields (aaltune-serve/v1 unchanged): omitted when at
+  // their defaults so pre-transfer and pre-template clients and pinned wire
+  // examples still see byte-identical canonical lines.
   if (transfer) fields.push_back({"transfer", TraceValue(true)});
+  if (!schedule_template.empty()) {
+    fields.push_back({"template", TraceValue(schedule_template)});
+  }
   return fields;
 }
 
@@ -222,6 +225,10 @@ ServeRequest ServeRequest::parse(std::string_view line,
         }
         if (f.key == "transfer") {
           req.spec.transfer = expect_bool(f);
+          continue;
+        }
+        if (f.key == "template") {
+          req.spec.schedule_template = expect_string(f);
           continue;
         }
         break;

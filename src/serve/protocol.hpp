@@ -105,10 +105,15 @@ struct JobSpec {
   /// from the store's nearest prior tasks and blend a meta-surrogate into
   /// the search (docs/SERVING.md). No-op when the daemon has no --store.
   bool transfer = false;
+  /// Schedule-template request in the TemplateRegistry vocabulary ("" =
+  /// default CUDA-shaped space, "native" = the target family's native
+  /// template, or an exact template name). Wire field "template".
+  std::string schedule_template;
 
-  /// Canonical wire form: the fields above in order, except `transfer`,
-  /// which is additive-optional and omitted at its default (false) so
-  /// pre-transfer clients see unchanged canonical lines.
+  /// Canonical wire form: the fields above in order, except `transfer` and
+  /// `template`, which are additive-optional and omitted at their defaults
+  /// (false / empty) so pre-transfer and pre-template clients see unchanged
+  /// canonical lines.
   std::vector<TraceField> to_fields() const;
 
   /// Throws ServeError(kBadRequest) on out-of-range numeric fields or an

@@ -8,6 +8,7 @@
 #include "graph/models.hpp"
 #include "hwsim/target.hpp"
 #include "pipeline/model_tuner.hpp"
+#include "space/template_registry.hpp"
 #include "support/common.hpp"
 
 namespace aal {
@@ -120,7 +121,11 @@ std::int64_t TuneServer::submit(const JobSpec& spec) {
     reject(ServeErrorCode::kBadTuner, e.what());
   }
   try {
-    (void)make_target(spec.target);
+    const TargetSpec target = make_target(spec.target);
+    // Template-name validity is checked at admission like target/tuner, so
+    // a typo fails the submit rather than the job.
+    (void)TemplateRegistry::instance().resolve(spec.schedule_template,
+                                               target);
   } catch (const std::exception& e) {
     reject(ServeErrorCode::kBadTarget, e.what());
   }
@@ -361,6 +366,7 @@ void TuneServer::run_job(Job& job) {
     // Warm-start from fleet history on request; degrades to a no-op when
     // the daemon runs storeless (the prior needs store history to read).
     options.transfer.enabled = job.spec.transfer;
+    options.schedule_template = job.spec.schedule_template;
     options.measure_backend = backend_.get();
 
     const ModelTuneReport report = tune_model(g, target, factory, options);
@@ -412,6 +418,11 @@ std::vector<TraceField> status_fields(const JobInfo& info) {
       {"trace_steps", TraceValue(info.trace_steps)},
       {"best_gflops", TraceValue(info.best_gflops)},
   };
+  // Additive-optional, mirroring JobSpec::to_fields(): absent for
+  // default-template jobs so pinned status lines are unchanged.
+  if (!info.spec.schedule_template.empty()) {
+    fields.push_back({"template", TraceValue(info.spec.schedule_template)});
+  }
   if (!info.error.empty()) {
     fields.push_back({"error", TraceValue(info.error)});
   }

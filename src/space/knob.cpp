@@ -21,6 +21,38 @@ Knob Knob::split(std::string name, std::int64_t extent, int parts) {
   return out;
 }
 
+Knob Knob::split_capped(std::string name, std::int64_t extent, int parts,
+                        const std::vector<std::int64_t>& caps) {
+  AAL_CHECK(extent >= 1, "split extent must be >= 1");
+  AAL_CHECK(parts >= 1, "split parts must be >= 1");
+  AAL_CHECK(caps.size() == static_cast<std::size_t>(parts),
+            "split_capped needs one cap per part (0 = unbounded)");
+  auto all = ordered_factorizations(extent, parts);
+  std::vector<std::vector<std::int64_t>> kept;
+  for (const auto& entity : all) {
+    bool ok = true;
+    for (std::size_t p = 0; p < entity.size(); ++p) {
+      if (caps[p] > 0 && entity[p] > caps[p]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) kept.push_back(entity);
+  }
+  SplitKnob k;
+  k.name = std::move(name);
+  k.extent = extent;
+  k.parts = parts;
+  // Fall back to the unfiltered set when the caps are unsatisfiable (e.g. a
+  // prime extent larger than every cap): the knob must stay non-empty and
+  // the constraint layer remains as safety net.
+  k.entities = kept.empty() ? std::move(all) : std::move(kept);
+  Knob out;
+  out.data_ = std::move(k);
+  out.build_feature_table();
+  return out;
+}
+
 Knob Knob::option(std::string name, std::vector<std::int64_t> values) {
   AAL_CHECK(!values.empty(), "option knob needs at least one value");
   OptionKnob k;

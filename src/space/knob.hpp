@@ -38,6 +38,16 @@ class Knob {
   /// Builds a split knob by enumerating all ordered factorizations.
   static Knob split(std::string name, std::int64_t extent, int parts);
 
+  /// Builds a split knob keeping only factorizations whose i-th factor is
+  /// <= caps[i] (a cap of 0 leaves that position unbounded). Native schedule
+  /// templates use this to size tile splits from hardware limits so most
+  /// entities are feasible by construction. If the caps reject every
+  /// factorization the full unfiltered set is kept — a degenerate extent
+  /// must still yield a valid knob, with the SpaceConstraint safety net
+  /// handling any infeasible stragglers.
+  static Knob split_capped(std::string name, std::int64_t extent, int parts,
+                           const std::vector<std::int64_t>& caps);
+
   /// Builds an option knob from an explicit value list.
   static Knob option(std::string name, std::vector<std::int64_t> values);
 

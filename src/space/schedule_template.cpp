@@ -1,44 +1,11 @@
 #include "space/schedule_template.hpp"
 
+#include "space/template_registry.hpp"
 #include "support/common.hpp"
 
 namespace aal {
 
 namespace {
-
-ConfigSpace build_conv2d_space(const Conv2dWorkload& w) {
-  std::vector<Knob> knobs;
-  knobs.push_back(Knob::split("tile_f", w.out_channels, 4));
-  knobs.push_back(Knob::split("tile_y", w.out_height(), 4));
-  knobs.push_back(Knob::split("tile_x", w.out_width(), 4));
-  knobs.push_back(Knob::split("tile_rc", w.in_channels / w.groups, 2));
-  knobs.push_back(Knob::split("tile_ry", w.kernel_h, 2));
-  knobs.push_back(Knob::split("tile_rx", w.kernel_w, 2));
-  knobs.push_back(Knob::option("auto_unroll_max_step", {0, 512, 1500}));
-  knobs.push_back(Knob::option("unroll_explicit", {0, 1}));
-  return ConfigSpace(std::move(knobs));
-}
-
-ConfigSpace build_depthwise_space(const Conv2dWorkload& w) {
-  std::vector<Knob> knobs;
-  knobs.push_back(Knob::split("tile_c", w.out_channels, 4));
-  knobs.push_back(Knob::split("tile_y", w.out_height(), 4));
-  knobs.push_back(Knob::split("tile_x", w.out_width(), 4));
-  knobs.push_back(Knob::split("tile_ry", w.kernel_h, 2));
-  knobs.push_back(Knob::split("tile_rx", w.kernel_w, 2));
-  knobs.push_back(Knob::option("auto_unroll_max_step", {0, 256, 1500}));
-  knobs.push_back(Knob::option("unroll_explicit", {0, 1}));
-  return ConfigSpace(std::move(knobs));
-}
-
-ConfigSpace build_dense_space(const DenseWorkload& w) {
-  std::vector<Knob> knobs;
-  knobs.push_back(Knob::split("tile_y", w.out_features, 4));
-  knobs.push_back(Knob::split("tile_k", w.in_features, 2));
-  knobs.push_back(Knob::option("auto_unroll_max_step", {0, 512, 1500}));
-  knobs.push_back(Knob::option("unroll_explicit", {0, 1}));
-  return ConfigSpace(std::move(knobs));
-}
 
 const std::vector<std::int64_t>& split_entity(const ConfigSpace& space,
                                               const Config& config,
@@ -56,15 +23,11 @@ std::int64_t option_value(const ConfigSpace& space, const Config& config,
 }  // namespace
 
 ConfigSpace build_config_space(const Workload& workload) {
-  switch (workload.kind()) {
-    case WorkloadKind::kConv2d:
-      return build_conv2d_space(workload.as_conv2d());
-    case WorkloadKind::kDepthwiseConv2d:
-      return build_depthwise_space(workload.as_conv2d());
-    case WorkloadKind::kDense:
-      return build_dense_space(workload.as_dense());
-  }
-  throw InternalError("unhandled workload kind");
+  // Deprecated shim: forwards to the registry's default ("cuda") template on
+  // the default target. A default-constructed TargetSpec is gpu-pascal — the
+  // CUDA template ignores the target anyway — so the produced space is
+  // byte-identical to the pre-registry builder on every code path.
+  return TemplateRegistry::instance().build(workload, TargetSpec{});
 }
 
 ConvSchedule decode_conv_schedule(const Workload& workload,

@@ -22,6 +22,12 @@ namespace aal {
 
 /// Builds the tuning space for a workload. Knob order is part of the
 /// contract with the decode functions below.
+///
+/// Deprecated: this is a compatibility shim that forwards to
+/// `TemplateRegistry::instance().build(workload, TargetSpec{})` — the "cuda"
+/// template on the default gpu-pascal target (space/template_registry.hpp).
+/// New code should go through the registry so the target's native template
+/// can be selected; the shim always yields the CUDA-shaped space.
 ConfigSpace build_config_space(const Workload& workload);
 
 /// Semantic view of a conv2d / depthwise-conv2d configuration.

@@ -1,0 +1,119 @@
+// Target-native schedule templates behind a registry.
+//
+// A ScheduleTemplate is the unit of space construction: it builds the
+// ConfigSpace for a workload *and* decodes a Config from that space into the
+// semantic schedule (ConvSchedule / DenseSchedule) the target's device model
+// consumes. The registry is keyed by (workload kind, target family): each
+// template dispatches on the workload kind internally and declares which
+// target kinds it can serve, so `resolve(request, target)` yields exactly one
+// template per (kind, family) cell.
+//
+// Three templates ship:
+//   * "cuda"       — the original CUDA-shaped space (4-way spatial splits,
+//                    2-way reduction splits, unroll knobs). Valid on every
+//                    target and the default everywhere, so pre-registry
+//                    stores, golden traces and wire examples are unchanged.
+//   * "cpu-native" — cache-tile / vectorize / parallel-outer knobs sized
+//                    from CpuSpec (SIMD width, register file, core count,
+//                    L2 capacity). CPU targets only.
+//   * "systolic"   — PE-array tiling / dataflow / buffer-depth knobs sized
+//                    from FpgaSpec (array shape, SIMD lanes, local buffer).
+//                    FPGA targets only.
+// The native templates emit spaces that are mostly feasible by construction;
+// the device models' SpaceConstraints stay attached as a safety net.
+//
+// Layering: this header (and the templates) read TargetSpec/CpuSpec/FpgaSpec
+// as plain header-only structs; aal_space does NOT link aal_hwsim (hwsim
+// links space), so templates must not call hwsim .cpp symbols.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwsim/target.hpp"
+#include "ir/workload.hpp"
+#include "space/config_space.hpp"
+#include "space/schedule_template.hpp"
+
+namespace aal {
+
+/// Name of the default template, valid on every target. Task keys only carry
+/// a `#<template>` suffix for non-default templates, so default-target and
+/// default-template keys are byte-identical to the pre-registry format.
+inline constexpr const char* kDefaultTemplateName = "cuda";
+
+/// One schedule template: builds the tuning space for a workload on a target
+/// and decodes configs into the semantic schedule the device model consumes.
+/// Instances are stateless registry singletons with program lifetime — device
+/// models hold them by pointer.
+class ScheduleTemplate {
+ public:
+  virtual ~ScheduleTemplate() = default;
+
+  /// Stable registry name ("cuda", "cpu-native", "systolic"): the CLI /
+  /// store-key / wire vocabulary.
+  virtual const std::string& name() const = 0;
+
+  /// True when this template can build spaces for `kind` targets.
+  virtual bool serves(TargetKind kind) const = 0;
+
+  /// Builds the tuning space. Knob order is part of the contract with the
+  /// decode methods below; native templates size their knob caps from the
+  /// target's machine spec.
+  virtual ConfigSpace build(const Workload& workload,
+                            const TargetSpec& target) const = 0;
+
+  /// Decodes a conv/depthwise config; requires a space this template built
+  /// for the same workload.
+  virtual ConvSchedule decode_conv(const Workload& workload,
+                                   const ConfigSpace& space,
+                                   const Config& config) const = 0;
+
+  /// Decodes a dense config.
+  virtual DenseSchedule decode_dense(const Workload& workload,
+                                     const ConfigSpace& space,
+                                     const Config& config) const = 0;
+};
+
+/// Process-wide registry of schedule templates. Lookup happens at task
+/// construction (TuningTask / embed_task / transfer-prior source spaces);
+/// the returned references stay valid for the program lifetime.
+class TemplateRegistry {
+ public:
+  static const TemplateRegistry& instance();
+
+  /// Resolves a template request against a target:
+  ///   ""/"default" -> "cuda" (every target family);
+  ///   "native"     -> the family's native template ("cpu-native" on CPU,
+  ///                   "systolic" on FPGA, "cuda" on GPU — the CUDA space
+  ///                   *is* GPU-native here);
+  ///   exact name   -> that template, validated against the target family.
+  /// Unknown names and family mismatches throw InvalidArgument listing the
+  /// templates valid for the target.
+  const ScheduleTemplate& resolve(const std::string& request,
+                                  const TargetSpec& target) const;
+
+  /// resolve() + build() in one step.
+  ConfigSpace build(const Workload& workload, const TargetSpec& target,
+                    const std::string& request = std::string()) const;
+
+  /// Exact-name lookup, no family validation (store-key decode paths where
+  /// the target may not be registered locally). Throws InvalidArgument on
+  /// unknown names.
+  const ScheduleTemplate& get(const std::string& name) const;
+
+  /// Native template name for a target kind (for --list-targets).
+  static const char* native_template_name(TargetKind kind);
+
+  /// Names of every registered template, in table order.
+  std::vector<std::string> template_names() const;
+
+  /// Template names valid for one target kind, in table order.
+  std::vector<std::string> template_names_for(TargetKind kind) const;
+
+ private:
+  TemplateRegistry();
+  std::vector<const ScheduleTemplate*> templates_;
+};
+
+}  // namespace aal

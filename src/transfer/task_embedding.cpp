@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "space/config_space.hpp"
-#include "space/schedule_template.hpp"
+#include "space/template_registry.hpp"
 #include "support/common.hpp"
 
 namespace aal {
@@ -15,7 +15,8 @@ double log2p(double v) { return std::log2(v + 1.0); }
 }  // namespace
 
 std::vector<double> embed_task(const Workload& workload,
-                               const TargetSpec& target) {
+                               const TargetSpec& target,
+                               const std::string& template_request) {
   std::vector<double> e;
   e.reserve(kTaskEmbeddingDim);
 
@@ -62,8 +63,11 @@ std::vector<double> embed_task(const Workload& workload,
   e.push_back(log2p(target.launch_overhead_us()));
 
   // Configuration-space signature: the schedule template is a pure function
-  // of the workload, so these are identity features, not run state.
-  const ConfigSpace space = build_config_space(workload);
+  // of (workload, target, template), so these are identity features, not
+  // run state. Two templates of the same task differ here, keeping their
+  // embeddings apart.
+  const ConfigSpace space =
+      TemplateRegistry::instance().build(workload, target, template_request);
   e.push_back(static_cast<double>(space.num_knobs()));
   e.push_back(std::log2(static_cast<double>(space.size())));
   e.push_back(static_cast<double>(space.feature_dim()));

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "hwsim/target.hpp"
@@ -26,9 +27,15 @@ namespace aal {
 /// Width of every task embedding.
 inline constexpr int kTaskEmbeddingDim = 22;
 
-/// Embeds a task identity. Pure: same (workload, target) -> same bits.
+/// Embeds a task identity. Pure: same (workload, target, template) -> same
+/// bits. `template_request` uses the TemplateRegistry vocabulary and
+/// defaults to the CUDA-shaped template, so pre-template embeddings are
+/// unchanged; the space-signature slots make two templates of the same task
+/// embed apart.
 std::vector<double> embed_task(const Workload& workload,
-                               const TargetSpec& target);
+                               const TargetSpec& target,
+                               const std::string& template_request =
+                                   std::string());
 
 /// Euclidean distance between two embeddings (symmetric, non-negative,
 /// zero iff the vectors are bitwise equal). Widths must match.

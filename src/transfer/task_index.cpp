@@ -16,27 +16,32 @@ TaskIndex::TaskIndex(const RecordStore& store) {
     }
     tasks_.push_back(PriorTask{key, std::move(parts.workload_key),
                                std::move(parts.target_name),
+                               std::move(parts.template_name),
                                std::move(*workload),
                                /*embedding=*/{}, /*distance=*/0.0});
   }
 }
 
-std::vector<PriorTask> TaskIndex::nearest(const Workload& workload,
-                                          const TargetSpec& target,
-                                          std::size_t k,
-                                          double max_distance) const {
-  const std::string self_key = TuningTask::key_for(workload, target);
-  const std::vector<double> query = embed_task(workload, target);
+std::vector<PriorTask> TaskIndex::nearest(
+    const Workload& workload, const TargetSpec& target, std::size_t k,
+    double max_distance, const std::string& template_request) const {
+  const std::string self_key =
+      TuningTask::key_for(workload, target, template_request);
+  const std::string template_name =
+      TemplateRegistry::instance().resolve(template_request, target).name();
+  const std::vector<double> query =
+      embed_task(workload, target, template_name);
   std::vector<PriorTask> out;
   for (const PriorTask& task : tasks_) {
     if (task.task_key == self_key) continue;
     if (task.workload.kind() != workload.kind()) continue;
     if (task.target_name != target.name) continue;
+    if (task.template_name != template_name) continue;
     // Same target name means same machine spec, so the query's own
     // TargetSpec is the right envelope to embed the prior task with (and
     // fingerprint-named custom targets need no registry lookup).
     PriorTask candidate = task;
-    candidate.embedding = embed_task(candidate.workload, target);
+    candidate.embedding = embed_task(candidate.workload, target, template_name);
     candidate.distance = embedding_distance(candidate.embedding, query);
     if (candidate.distance > max_distance) continue;
     out.push_back(std::move(candidate));

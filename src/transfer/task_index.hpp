@@ -24,9 +24,10 @@ namespace aal {
 /// One indexed prior task, plus its distance to the query task when
 /// returned from nearest().
 struct PriorTask {
-  std::string task_key;      // the store key, verbatim
-  std::string workload_key;  // key minus any "@target" qualifier
-  std::string target_name;   // qualifier, or "gpu-pascal" for legacy keys
+  std::string task_key;       // the store key, verbatim
+  std::string workload_key;   // key minus any "@target"/"#template" qualifier
+  std::string target_name;    // qualifier, or "gpu-pascal" for legacy keys
+  std::string template_name;  // qualifier, or "cuda" for legacy keys
   Workload workload;
   // Filled by nearest(): the embedding under the query's machine spec, and
   // its distance to the query task.
@@ -47,15 +48,20 @@ class TaskIndex {
   /// Number of store keys that failed to split/parse and were skipped.
   std::size_t unparsed() const { return unparsed_; }
 
-  /// The indexed prior tasks nearest to (workload, target), ascending by
-  /// (distance, task key) — a total order, so results are deterministic.
-  /// Only tasks of the same workload kind on the *same target name* are
-  /// eligible (records measured on one backend must never warm another),
-  /// and the query task itself is excluded: its own records reach the run
-  /// through the store preload path, not through transfer.
+  /// The indexed prior tasks nearest to (workload, target, template),
+  /// ascending by (distance, task key) — a total order, so results are
+  /// deterministic. Only tasks of the same workload kind on the *same
+  /// target name* tuned through the *same schedule template* are eligible
+  /// (records measured on one backend — or drawn from one space shape —
+  /// must never warm another), and the query task itself is excluded: its
+  /// own records reach the run through the store preload path, not through
+  /// transfer. `template_request` uses the registry vocabulary ("" = the
+  /// default CUDA-shaped template).
   std::vector<PriorTask> nearest(const Workload& workload,
                                  const TargetSpec& target, std::size_t k,
-                                 double max_distance) const;
+                                 double max_distance,
+                                 const std::string& template_request =
+                                     std::string()) const;
 
  private:
   std::vector<PriorTask> tasks_;  // in sorted-task-key order

@@ -58,7 +58,7 @@ TransferPrior build_transfer_prior(const TuningTask& task,
   const TaskIndex index(store);
   const std::vector<PriorTask> nearest = index.nearest(
       task.workload(), task.target(), params.max_source_tasks,
-      params.max_task_distance);
+      params.max_task_distance, task.template_name());
 
   // Collect usable sources: parseable, knob/feature-compatible, and with at
   // least one successful record (a quarantined/failed-only history teaches
@@ -66,7 +66,11 @@ TransferPrior build_transfer_prior(const TuningTask& task,
   std::vector<SourceHistory> sources;
   for (const PriorTask& candidate : nearest) {
     SourceHistory src;
-    src.space = build_config_space(candidate.workload);
+    // nearest() filtered to the query's template, so the source space is
+    // built through the same template on the same target — mapped choice
+    // indices land on the same knob layout.
+    src.space = task.schedule_template().build(candidate.workload,
+                                               task.target());
     if (src.space.num_knobs() != space.num_knobs() ||
         src.space.feature_dim() != space.feature_dim()) {
       continue;

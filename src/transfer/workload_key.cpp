@@ -109,6 +109,15 @@ std::optional<Workload> parse_dense(std::string_view body) {
 
 TaskKeyParts split_task_key(std::string_view task_key) {
   TaskKeyParts parts;
+  // Template suffix first: '#' never appears in workload keys or target
+  // names, so the last '#' (when present) always starts the suffix.
+  const std::size_t hash = task_key.rfind('#');
+  if (hash == std::string_view::npos) {
+    parts.template_name = "cuda";
+  } else {
+    parts.template_name = std::string(task_key.substr(hash + 1));
+    task_key = task_key.substr(0, hash);
+  }
   const std::size_t at = task_key.rfind('@');
   if (at == std::string_view::npos) {
     parts.workload_key = std::string(task_key);

@@ -4,11 +4,12 @@
 // their store keys. Workload::key() is a lossless canonical encoding of the
 // workload parameters ("conv2d/n1_c3_hw224x224_o64_k3x3_s1x1_p1x1_g1_
 // float32"), and TuningTask::key_for() appends "@<target-name>" for
-// non-default targets — so the store key alone reconstructs both halves of
-// a task's identity. This header is that inverse: split a store key into
-// (workload key, target name) and parse the workload key back into a
-// Workload, without any side index file that would change store bytes or
-// orphan legacy stores.
+// non-default targets and "#<template-name>" for non-default schedule
+// templates — so the store key alone reconstructs a task's full identity.
+// This header is that inverse: split a store key into (workload key, target
+// name, template name) and parse the workload key back into a Workload,
+// without any side index file that would change store bytes or orphan
+// legacy stores.
 #pragma once
 
 #include <optional>
@@ -19,17 +20,24 @@
 
 namespace aal {
 
-/// A store task key split into its two identity halves. Legacy keys carry
-/// no "@target" qualifier; they were written by the single-backend pipeline
+/// A store task key split into its identity parts. Legacy keys carry no
+/// "@target" qualifier; they were written by the single-backend pipeline
 /// whose only device was the default target, so they resolve to gpu-pascal
-/// (the same convention TuningTask::key_for still encodes today).
+/// (the same convention TuningTask::key_for still encodes today). Likewise
+/// keys without a "#template" suffix predate (or never left) the default
+/// CUDA-shaped space and resolve to template "cuda" — so a bare legacy key,
+/// an "@target" key and a "#template"-qualified key can never collide:
+/// qualifiers are only written when the part differs from its default.
 struct TaskKeyParts {
-  std::string workload_key;  // e.g. "conv2d/n1_c3_hw8x8_o4_k3x3_s1x1_p1x1_g1_float32"
-  std::string target_name;   // e.g. "gpu-pascal" (legacy bare keys), "fpga-systolic"
+  std::string workload_key;   // e.g. "conv2d/n1_c3_hw8x8_o4_k3x3_s1x1_p1x1_g1_float32"
+  std::string target_name;    // e.g. "gpu-pascal" (legacy bare keys), "fpga-systolic"
+  std::string template_name;  // e.g. "cuda" (legacy keys), "systolic"
 };
 
-/// Splits a task key at the last '@'. Keys without one are legacy
-/// default-target keys and report target_name == "gpu-pascal".
+/// Splits a task key `<workload>[@<target>][#<template>]`: the template
+/// suffix is taken at the last '#', then the target at the last '@' of the
+/// remainder. Missing qualifiers report their defaults ("gpu-pascal",
+/// "cuda").
 TaskKeyParts split_task_key(std::string_view task_key);
 
 /// Parses a canonical workload key (the Workload::key() encoding) back into

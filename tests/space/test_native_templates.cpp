@@ -1,0 +1,233 @@
+// Property suites for the target-native schedule templates (cpu-native,
+// systolic), mirroring tests/space/test_constraints.cpp: decode round-trips
+// (every split part multiplies back to its axis extent and respects its
+// spec-derived cap), mostly-feasible-by-construction sampling, and the
+// headline pin — the fpga-systolic native space's sampled infeasible rate
+// stays at or below 10%, down from ~66% in the CUDA-shaped space.
+#include <gtest/gtest.h>
+
+#include "hwsim/target.hpp"
+#include "measure/tuning_task.hpp"
+#include "space/schedule_template.hpp"
+#include "space/template_registry.hpp"
+#include "test_util.hpp"
+
+namespace aal {
+namespace {
+
+std::vector<Workload> conv_workloads() {
+  return {testing::small_conv_workload(),
+          testing::small_depthwise_workload()};
+}
+
+/// Sampled infeasible fraction of a task's constrained space: sampling
+/// retries until feasible, so pruned/checked is exactly the metric the
+/// tuner's `space.constraint_pruned / space.constraint_checked` exposes.
+double sampled_infeasible_rate(const TuningTask& task, int samples,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < samples; ++i) (void)task.space().sample(rng);
+  const std::int64_t checked = task.space().feasibility_checks();
+  EXPECT_GE(checked, samples);
+  return static_cast<double>(task.space().pruned_count()) /
+         static_cast<double>(checked);
+}
+
+// --- cpu-native ----------------------------------------------------------
+
+TEST(NativeTemplates, CpuConvDecodeRoundTripsAndRespectsCaps) {
+  const TargetSpec target = make_target("cpu-simd");
+  const CpuSpec& spec = target.cpu;
+  const std::int64_t cap_fi = 2 * spec.simd_width;
+  const std::int64_t cap_yi = 4LL * spec.vector_registers / cap_fi;
+  for (const Workload& w : conv_workloads()) {
+    const TuningTask task(w, target, "cpu-native");
+    const Conv2dWorkload& cw = w.as_conv2d();
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+      const Config c = task.space().sample(rng);
+      const ConvSchedule s =
+          task.schedule_template().decode_conv(w, task.space(), c);
+      // 3-way spatial splits: no vthread slot on a CPU.
+      EXPECT_EQ(s.vf, 1);
+      EXPECT_EQ(s.vy, 1);
+      EXPECT_EQ(s.vx, 1);
+      EXPECT_EQ(s.bf * s.tf * s.fi, cw.out_channels);
+      EXPECT_EQ(s.by * s.ty * s.yi, cw.out_height());
+      EXPECT_EQ(s.bx * s.tx * s.xi, cw.out_width());
+      EXPECT_EQ(s.rco * s.rci, cw.in_channels / cw.groups);
+      EXPECT_EQ(s.ryo * s.ryi, cw.kernel_h);
+      EXPECT_EQ(s.rxo * s.rxi, cw.kernel_w);
+      // Spec-derived caps: register tile inside the model's spill budget,
+      // parallel-outer factors inside the core count.
+      EXPECT_LE(s.fi, cap_fi);
+      EXPECT_LE(s.yi, cap_yi);
+      EXPECT_LE(s.xi, spec.simd_width);
+      EXPECT_LE(s.bf, spec.cores);
+      EXPECT_LE(s.by, spec.cores);
+      EXPECT_LE(s.bx, spec.cores);
+      if (w.kind() != WorkloadKind::kDepthwiseConv2d) {
+        EXPECT_LE(s.rci, spec.simd_width);
+      }
+    }
+  }
+}
+
+TEST(NativeTemplates, CpuDenseDecodeRoundTripsAndRespectsCaps) {
+  const TargetSpec target = make_target("cpu-simd");
+  const CpuSpec& spec = target.cpu;
+  const Workload w = testing::small_dense_workload();
+  const DenseWorkload& dw = w.as_dense();
+  const TuningTask task(w, target, "native");
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Config c = task.space().sample(rng);
+    const DenseSchedule s =
+        task.schedule_template().decode_dense(w, task.space(), c);
+    EXPECT_EQ(s.bo * s.vo * s.to * s.oi, dw.out_features);
+    EXPECT_EQ(s.ko * s.ki, dw.in_features);
+    EXPECT_LE(s.vo, 8);
+    EXPECT_LE(s.to, 16);
+    EXPECT_LE(s.oi, 8 * spec.simd_width);
+    EXPECT_LE(s.ki, 2 * spec.simd_width);
+  }
+}
+
+TEST(NativeTemplates, CpuNativeSamplesAreMostlyFeasibleAndProfileValid) {
+  const TargetSpec target = make_target("cpu-simd");
+  for (const Workload& w :
+       {testing::small_conv_workload(), testing::small_depthwise_workload(),
+        testing::small_dense_workload()}) {
+    const TuningTask task(w, target, "native");
+    EXPECT_LE(sampled_infeasible_rate(task, 500, 7), 0.10) << w.key();
+    // Feasible samples must actually profile valid — the constraints and
+    // the profile equations read the same decoded schedule.
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+      const Config c = task.space().sample(rng);
+      EXPECT_TRUE(task.profile(c).valid) << task.space().to_string(c);
+    }
+  }
+}
+
+// --- systolic ------------------------------------------------------------
+
+TEST(NativeTemplates, SystolicConvDecodeRoundTripsAndRespectsCaps) {
+  const TargetSpec target = make_target("fpga-systolic");
+  const FpgaSpec& spec = target.fpga;
+  for (const Workload& w : conv_workloads()) {
+    const TuningTask task(w, target, "systolic");
+    const Conv2dWorkload& cw = w.as_conv2d();
+    Rng rng(13);
+    for (int i = 0; i < 200; ++i) {
+      const Config c = task.space().sample(rng);
+      const ConvSchedule s =
+          task.schedule_template().decode_conv(w, task.space(), c);
+      EXPECT_EQ(s.bf * s.vf * s.tf * s.fi, cw.out_channels);
+      EXPECT_EQ(s.by * s.ty * s.yi, cw.out_height());
+      EXPECT_EQ(s.vy, 1);
+      EXPECT_EQ(s.bx * s.xi, cw.out_width());
+      EXPECT_EQ(s.vx, 1);
+      EXPECT_EQ(s.tx, 1);
+      EXPECT_EQ(s.rco * s.rci, cw.in_channels / cw.groups);
+      // PE-array caps: rows x cols spatial bound, per-PE SIMD bound,
+      // replication bound.
+      EXPECT_LE(s.tf, spec.pe_rows);
+      EXPECT_LE(s.ty, spec.pe_cols);
+      EXPECT_LE(s.tf * s.ty * s.tx, spec.pe_rows * spec.pe_cols);
+      EXPECT_LE(s.fi, spec.simd_lanes);
+      EXPECT_LE(s.vf, 2);
+      // The pipelined array has no unroll analogue.
+      EXPECT_EQ(s.auto_unroll_max_step, 0);
+      EXPECT_FALSE(s.unroll_explicit);
+    }
+  }
+}
+
+TEST(NativeTemplates, SystolicDenseIsATwoKnobSpace) {
+  const TargetSpec target = make_target("fpga-systolic");
+  const FpgaSpec& spec = target.fpga;
+  const Workload w = testing::small_dense_workload();
+  const DenseWorkload& dw = w.as_dense();
+  const TuningTask task(w, target, "native");
+  ASSERT_EQ(task.space().num_knobs(), 2u);
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const Config c = task.space().sample(rng);
+    const DenseSchedule s =
+        task.schedule_template().decode_dense(w, task.space(), c);
+    EXPECT_EQ(s.bo * s.vo * s.to * s.oi, dw.out_features);
+    EXPECT_EQ(s.ko * s.ki, dw.in_features);
+    EXPECT_LE(s.to, spec.pe_rows * spec.pe_cols);
+    EXPECT_LE(s.oi, spec.simd_lanes);
+    EXPECT_LE(s.vo, 2);
+    EXPECT_EQ(s.auto_unroll_max_step, 0);
+  }
+}
+
+TEST(NativeTemplates, SystolicInfeasibleRateDropsFromCudaToAtMostTenPercent) {
+  // The acceptance pin: on fpga-systolic the CUDA-shaped space rejects the
+  // majority of samples (~66% across the zoo), while the native template's
+  // space is mostly feasible by construction (<= 10%).
+  const TargetSpec target = make_target("fpga-systolic");
+  for (const Workload& w :
+       {testing::small_conv_workload(), testing::small_depthwise_workload(),
+        testing::small_dense_workload()}) {
+    const TuningTask cuda_task(w, target);  // default CUDA-shaped space
+    const TuningTask native_task(w, target, "native");
+    const double cuda_rate = sampled_infeasible_rate(cuda_task, 500, 19);
+    const double native_rate = sampled_infeasible_rate(native_task, 2000, 19);
+    EXPECT_GE(cuda_rate, 0.30) << w.key();
+    EXPECT_LE(native_rate, 0.10) << w.key();
+    EXPECT_LT(native_rate, cuda_rate) << w.key();
+  }
+}
+
+TEST(NativeTemplates, SystolicSamplesProfileValid) {
+  const TargetSpec target = make_target("fpga-systolic");
+  for (const Workload& w :
+       {testing::small_conv_workload(), testing::small_dense_workload()}) {
+    const TuningTask task(w, target, "systolic");
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i) {
+      const Config c = task.space().sample(rng);
+      EXPECT_TRUE(task.profile(c).valid) << task.space().to_string(c);
+    }
+  }
+}
+
+// --- cross-template hygiene ---------------------------------------------
+
+TEST(NativeTemplates, NativeSpacesAreSmallerThanCudaSpaces) {
+  // Capping knob factors by the machine spec must shrink the search space,
+  // never inflate it — the whole point is a denser feasible region.
+  for (const char* target_name : {"cpu-simd", "fpga-systolic"}) {
+    const TargetSpec target = make_target(target_name);
+    for (const Workload& w :
+         {testing::small_conv_workload(), testing::small_dense_workload()}) {
+      const TuningTask cuda_task(w, target);
+      const TuningTask native_task(w, target, "native");
+      EXPECT_LT(native_task.space().size(), cuda_task.space().size())
+          << target_name << " " << w.key();
+      EXPECT_GT(native_task.space().size(), 1) << target_name << " "
+                                               << w.key();
+    }
+  }
+}
+
+TEST(NativeTemplates, ConstraintStatsStayPureAcrossTemplates) {
+  // Same (workload, target, template) => same feasibility verdicts, mirror
+  // of SpaceConstraints.PruningIsPureInTargetSpec for the native spaces.
+  const Workload w = testing::small_conv_workload();
+  const TargetSpec target = make_target("fpga-systolic");
+  const TuningTask a(w, target, "native");
+  const TuningTask b(w, target, "native");
+  Rng rng(29);
+  const auto probes = a.space().sample_distinct(200, rng);
+  for (const Config& c : probes) {
+    EXPECT_EQ(a.space().feasible(c), b.space().feasible(b.space().at(c.flat)));
+  }
+}
+
+}  // namespace
+}  // namespace aal

@@ -15,6 +15,7 @@ TEST(WorkloadKey, SplitQualifiedKey) {
   const TaskKeyParts parts = split_task_key("dense/n1_i256_o128_float32@fpga-systolic");
   EXPECT_EQ(parts.workload_key, "dense/n1_i256_o128_float32");
   EXPECT_EQ(parts.target_name, "fpga-systolic");
+  EXPECT_EQ(parts.template_name, "cuda");
 }
 
 TEST(WorkloadKey, BareKeyIsLegacyDefaultTarget) {
@@ -23,12 +24,68 @@ TEST(WorkloadKey, BareKeyIsLegacyDefaultTarget) {
   const TaskKeyParts parts = split_task_key("dense/n1_i256_o128_float32");
   EXPECT_EQ(parts.workload_key, "dense/n1_i256_o128_float32");
   EXPECT_EQ(parts.target_name, "gpu-pascal");
+  EXPECT_EQ(parts.template_name, "cuda");
 }
 
 TEST(WorkloadKey, SplitsAtLastAtSign) {
   const TaskKeyParts parts = split_task_key("a@b@gpu-volta");
   EXPECT_EQ(parts.workload_key, "a@b");
   EXPECT_EQ(parts.target_name, "gpu-volta");
+}
+
+TEST(WorkloadKey, TemplateSuffixSplitsBeforeTheTarget) {
+  const TaskKeyParts parts = split_task_key(
+      "dense/n1_i256_o128_float32@fpga-systolic#systolic");
+  EXPECT_EQ(parts.workload_key, "dense/n1_i256_o128_float32");
+  EXPECT_EQ(parts.target_name, "fpga-systolic");
+  EXPECT_EQ(parts.template_name, "systolic");
+}
+
+TEST(WorkloadKey, TemplateSuffixWithoutTargetKeepsTheDefaultTarget) {
+  // key_for only writes qualifiers that differ from their defaults, so a
+  // template suffix can ride on an otherwise-bare key.
+  const TaskKeyParts parts =
+      split_task_key("dense/n1_i256_o128_float32#cpu-native");
+  EXPECT_EQ(parts.workload_key, "dense/n1_i256_o128_float32");
+  EXPECT_EQ(parts.target_name, "gpu-pascal");
+  EXPECT_EQ(parts.template_name, "cpu-native");
+}
+
+TEST(WorkloadKey, QualifiedKeysNeverCollideWithLegacyKeys) {
+  // The three spellings of "same workload" map to three distinct keys and
+  // each splits back to its own identity.
+  const Workload w = testing::small_conv_workload();
+  const std::string bare = TuningTask::key_for(w, TargetSpec{});
+  const std::string targeted =
+      TuningTask::key_for(w, make_target("fpga-systolic"));
+  const std::string templated =
+      TuningTask::key_for(w, make_target("fpga-systolic"), "native");
+  EXPECT_NE(bare, targeted);
+  EXPECT_NE(targeted, templated);
+  EXPECT_NE(bare, templated);
+  EXPECT_EQ(split_task_key(bare).template_name, "cuda");
+  EXPECT_EQ(split_task_key(targeted).template_name, "cuda");
+  EXPECT_EQ(split_task_key(templated).template_name, "systolic");
+  for (const std::string& key : {bare, targeted, templated}) {
+    EXPECT_EQ(split_task_key(key).workload_key, w.key());
+  }
+}
+
+TEST(WorkloadKey, TemplateRoundTripsForEveryTargetAndRequest) {
+  const Workload w = testing::small_dense_workload();
+  for (const std::string& name : target_names()) {
+    const TargetSpec target = make_target(name);
+    for (const char* request : {"", "native"}) {
+      const TaskKeyParts parts =
+          split_task_key(TuningTask::key_for(w, target, request));
+      EXPECT_EQ(parts.target_name, name);
+      const std::string resolved =
+          TemplateRegistry::instance().resolve(request, target).name();
+      EXPECT_EQ(parts.template_name, resolved) << name << " '" << request
+                                               << "'";
+      EXPECT_EQ(workload_from_key(parts.workload_key)->key(), w.key());
+    }
+  }
 }
 
 TEST(WorkloadKey, RoundTripsEveryTestWorkloadKind) {

@@ -4,7 +4,8 @@
 //   aaltune_cli inspect <model>
 //   aaltune_cli tune    <model> [--tuner bted+bao] [--budget N] [--records f]
 //                               [--store dir] [--store-readonly] [--transfer]
-//                               [--trace f.jsonl] [--metrics]
+//                               [--template native] [--trace f.jsonl]
+//                               [--metrics]
 //   aaltune_cli deploy  <model> [--records f] [--runs N]
 //   aaltune_cli serve   <hello|submit|status|cancel|list|stream|stats|
 //                        shutdown> --socket path [...]
@@ -33,6 +34,7 @@
 #include "pipeline/latency.hpp"
 #include "pipeline/model_tuner.hpp"
 #include "serve/socket.hpp"
+#include "space/template_registry.hpp"
 #include "store/record_store.hpp"
 #include "support/arg_parser.hpp"
 #include "support/logging.hpp"
@@ -65,11 +67,13 @@ TargetSpec load_target(const ArgParser& args) {
 
 int cmd_list_targets() {
   TextTable table;
-  table.set_header({"name", "kind", "device", "peak GFLOPS", "description"});
+  table.set_header({"name", "kind", "device", "peak GFLOPS",
+                    "native template", "description"});
   for (const auto& name : target_names()) {
     const TargetSpec t = make_target(name);
     table.add_row({name, target_kind_name(t.kind), t.device_name,
                    format_double(t.peak_gflops(), 0),
+                   TemplateRegistry::native_template_name(t.kind),
                    target_description(name)});
   }
   std::printf("%s", table.to_string().c_str());
@@ -119,6 +123,15 @@ int cmd_tune(const ArgParser& args) {
   options.jobs = static_cast<int>(args.get_int("jobs"));
   if (options.jobs < 1) {
     throw InvalidArgument("--jobs must be >= 1");
+  }
+  options.schedule_template = args.get("template");
+  // Fail fast on typos (and on family mismatches like a GPU target asking
+  // for "systolic") before any tuning work starts.
+  const ScheduleTemplate& tmpl =
+      TemplateRegistry::instance().resolve(options.schedule_template, target);
+  if (tmpl.name() != std::string(kDefaultTemplateName)) {
+    std::printf("schedule template '%s': target-native config space\n",
+                tmpl.name().c_str());
   }
 
   const std::string faults_spec = args.get("faults");
@@ -234,7 +247,7 @@ int cmd_deploy(const ArgParser& args) {
   } else {
     std::printf("no --records given: deploying fallback schedules\n");
   }
-  const LatencyEvaluator evaluator(g, target);
+  const LatencyEvaluator evaluator(g, target, args.get("template"));
   const int runs = static_cast<int>(args.get_int("runs"));
   const LatencyReport report =
       evaluator.run(best, runs, static_cast<std::uint64_t>(args.get_int("seed")));
@@ -315,6 +328,8 @@ int cmd_serve(int argc, char** argv) {
     args.add_int_flag("priority", "higher runs first", 0);
     args.add_switch("transfer", "warm-start from the daemon's shared record "
                     "store (no-op when the daemon runs without --store)");
+    args.add_flag("template", "schedule template: default, native, or an "
+                  "exact template name", "");
     args.add_switch("stream", "follow the job's trace until it finishes");
     args.add_flag("trace", "write the streamed trace JSONL here "
                   "(with --stream)", "");
@@ -363,6 +378,7 @@ int cmd_serve(int argc, char** argv) {
     req.spec.tenant = args.get("tenant");
     req.spec.priority = args.get_int("priority");
     req.spec.transfer = args.get_switch("transfer");
+    req.spec.schedule_template = args.get("template");
     const ServeResponse resp = client.call(req);
     if (!resp.ok) return report_serve_error(resp);
     const TraceValue* job = resp.find("job");
@@ -435,6 +451,8 @@ int main(int argc, char** argv) {
                     "exit");
     if (command == "tune") {
       args.add_flag("tuner", "autotvm, bted, bted+bao, random, ga", "bted+bao");
+      args.add_flag("template", "schedule template: default, native, or an "
+                    "exact template name (see --list-targets)", "");
       args.add_int_flag("budget", "measurement budget per task", 512);
       args.add_int_flag("early-stop", "early-stopping patience", 400);
       args.add_int_flag("seed", "random seed", 1);
@@ -462,6 +480,8 @@ int main(int argc, char** argv) {
                         "transient fault", 0);
     } else if (command == "deploy") {
       args.add_flag("records", "input record log path", "");
+      args.add_flag("template", "schedule template the record log was tuned "
+                    "with: default, native, or an exact name", "");
       args.add_int_flag("runs", "inference runs", 600);
       args.add_int_flag("seed", "noise seed", 1);
     } else if (command != "inspect") {
